@@ -1,0 +1,230 @@
+//! AMBER-style exhaustive ambiguity search (§8): enumerate every terminal
+//! string derivable from the start symbol, by iterative deepening on
+//! string length, and report the first string reachable by two distinct
+//! leftmost derivations. Accurate but exponential — the paper's point is
+//! that this is "prohibitively slow" compared to conflict-directed search.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use lalrcex_grammar::{Analysis, Grammar, SymbolId, SymbolKind};
+
+/// Budget for the exhaustive search.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum sentence length to explore.
+    pub max_len: usize,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+    /// Maximum number of derivation steps across the whole run.
+    pub max_steps: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_len: 12,
+            time_limit: Duration::from_secs(30),
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// Result of the exhaustive search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// An ambiguous sentence was found.
+    Ambiguous {
+        /// The sentence (terminal symbols).
+        sentence: Vec<SymbolId>,
+        /// The length bound at which it was found.
+        bound: usize,
+    },
+    /// Every sentence up to `max_len` is unambiguous.
+    ExhaustedBound,
+    /// The time or step budget ran out first.
+    TimedOut,
+}
+
+struct Enumerator<'a> {
+    g: &'a Grammar,
+    a: &'a Analysis,
+    bound: usize,
+    deadline: Instant,
+    steps: usize,
+    max_steps: usize,
+    /// sentence -> fingerprint of the first leftmost derivation seen.
+    seen: HashMap<Vec<SymbolId>, u64>,
+    found: Option<Vec<SymbolId>>,
+}
+
+impl Enumerator<'_> {
+    /// Expands the leftmost nonterminal of `form`; `prefix_len` counts the
+    /// terminals already fixed at the front, `trace` fingerprints the
+    /// derivation (sequence of production indices).
+    fn walk(&mut self, form: &mut Vec<SymbolId>, trace: u64, depth: usize) -> bool {
+        self.steps += 1;
+        if self.steps >= self.max_steps
+            || (self.steps % 4096 == 0 && Instant::now() > self.deadline)
+        {
+            return false;
+        }
+        // ε/unit cycles expand forever without growing the form; bound the
+        // derivation depth relative to the sentence bound.
+        if depth > 4 * self.bound + 64 {
+            return true;
+        }
+        // Find leftmost nonterminal; also compute minimal completion size.
+        let mut min_total = 0u64;
+        let mut leftmost: Option<usize> = None;
+        for (i, &s) in form.iter().enumerate() {
+            match self.g.kind(s) {
+                SymbolKind::Terminal => min_total += 1,
+                SymbolKind::Nonterminal => {
+                    if leftmost.is_none() {
+                        leftmost = Some(i);
+                    }
+                    min_total += self.a.min_sentence_len(s).unwrap_or(u64::MAX / 4);
+                }
+            }
+        }
+        if min_total > self.bound as u64 {
+            return true; // prune: cannot fit the bound
+        }
+        let Some(pos) = leftmost else {
+            // A complete sentence.
+            match self.seen.entry(form.clone()) {
+                Entry::Vacant(e) => {
+                    e.insert(trace);
+                }
+                Entry::Occupied(e) => {
+                    if *e.get() != trace {
+                        self.found = Some(form.clone());
+                        return false;
+                    }
+                }
+            }
+            return true;
+        };
+        let nt = form[pos];
+        for (alt, &pid) in self.g.prods_of(nt).iter().enumerate() {
+            let rhs = self.g.prod(pid).rhs();
+            let mut next = Vec::with_capacity(form.len() + rhs.len());
+            next.extend_from_slice(&form[..pos]);
+            next.extend_from_slice(rhs);
+            next.extend_from_slice(&form[pos + 1..]);
+            // Fingerprint the derivation by hashing the choice sequence.
+            let t = trace
+                .wrapping_mul(1_000_003)
+                .wrapping_add(alt as u64 + 1)
+                .wrapping_add((pos as u64) << 40);
+            if !self.walk(&mut next, t, depth + 1) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Runs the exhaustive search from the grammar's start symbol.
+pub fn search(g: &Grammar, budget: &Budget) -> Outcome {
+    let a = Analysis::new(g);
+    search_from(g, &a, g.start(), budget)
+}
+
+/// Runs the exhaustive search for ambiguity of a specific nonterminal
+/// (the enumeration automatically restricts itself to the sub-grammar
+/// reachable from `root` — the building block of the grammar-filtered
+/// baseline).
+pub fn search_from(g: &Grammar, a: &Analysis, root: lalrcex_grammar::SymbolId, budget: &Budget) -> Outcome {
+    let deadline = Instant::now() + budget.time_limit;
+    for bound in 1..=budget.max_len {
+        let mut e = Enumerator {
+            g,
+            a,
+            bound,
+            deadline,
+            steps: 0,
+            max_steps: budget.max_steps,
+            seen: HashMap::new(),
+            found: None,
+        };
+        let mut form = vec![root];
+        let completed = e.walk(&mut form, 0, 0);
+        if let Some(sentence) = e.found {
+            return Outcome::Ambiguous { sentence, bound };
+        }
+        if !completed {
+            return Outcome::TimedOut;
+        }
+    }
+    Outcome::ExhaustedBound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::Grammar;
+
+    fn budget() -> Budget {
+        Budget {
+            max_len: 8,
+            time_limit: Duration::from_secs(10),
+            max_steps: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn finds_expression_ambiguity() {
+        let g = Grammar::parse("%% e : e '+' e | N ;").unwrap();
+        match search(&g, &budget()) {
+            Outcome::Ambiguous { sentence, bound } => {
+                assert_eq!(sentence.len(), 5, "N + N + N");
+                assert_eq!(bound, 5);
+                // Independent confirmation.
+                let e = g.symbol_named("e").unwrap();
+                assert!(lalrcex_earley::forest::is_ambiguous_form(&g, e, &sentence));
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_else_found() {
+        let g = Grammar::parse(
+            "%% s : 'i' s 'e' s | 'i' s | 'x' ;",
+        )
+        .unwrap();
+        assert!(matches!(search(&g, &budget()), Outcome::Ambiguous { .. }));
+    }
+
+    #[test]
+    fn unambiguous_grammar_exhausts_bound() {
+        let g = Grammar::parse("%% l : l A | A ;").unwrap();
+        assert_eq!(search(&g, &budget()), Outcome::ExhaustedBound);
+    }
+
+    #[test]
+    fn figure3_is_unambiguous_within_bound() {
+        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;")
+            .unwrap();
+        assert_eq!(search(&g, &budget()), Outcome::ExhaustedBound);
+    }
+
+    #[test]
+    fn tiny_time_budget_times_out() {
+        let g = lalrcex_corpus::by_name("Java.2").unwrap().load().unwrap();
+        let out = search(
+            &g,
+            &Budget {
+                max_len: 30,
+                time_limit: Duration::from_millis(1),
+                max_steps: usize::MAX,
+            },
+        );
+        // Either it gets lucky instantly or (almost surely) times out; it
+        // must not run unbounded.
+        assert!(matches!(out, Outcome::TimedOut | Outcome::Ambiguous { .. }));
+    }
+}

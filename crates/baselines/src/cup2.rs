@@ -1,0 +1,88 @@
+//! CUP2-style conflict reports: "the shortest path to the conflict state"
+//! (§8), with no lookahead reasoning and no derivations. Kept as the
+//! weakest baseline: its reports are never *wrong* about reachability but
+//! explain nothing about the conflict itself.
+
+use std::collections::{HashMap, VecDeque};
+
+use lalrcex_grammar::{Grammar, SymbolId};
+use lalrcex_lr::{Automaton, Conflict, StateId};
+
+/// A CUP2-style report: the symbols of a shortest path to the conflict
+/// state.
+#[derive(Clone, Debug)]
+pub struct Cup2Report {
+    /// The state the conflict occurs in.
+    pub state: StateId,
+    /// Symbols of a shortest path from the start state.
+    pub path: Vec<SymbolId>,
+}
+
+impl Cup2Report {
+    /// Renders like `shortest path to state 10: if expr then stmt`.
+    pub fn display(&self, g: &Grammar) -> String {
+        format!(
+            "shortest path to state {}: {}",
+            self.state.index(),
+            g.format_symbols(&self.path)
+        )
+    }
+}
+
+/// Computes the CUP2-style report for a conflict.
+pub fn report(g: &Grammar, auto: &Automaton, conflict: &Conflict) -> Cup2Report {
+    let _ = g;
+    let mut prev: HashMap<StateId, (StateId, SymbolId)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(StateId::START);
+    'bfs: while let Some(s) = queue.pop_front() {
+        for &(sym, t) in auto.state(s).transitions() {
+            if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(t) {
+                e.insert((s, sym));
+                if t == conflict.state {
+                    break 'bfs;
+                }
+                queue.push_back(t);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = conflict.state;
+    while cur != StateId::START {
+        let (p, sym) = prev[&cur];
+        path.push(sym);
+        cur = p;
+    }
+    path.reverse();
+    Cup2Report {
+        state: conflict.state,
+        path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::Grammar;
+    use lalrcex_lr::Automaton;
+
+    #[test]
+    fn shortest_path_reaches_conflict_state() {
+        let g = Grammar::parse(
+            "%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;",
+        )
+        .unwrap();
+        let auto = Automaton::build(&g);
+        let tables = auto.tables(&g);
+        let c = &tables.conflicts()[0];
+        let r = report(&g, &auto, c);
+        assert_eq!(g.format_symbols(&r.path), "if e then s");
+        // Walking the path really lands in the conflict state.
+        let mut s = StateId::START;
+        for &sym in &r.path {
+            s = auto.state(s).transition(sym).unwrap();
+        }
+        assert_eq!(s, c.state);
+        assert!(r.display(&g).contains("shortest path"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Grammar-filtered bounded ambiguity search — the stand-in for the
+//! CFGAnalyzer variant with BV10 grammar filtering (the parenthesised
+//! times in Table 1).
+//!
+//! The filtering idea of Basten & Vinju: use the parsing conflict to slice
+//! the grammar down to the part that can matter, then run the exhaustive
+//! bounded search on the slice. We realise the slice by choosing *search
+//! roots* from the conflict: the left-hand sides of the two conflicting
+//! productions and their ancestors, ordered innermost-first. Enumerating
+//! from an inner root automatically restricts the search to the
+//! sub-grammar reachable from it, which is exactly the filtered grammar.
+
+use std::time::{Duration, Instant};
+
+use lalrcex_grammar::{Analysis, Grammar, SymbolId, SymbolKind};
+use lalrcex_lr::Conflict;
+
+use crate::amber::{self, Budget, Outcome};
+
+/// Result of the filtered search, with the root that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FilteredOutcome {
+    /// An ambiguous sentence of `root` was found.
+    Ambiguous {
+        /// The nonterminal whose derivations unify.
+        root: SymbolId,
+        /// The ambiguous sentence.
+        sentence: Vec<SymbolId>,
+    },
+    /// No ambiguity within the bound, for any candidate root.
+    ExhaustedBound,
+    /// Ran out of time.
+    TimedOut,
+}
+
+/// Nonterminals that can derive a phrase containing `target`, i.e. the
+/// ancestors of `target` in the reachability relation (including itself).
+fn ancestors(g: &Grammar, target: SymbolId) -> Vec<SymbolId> {
+    let n = g.nonterminal_count();
+    // reaches[a][b]: nonterminal a's productions mention b.
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for p in g.productions() {
+        let lhs = g.ntindex(p.lhs());
+        for &s in p.rhs() {
+            if g.kind(s) == SymbolKind::Nonterminal {
+                parents[g.ntindex(s)].push(lhs);
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![g.ntindex(target)];
+    seen[g.ntindex(target)] = true;
+    while let Some(i) = stack.pop() {
+        for &p in &parents[i] {
+            if !seen[p] {
+                seen[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    (0..n).filter(|&i| seen[i]).map(|i| g.nonterminal(i)).collect()
+}
+
+/// Size of the sub-grammar reachable from a nonterminal (used to order
+/// candidate roots innermost-first).
+fn slice_size(g: &Grammar, root: SymbolId) -> usize {
+    let mut seen = vec![false; g.nonterminal_count()];
+    let mut stack = vec![g.ntindex(root)];
+    seen[g.ntindex(root)] = true;
+    let mut prods = 0;
+    while let Some(i) = stack.pop() {
+        let nt = g.nonterminal(i);
+        for &pid in g.prods_of(nt) {
+            prods += 1;
+            for &s in g.prod(pid).rhs() {
+                if g.kind(s) == SymbolKind::Nonterminal && !seen[g.ntindex(s)] {
+                    seen[g.ntindex(s)] = true;
+                    stack.push(g.ntindex(s));
+                }
+            }
+        }
+    }
+    prods
+}
+
+/// The candidate search roots for a conflict: ancestors of both conflict
+/// productions' left-hand sides, innermost (smallest slice) first.
+pub fn candidate_roots(g: &Grammar, conflict: &Conflict) -> Vec<SymbolId> {
+    let lhs1 = g.prod(conflict.reduce_prod).lhs();
+    let lhs2 = g.prod(conflict.other_item(g).prod()).lhs();
+    let a1 = ancestors(g, lhs1);
+    let a2 = ancestors(g, lhs2);
+    let mut common: Vec<SymbolId> = a1.into_iter().filter(|s| a2.contains(s)).collect();
+    common.sort_by_key(|&s| slice_size(g, s));
+    common
+}
+
+/// Runs the grammar-filtered bounded search for one conflict.
+pub fn search(g: &Grammar, conflict: &Conflict, budget: &Budget) -> FilteredOutcome {
+    let a = Analysis::new(g);
+    let roots = candidate_roots(g, conflict);
+    let deadline = Instant::now() + budget.time_limit;
+    // Interleave: grow the bound outermost so an inner root gets first try
+    // at every bound.
+    for bound in 1..=budget.max_len {
+        for &root in &roots {
+            let now = Instant::now();
+            if now > deadline {
+                return FilteredOutcome::TimedOut;
+            }
+            let remaining = deadline - now;
+            let b = Budget {
+                max_len: bound,
+                time_limit: remaining.min(Duration::from_secs(3600)),
+                max_steps: budget.max_steps,
+            };
+            // Only the exact bound: lower bounds were covered by earlier
+            // iterations of the outer loop; re-running them is cheap
+            // relative to the top bound, so keep it simple and rerun.
+            match amber::search_from(g, &a, root, &b) {
+                Outcome::Ambiguous { sentence, .. } => {
+                    return FilteredOutcome::Ambiguous { root, sentence }
+                }
+                Outcome::TimedOut => return FilteredOutcome::TimedOut,
+                Outcome::ExhaustedBound => {}
+            }
+        }
+    }
+    FilteredOutcome::ExhaustedBound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_lr::Automaton;
+
+    fn budget() -> Budget {
+        Budget {
+            max_len: 10,
+            time_limit: Duration::from_secs(10),
+            max_steps: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn filtered_search_finds_inner_ambiguity() {
+        // The ambiguity is in `e`; filtering should find it from the inner
+        // root without enumerating statements.
+        let g = lalrcex_grammar::Grammar::parse(
+            "%% s : 'print' e ';' | s s ';' ; e : e '+' e | N ;",
+        )
+        .unwrap();
+        let auto = Automaton::build(&g);
+        let t = auto.tables(&g);
+        let c = t
+            .conflicts()
+            .iter()
+            .find(|c| g.display_name(c.terminal) == "+")
+            .expect("expression conflict");
+        match search(&g, c, &budget()) {
+            FilteredOutcome::Ambiguous { root, sentence } => {
+                assert_eq!(g.display_name(root), "e", "innermost root found");
+                assert_eq!(sentence.len(), 5);
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidate_roots_are_innermost_first() {
+        let g = lalrcex_grammar::Grammar::parse(
+            "%% s : 'print' e ';' ; e : e '+' e | N ;",
+        )
+        .unwrap();
+        let auto = Automaton::build(&g);
+        let t = auto.tables(&g);
+        let c = &t.conflicts()[0];
+        let roots = candidate_roots(&g, c);
+        assert!(roots.len() >= 2);
+        assert_eq!(g.display_name(roots[0]), "e");
+    }
+
+    #[test]
+    fn unambiguous_conflict_exhausts() {
+        let g = lalrcex_grammar::Grammar::parse(
+            "%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;",
+        )
+        .unwrap();
+        let auto = Automaton::build(&g);
+        let t = auto.tables(&g);
+        let out = search(&g, &t.conflicts()[0], &budget());
+        assert_eq!(out, FilteredOutcome::ExhaustedBound);
+    }
+}

@@ -1,0 +1,19 @@
+//! Baseline tools the paper compares against (§7 and §8).
+//!
+//! * [`ppg`] — prior-PPG-style nonunifying counterexamples that *ignore
+//!   lookahead symbols*; the paper shows these are misleading on ten of
+//!   the benchmark grammars (§7.2).
+//! * [`cup2`] — CUP2-style reports: just the shortest path of symbols to
+//!   the conflict state.
+//! * [`amber`] — AMBER-style exhaustive derivation enumeration with
+//!   iterative deepening: accurate but "prohibitively slow" (§8).
+//! * [`filtered`] — a grammar-filtered bounded ambiguity search standing
+//!   in for the CFGAnalyzer variant of Basten & Vinju (the parenthesised
+//!   column of Table 1): the search is restricted to the conflict-relevant
+//!   slice of the grammar, and the length bound grows until an ambiguous
+//!   sentence is found or the budget runs out.
+
+pub mod amber;
+pub mod cup2;
+pub mod filtered;
+pub mod ppg;

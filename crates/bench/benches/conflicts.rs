@@ -1,0 +1,117 @@
+//! Criterion benchmarks for the counterexample pipeline — one group per
+//! measurable claim of the paper's evaluation:
+//!
+//! * `automaton` — LALR construction cost on grammars of growing size
+//!   (the fixed setup cost before any conflict is diagnosed).
+//! * `lssi` — the shortest lookahead-sensitive path search (§4).
+//! * `unifying` — the product-parser search (§5) per conflict.
+//! * `full_conflict` — end-to-end per-conflict diagnosis time, the
+//!   quantity reported in Table 1's "Average" column.
+//! * `baseline` — the grammar-filtered bounded search on the same
+//!   conflict, the paper's comparison point (parenthesised column).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lalrcex_baselines::{amber, filtered};
+use lalrcex_core::{lssi, unifying_search, Analyzer, CexConfig, SearchConfig, StateGraph};
+use lalrcex_lr::Automaton;
+
+fn automaton_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automaton");
+    for name in ["figure1", "SQL.1", "eqn", "C.1", "Java.1"] {
+        let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| Automaton::build(g).state_count())
+        });
+    }
+    group.finish();
+}
+
+fn lssi_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lssi");
+    for name in ["figure1", "eqn", "C.1", "Java.1"] {
+        let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
+        let auto = Automaton::build(&g);
+        let tables = auto.tables(&g);
+        let graph = StateGraph::build(&g, &auto);
+        let conflict = tables.conflicts()[0];
+        let target = graph.node(conflict.state, conflict.reduce_item(&g));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                lssi::shortest_path(&g, &auto, &graph, target, g.tindex(conflict.terminal))
+                    .expect("path exists")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn unifying(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unifying");
+    group.measurement_time(Duration::from_secs(10));
+    for name in ["figure1", "figure7", "SQL.1", "simp2"] {
+        let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
+        let auto = Automaton::build(&g);
+        let tables = auto.tables(&g);
+        let graph = StateGraph::build(&g, &auto);
+        let conflict = tables.conflicts()[0];
+        let target = graph.node(conflict.state, conflict.reduce_item(&g));
+        let path = lssi::shortest_path(&g, &auto, &graph, target, g.tindex(conflict.terminal))
+            .expect("path");
+        let states = lssi::states_of_path(&graph, &path);
+        let cfg = SearchConfig::default();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| unifying_search(&g, &auto, &graph, &conflict, &states, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn full_conflict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_conflict");
+    group.sample_size(10);
+    for name in ["figure1", "eqn", "SQL.1", "Pascal.3", "C.1", "Java.1"] {
+        let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut analyzer = Analyzer::new(&g);
+                let conflict = analyzer.tables().conflicts()[0];
+                analyzer.analyze_conflict(&conflict, &CexConfig::default()).kind
+            })
+        });
+    }
+    group.finish();
+}
+
+fn baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_filtered");
+    group.sample_size(10);
+    for name in ["figure1", "SQL.1"] {
+        let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
+        let auto = Automaton::build(&g);
+        let tables = auto.tables(&g);
+        let conflict = tables.conflicts()[0];
+        let budget = amber::Budget {
+            max_len: 12,
+            time_limit: Duration::from_secs(20),
+            max_steps: 50_000_000,
+        };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| filtered::search(&g, &conflict, &budget))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    automaton_construction,
+    lssi_search,
+    unifying,
+    full_conflict,
+    baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Shared harness code for regenerating the paper's evaluation (Table 1
+//! and the figures). The binaries:
+//!
+//! * `table1` — the full Table 1 run (§7): per-grammar conflict counts,
+//!   counterexample kinds, and timings, with the paper's numbers printed
+//!   alongside; `--baseline` adds the grammar-filtered bounded-search
+//!   column (the CFGAnalyzer stand-in).
+//! * `figures` — regenerates the content of Figures 1–11 from the
+//!   implementation (state dumps, lookahead-sensitive paths, search
+//!   stages, the CUP-style report).
+//! * `ppg_compare` — the §7.2 comparison against PPG's lookahead-blind
+//!   counterexamples.
+
+use std::time::Duration;
+
+use lalrcex_baselines::amber::Budget;
+use lalrcex_baselines::filtered::{self, FilteredOutcome};
+use lalrcex_core::{Analyzer, CexConfig, ExampleKind, SearchConfig};
+use lalrcex_corpus::CorpusEntry;
+
+/// Everything measured for one Table 1 row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Grammar name.
+    pub name: &'static str,
+    /// Nonterminals (excluding `$accept`).
+    pub nonterminals: usize,
+    /// Productions (including the augmented one).
+    pub productions: usize,
+    /// Automaton states.
+    pub states: usize,
+    /// Conflicts reported.
+    pub conflicts: usize,
+    /// Conflicts that got a unifying counterexample.
+    pub unifying: usize,
+    /// Conflicts where the unifying search exhausted (nonunifying example).
+    pub nonunifying: usize,
+    /// Conflicts that timed out or were skipped (nonunifying example).
+    pub timeouts: usize,
+    /// Total counterexample time.
+    pub total: Duration,
+    /// Baseline (grammar-filtered bounded search) time, if run.
+    pub baseline: Option<(Duration, bool)>,
+}
+
+impl Row {
+    /// Average time per conflict that finished within the limit.
+    pub fn average(&self) -> Option<Duration> {
+        let done = self.unifying + self.nonunifying;
+        (done > 0).then(|| self.total / done as u32)
+    }
+}
+
+/// Runs the counterexample engine on one corpus entry.
+pub fn run_entry(entry: &CorpusEntry, cfg: &CexConfig) -> Row {
+    let g = entry.load().expect("corpus grammars parse");
+    let mut analyzer = Analyzer::new(&g);
+    let states = analyzer.automaton().state_count();
+    let report = analyzer.analyze_all(cfg);
+    Row {
+        name: entry.name,
+        nonterminals: g.nonterminal_count() - 1,
+        productions: g.prod_count(),
+        states,
+        conflicts: report.reports.len(),
+        unifying: report.unifying_count(),
+        nonunifying: report.exhausted_count(),
+        timeouts: report.timeout_count(),
+        total: report.total_time,
+        baseline: None,
+    }
+}
+
+/// Runs the grammar-filtered baseline on the entry's *first* conflict
+/// (like CFGAnalyzer, the baseline stops at its first ambiguity proof).
+pub fn run_baseline(entry: &CorpusEntry, budget: &Budget) -> (Duration, bool) {
+    let g = entry.load().expect("corpus grammars parse");
+    let auto = lalrcex_lr::Automaton::build(&g);
+    let tables = auto.tables(&g);
+    let started = std::time::Instant::now();
+    let found = tables
+        .conflicts()
+        .first()
+        .map(|c| {
+            matches!(
+                filtered::search(&g, c, budget),
+                FilteredOutcome::Ambiguous { .. }
+            )
+        })
+        .unwrap_or(false);
+    (started.elapsed(), found)
+}
+
+/// The default evaluation configuration: the paper's 5 s / 2 min limits.
+pub fn paper_config() -> CexConfig {
+    CexConfig {
+        search: SearchConfig {
+            time_limit: Duration::from_secs(5),
+            ..Default::default()
+        },
+        cumulative_limit: Duration::from_secs(120),
+    }
+}
+
+/// Formats a duration like the paper (seconds with 3 decimals).
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Geometric mean of ratios, skipping non-finite entries.
+pub fn geometric_mean(ratios: &[f64]) -> Option<f64> {
+    let logs: Vec<f64> = ratios
+        .iter()
+        .copied()
+        .filter(|r| r.is_finite() && *r > 0.0)
+        .map(f64::ln)
+        .collect();
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+/// Kind label used in the summary output.
+pub fn kind_label(kind: ExampleKind) -> &'static str {
+    match kind {
+        ExampleKind::Unifying => "unifying",
+        ExampleKind::NonunifyingExhausted => "nonunifying",
+        ExampleKind::NonunifyingTimeout => "timeout",
+        ExampleKind::NonunifyingSkipped => "skipped",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_entry_on_figure1_matches_paper() {
+        let entry = lalrcex_corpus::by_name("figure1").unwrap();
+        let row = run_entry(&entry, &paper_config());
+        assert_eq!(row.conflicts, 3);
+        assert_eq!(row.unifying, 3);
+        assert_eq!(row.states, 24);
+        assert!(row.average().is_some());
+    }
+
+    #[test]
+    fn baseline_on_sql1_finds_ambiguity() {
+        let entry = lalrcex_corpus::by_name("SQL.1").unwrap();
+        let (elapsed, found) = run_baseline(
+            &entry,
+            &Budget {
+                max_len: 10,
+                time_limit: Duration::from_secs(20),
+                max_steps: 20_000_000,
+            },
+        );
+        assert!(found, "filtered baseline proves SQL.1 ambiguous");
+        assert!(elapsed < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[4.0, 1.0]), Some(2.0));
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[f64::INFINITY]), None);
+    }
+}

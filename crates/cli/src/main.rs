@@ -1,0 +1,187 @@
+//! `lalrcex` — LALR conflict diagnosis with counterexamples.
+//!
+//! Reads a grammar in the yacc-like DSL, builds the LALR(1) automaton,
+//! and reports every parsing conflict with a counterexample, in the style
+//! of the paper's Figure 11.
+//!
+//! ```text
+//! USAGE: lalrcex [OPTIONS] GRAMMAR.y
+//!
+//!   --extended           full unifying search (no shortest-path pruning)
+//!   --time-limit SECS    per-conflict unifying search budget (default 5)
+//!   --total-limit SECS   cumulative unifying budget (default 120)
+//!   --dump-states        print the full parser state machine
+//!   --path               print the shortest lookahead-sensitive path
+//!   --summary            one line per conflict instead of full reports
+//! ```
+//!
+//! Exit status: 0 when the grammar is conflict-free, 1 when conflicts were
+//! reported, 2 on usage or parse errors.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lalrcex_core::{format_report, Analyzer, CexConfig, ExampleKind};
+use lalrcex_grammar::Grammar;
+use lalrcex_lr::Automaton;
+
+struct Options {
+    grammar: String,
+    extended: bool,
+    time_limit: Duration,
+    total_limit: Duration,
+    dump_states: bool,
+    show_path: bool,
+    summary: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lalrcex [--extended] [--time-limit SECS] [--total-limit SECS] \
+         [--dump-states] [--path] [--summary] GRAMMAR.y"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        grammar: String::new(),
+        extended: false,
+        time_limit: Duration::from_secs(5),
+        total_limit: Duration::from_secs(120),
+        dump_states: false,
+        show_path: false,
+        summary: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--extended" | "-extendedsearch" => opts.extended = true,
+            "--time-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.time_limit = Duration::from_secs(secs);
+            }
+            "--total-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.total_limit = Duration::from_secs(secs);
+            }
+            "--dump-states" => opts.dump_states = true,
+            "--path" => opts.show_path = true,
+            "--summary" => opts.summary = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && opts.grammar.is_empty() => {
+                opts.grammar = other.to_owned();
+            }
+            _ => usage(),
+        }
+    }
+    if opts.grammar.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let text = match std::fs::read_to_string(&opts.grammar) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lalrcex: cannot read {}: {e}", opts.grammar);
+            return ExitCode::from(2);
+        }
+    };
+    let g = match Grammar::parse(&text) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("lalrcex: {}: {e}", opts.grammar);
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.dump_states {
+        let auto = Automaton::build(&g);
+        for id in auto.state_ids() {
+            println!("{}", auto.dump_state(&g, id));
+        }
+    }
+
+    let mut analyzer = Analyzer::new(&g);
+    let nstates = analyzer.automaton().state_count();
+    let conflicts: Vec<_> = analyzer.tables().conflicts().to_vec();
+    println!(
+        "{}: {} terminals, {} nonterminals, {} productions, {} states, {} conflicts",
+        opts.grammar,
+        g.terminal_count() - 1,
+        g.nonterminal_count() - 1,
+        g.prod_count(),
+        nstates,
+        conflicts.len(),
+    );
+    for r in analyzer.tables().resolutions() {
+        let what = format!(
+            "resolved by precedence: state #{} on {}",
+            r.state.index(),
+            g.display_name(r.terminal)
+        );
+        if !opts.summary {
+            println!("Note  : {what}");
+        }
+    }
+    if conflicts.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg = CexConfig {
+        search: lalrcex_core::SearchConfig {
+            time_limit: opts.time_limit,
+            extended: opts.extended,
+            ..Default::default()
+        },
+        cumulative_limit: opts.total_limit,
+    };
+
+    for c in &conflicts {
+        if opts.show_path {
+            if let Some(path) = analyzer.shortest_path(c) {
+                println!(
+                    "Shortest lookahead-sensitive path:\n{}",
+                    lalrcex_core::lssi::display_path(&g, analyzer.graph(), &path)
+                );
+            }
+        }
+        let report = analyzer.analyze_conflict(c, &cfg);
+        if opts.summary {
+            let kind = match report.kind {
+                ExampleKind::Unifying => "unifying",
+                ExampleKind::NonunifyingExhausted => "nonunifying (no ambiguity found)",
+                ExampleKind::NonunifyingTimeout => "nonunifying (timeout)",
+                ExampleKind::NonunifyingSkipped => "nonunifying (budget spent)",
+            };
+            let example = report
+                .unifying
+                .as_ref()
+                .map(|u| u.derivation1.flat(&g))
+                .or_else(|| {
+                    report
+                        .nonunifying
+                        .as_ref()
+                        .map(|n| n.reduce_derivation.flat(&g))
+                })
+                .unwrap_or_default();
+            println!(
+                "conflict in state #{} on {}: {kind}: {example}",
+                c.state.index(),
+                g.display_name(c.terminal)
+            );
+        } else {
+            println!("{}", format_report(&g, &report));
+        }
+    }
+    ExitCode::from(1)
+}

@@ -1,0 +1,62 @@
+//! Counterexample generation for LALR parsing conflicts.
+//!
+//! This crate implements the algorithm of *Finding Counterexamples from
+//! Parsing Conflicts* (Isradisaikul & Myers, PLDI 2015) — the technique
+//! behind the counterexample reports later adopted by Bison and Menhir.
+//! For each shift/reduce or reduce/reduce conflict of an LALR(1) grammar it
+//! produces:
+//!
+//! * a **unifying counterexample** — one string with two distinct
+//!   derivations, proving the grammar ambiguous — found by an outward
+//!   search over a *product parser* starting at the conflict (§5), or
+//! * a **nonunifying counterexample** — two derivable strings sharing a
+//!   prefix up to the conflict point — built from the *shortest
+//!   lookahead-sensitive path* (§4) when no unifying counterexample exists
+//!   or the search runs out of budget.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lalrcex_grammar::Grammar;
+//! use lalrcex_core::{analyze, format_report};
+//!
+//! let g = Grammar::parse(
+//!     "%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | OTHER ;
+//!         e : ID ;",
+//! )?;
+//! let report = analyze(&g);
+//! assert_eq!(report.unifying_count(), 1, "dangling else is ambiguous");
+//! let text = format_report(&g, &report.reports[0]);
+//! assert!(text.contains("Ambiguity detected for nonterminal s"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The pieces are exposed individually for tooling: the state-item graph
+//! ([`StateGraph`]), lookahead-sensitive paths ([`lssi`]), the product
+//! parser search ([`unifying_search`]), and nonunifying construction
+//! ([`nonunifying_example`]).
+
+pub mod lssi;
+mod nonunifying;
+mod report;
+mod search;
+mod state_graph;
+pub mod validate;
+
+pub use nonunifying::{nonunifying_example, NonunifyingExample};
+pub use report::{
+    analyze, format_report, Analyzer, CexConfig, ConflictReport, ExampleKind, GrammarReport,
+};
+pub use search::{unifying_search, SearchConfig, SearchOutcome, UnifyingExample};
+pub use state_graph::{StateGraph, StateItemId};
+
+/// Test-only hook exposing the Figure 5(b) backward search candidates.
+#[doc(hidden)]
+pub fn debug_other_item_paths(
+    g: &lalrcex_grammar::Grammar,
+    graph: &StateGraph,
+    path: &[lssi::LsNode],
+    other: StateItemId,
+) -> Vec<Vec<(StateItemId, lssi::EdgeKind)>> {
+    nonunifying::debug_other_item_paths(g, graph, path, other)
+}

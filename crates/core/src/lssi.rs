@@ -1,0 +1,328 @@
+//! Shortest lookahead-sensitive paths (§4 of the paper).
+//!
+//! A lookahead-sensitive path tracks, along with the (state, item) node,
+//! the *precise* set of terminals that can follow the current production.
+//! The shortest such path from the start item to the conflict reduce item
+//! — with the conflict terminal in the final precise set — is the spine of
+//! every nonunifying counterexample and the pruning set for the unifying
+//! search (§6).
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use lalrcex_grammar::{Grammar, SymbolId, TerminalSet};
+use lalrcex_lr::{Automaton, Item, StateId};
+
+use crate::state_graph::{StateGraph, StateItemId};
+
+/// How a node of a lookahead-sensitive path was reached.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// The first node.
+    Start,
+    /// A transition consuming the symbol.
+    Transition(SymbolId),
+    /// A production step (Figure 4(b)).
+    Production,
+}
+
+/// One node of a lookahead-sensitive path.
+#[derive(Clone, Debug)]
+pub struct LsNode {
+    /// The (state, item) node.
+    pub si: StateItemId,
+    /// The precise lookahead set at this node.
+    pub lookahead: TerminalSet,
+    /// The edge used to reach this node from its predecessor.
+    pub edge: EdgeKind,
+}
+
+/// The paper's `followL` (§4): the precise set of terminals that can follow
+/// the nonterminal being stepped into by a production step from `item`
+/// under precise lookahead `la`.
+pub fn follow_l(g: &Grammar, auto: &Automaton, item: Item, la: &TerminalSet) -> TerminalSet {
+    let beta = &item.tail(g)[1..];
+    auto.analysis().first_of_seq(g, beta, la)
+}
+
+/// Finds the shortest lookahead-sensitive path from the start item (with
+/// precise lookahead `{$end}`) to `target` with `conflict_term` in the
+/// final precise lookahead set. Returns `None` only if no such path exists
+/// (which for a genuine LALR conflict does not happen).
+///
+/// Search is restricted to nodes that can reach `target` in the state-item
+/// graph (the §6 optimization).
+pub fn shortest_path(
+    g: &Grammar,
+    auto: &Automaton,
+    graph: &StateGraph,
+    target: StateItemId,
+    conflict_term: usize,
+) -> Option<Vec<LsNode>> {
+    let reach = graph.reaching_set(target);
+    let start_si = graph.node(StateId::START, Item::start(g.accept_prod()));
+    if !reach[start_si.index()] {
+        return None;
+    }
+
+    struct Entry {
+        si: StateItemId,
+        la: TerminalSet,
+        parent: usize,
+        edge: EdgeKind,
+    }
+
+    let eof_set = TerminalSet::singleton(g.terminal_count(), g.tindex(SymbolId::EOF));
+    let mut arena: Vec<Entry> = vec![Entry {
+        si: start_si,
+        la: eof_set.clone(),
+        parent: usize::MAX,
+        edge: EdgeKind::Start,
+    }];
+    let mut visited: HashSet<(StateItemId, TerminalSet)> = HashSet::new();
+    visited.insert((start_si, eof_set));
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    while let Some(idx) = queue.pop_front() {
+        let (si, la) = (arena[idx].si, arena[idx].la.clone());
+        if si == target && la.contains(conflict_term) {
+            // Reconstruct.
+            let mut path = Vec::new();
+            let mut cur = idx;
+            while cur != usize::MAX {
+                path.push(LsNode {
+                    si: arena[cur].si,
+                    lookahead: arena[cur].la.clone(),
+                    edge: arena[cur].edge,
+                });
+                cur = arena[cur].parent;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        // Transition successor: same lookahead.
+        if let Some(next) = graph.transition(si) {
+            if reach[next.index()] && visited.insert((next, la.clone())) {
+                let sym = graph
+                    .item(si)
+                    .next_symbol(g)
+                    .expect("transition implies next symbol");
+                arena.push(Entry {
+                    si: next,
+                    la: la.clone(),
+                    parent: idx,
+                    edge: EdgeKind::Transition(sym),
+                });
+                queue.push_back(arena.len() - 1);
+            }
+        }
+        // Production-step successors: precise follow set.
+        let steps = graph.production_steps(si);
+        if !steps.is_empty() {
+            let follow = follow_l(g, auto, graph.item(si), &la);
+            for &next in steps {
+                if reach[next.index()] && visited.insert((next, follow.clone())) {
+                    arena.push(Entry {
+                        si: next,
+                        la: follow.clone(),
+                        parent: idx,
+                        edge: EdgeKind::Production,
+                    });
+                    queue.push_back(arena.len() - 1);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The set of automaton states visited by a path (used to restrict reverse
+/// transitions in the unifying search, §6).
+pub fn states_of_path(graph: &StateGraph, path: &[LsNode]) -> Vec<StateId> {
+    let mut states: Vec<StateId> = path.iter().map(|n| graph.state(n.si)).collect();
+    states.sort_unstable();
+    states.dedup();
+    states
+}
+
+/// Renders a path in the style of the paper's Figure 5(a).
+pub fn display_path(g: &Grammar, graph: &StateGraph, path: &[LsNode]) -> String {
+    let mut out = String::new();
+    for node in path {
+        let arrow = match node.edge {
+            EdgeKind::Start => String::new(),
+            EdgeKind::Transition(sym) => format!("  --{}-->\n", g.display_name(sym)),
+            EdgeKind::Production => "  --[prod]-->\n".to_owned(),
+        };
+        out.push_str(&arrow);
+        let la: Vec<&str> = node
+            .lookahead
+            .iter()
+            .map(|t| g.display_name(g.terminal(t)))
+            .collect();
+        out.push_str(&format!(
+            "{}, {{{}}}\n",
+            graph.display(g, node.si),
+            la.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::Grammar;
+    use lalrcex_lr::Automaton;
+
+    fn figure1() -> Grammar {
+        Grammar::parse(
+            "%start stmt
+             %%
+             stmt : 'if' expr 'then' stmt 'else' stmt
+                  | 'if' expr 'then' stmt
+                  | expr '?' stmt stmt
+                  | 'arr' '[' expr ']' ':=' expr
+                  ;
+             expr : num | expr '+' expr ;
+             num  : digit | num digit ;",
+        )
+        .unwrap()
+    }
+
+    /// Locates the conflict reduce node for the dangling-else conflict.
+    fn dangling_else_target(
+        g: &Grammar,
+        auto: &Automaton,
+        graph: &StateGraph,
+    ) -> (StateItemId, usize) {
+        let tables = auto.tables(g);
+        let c = tables
+            .conflicts()
+            .iter()
+            .find(|c| g.display_name(c.terminal) == "else")
+            .expect("dangling else conflict");
+        (
+            graph.node(c.state, c.reduce_item(g)),
+            g.tindex(c.terminal),
+        )
+    }
+
+    #[test]
+    fn finds_figure5a_path() {
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let graph = StateGraph::build(&g, &auto);
+        let (target, t) = dangling_else_target(&g, &auto, &graph);
+        let path = shortest_path(&g, &auto, &graph, target, t).expect("path exists");
+        // Figure 5(a): 10 nodes, with transitions spelling
+        // `if expr then if expr then stmt`.
+        assert_eq!(path.len(), 10, "{}", display_path(&g, &graph, &path));
+        let spelled: Vec<String> = path
+            .iter()
+            .filter_map(|n| match n.edge {
+                EdgeKind::Transition(s) => Some(g.display_name(s).to_owned()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spelled,
+            vec!["if", "expr", "then", "if", "expr", "then", "stmt"]
+        );
+        // Final precise lookahead is {else}, not the full LALR set.
+        let last = path.last().unwrap();
+        assert_eq!(last.lookahead.len(), 1);
+        assert!(last.lookahead.contains(t));
+        // Production steps: 2 on this path ($accept -> stmt is spelled by a
+        // [prod] too, making 3 with the initial closure step).
+        let prods = path
+            .iter()
+            .filter(|n| n.edge == EdgeKind::Production)
+            .count();
+        assert_eq!(prods, 2);
+    }
+
+    #[test]
+    fn follow_l_cases() {
+        // followL of `stmt -> if · expr then stmt` stepping into expr is
+        // {then} (the terminal right after), regardless of L.
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let stmt = g.symbol_named("stmt").unwrap();
+        let short_if = g.prods_of(stmt)[1];
+        let item = Item::new(short_if, 1);
+        let l = TerminalSet::singleton(g.terminal_count(), g.tindex(SymbolId::EOF));
+        let f = follow_l(&g, &auto, item, &l);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(g.tindex(g.symbol_named("then").unwrap())));
+        // followL at the last position passes L through.
+        let item_last = Item::new(short_if, 3);
+        let f2 = follow_l(&g, &auto, item_last, &l);
+        assert_eq!(f2, l);
+    }
+
+    #[test]
+    fn follow_l_nullable_nonterminal() {
+        let g = Grammar::parse("%% s : a opt X ; a : A ; opt : | Y ;").unwrap();
+        let auto = Automaton::build(&g);
+        let s = g.symbol_named("s").unwrap();
+        let p = g.prods_of(s)[0];
+        // Stepping into `a` from `s -> · a opt X`: follow is
+        // FIRST(opt) ∪ FIRST(X) = {Y, X} because opt is nullable.
+        let l = TerminalSet::singleton(g.terminal_count(), g.tindex(SymbolId::EOF));
+        let f = follow_l(&g, &auto, Item::new(p, 0), &l);
+        assert!(f.contains(g.tindex(g.symbol_named("Y").unwrap())));
+        assert!(f.contains(g.tindex(g.symbol_named("X").unwrap())));
+        assert!(!f.contains(g.tindex(SymbolId::EOF)));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn shortest_path_is_lookahead_sensitive_not_just_shortest() {
+        // The shortest plain path to the dangling-else reduce item is
+        // `if expr then stmt` (4 transitions), but it cannot carry `else`
+        // in its precise lookahead; the LSSI path needs a nested if
+        // (7 transitions).
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let graph = StateGraph::build(&g, &auto);
+        let (target, t) = dangling_else_target(&g, &auto, &graph);
+        let path = shortest_path(&g, &auto, &graph, target, t).unwrap();
+        let transitions = path
+            .iter()
+            .filter(|n| matches!(n.edge, EdgeKind::Transition(_)))
+            .count();
+        assert_eq!(transitions, 7);
+    }
+
+    #[test]
+    fn path_for_challenging_conflict() {
+        // §3.1: conflict between `num -> num · digit` and `expr -> num ·`
+        // under digit. The LSSI prefix is `expr ? arr [ expr ] := num`.
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let graph = StateGraph::build(&g, &auto);
+        let tables = auto.tables(&g);
+        let c = tables
+            .conflicts()
+            .iter()
+            .find(|c| g.display_name(c.terminal) == "digit")
+            .expect("challenging conflict");
+        let target = graph.node(c.state, c.reduce_item(&g));
+        let path = shortest_path(&g, &auto, &graph, target, g.tindex(c.terminal)).unwrap();
+        let spelled: Vec<String> = path
+            .iter()
+            .filter_map(|n| match n.edge {
+                EdgeKind::Transition(s) => Some(g.display_name(s).to_owned()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spelled,
+            vec!["expr", "?", "arr", "[", "expr", "]", ":=", "num"],
+            "{}",
+            display_path(&g, &graph, &path)
+        );
+    }
+}

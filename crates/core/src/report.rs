@@ -1,0 +1,336 @@
+//! Top-level driver: analyze a grammar's conflicts and format reports in
+//! the style of the paper's Figure 11.
+
+use std::time::{Duration, Instant};
+
+use lalrcex_grammar::{Derivation, Grammar};
+use lalrcex_lr::{Automaton, Conflict, ConflictKind, Item, Tables};
+
+use crate::lssi::{self, LsNode};
+use crate::nonunifying::{nonunifying_example, NonunifyingExample};
+use crate::search::{unifying_search, SearchConfig, SearchOutcome, UnifyingExample};
+use crate::state_graph::StateGraph;
+
+/// Configuration for the whole counterexample run.
+#[derive(Clone, Copy, Debug)]
+pub struct CexConfig {
+    /// Per-conflict unifying-search settings.
+    pub search: SearchConfig,
+    /// Cumulative budget for the unifying search across all conflicts of a
+    /// grammar; once exceeded, only nonunifying counterexamples are built
+    /// (§6: two minutes in the paper's implementation).
+    pub cumulative_limit: Duration,
+}
+
+impl Default for CexConfig {
+    fn default() -> CexConfig {
+        CexConfig {
+            search: SearchConfig::default(),
+            cumulative_limit: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What kind of counterexample a conflict ended up with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExampleKind {
+    /// A unifying counterexample (ambiguity proven).
+    Unifying,
+    /// The search space was exhausted: no unifying counterexample exists
+    /// under the search's restrictions; a nonunifying one is reported.
+    NonunifyingExhausted,
+    /// The per-conflict time limit was hit; a nonunifying one is reported.
+    NonunifyingTimeout,
+    /// The cumulative budget was already spent; the unifying search was
+    /// skipped entirely.
+    NonunifyingSkipped,
+}
+
+/// Everything the tool reports for one conflict.
+#[derive(Clone, Debug)]
+pub struct ConflictReport {
+    /// The conflict being explained.
+    pub conflict: Conflict,
+    /// Which kind of example was produced.
+    pub kind: ExampleKind,
+    /// The unifying counterexample, when found.
+    pub unifying: Option<UnifyingExample>,
+    /// The nonunifying counterexample (always constructed as a fallback;
+    /// also kept alongside a unifying one for the prefix display).
+    pub nonunifying: Option<NonunifyingExample>,
+    /// Time spent on this conflict.
+    pub elapsed: Duration,
+}
+
+/// A full grammar analysis.
+#[derive(Debug)]
+pub struct GrammarReport {
+    /// One report per conflict, in table order.
+    pub reports: Vec<ConflictReport>,
+    /// Total time across all conflicts.
+    pub total_time: Duration,
+}
+
+impl GrammarReport {
+    /// Number of conflicts with a unifying counterexample.
+    pub fn unifying_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.kind == ExampleKind::Unifying)
+            .count()
+    }
+
+    /// Number of conflicts where the search space was exhausted.
+    pub fn exhausted_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.kind == ExampleKind::NonunifyingExhausted)
+            .count()
+    }
+
+    /// Number of conflicts that timed out (or were skipped).
+    pub fn timeout_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    ExampleKind::NonunifyingTimeout | ExampleKind::NonunifyingSkipped
+                )
+            })
+            .count()
+    }
+}
+
+/// Reusable per-grammar analysis state: automaton, tables, state-item
+/// graph, and the cumulative time budget (§6).
+pub struct Analyzer<'g> {
+    g: &'g Grammar,
+    auto: Automaton,
+    tables: Tables,
+    graph: StateGraph,
+    spent: Duration,
+}
+
+impl<'g> Analyzer<'g> {
+    /// Builds the automaton, tables, and lookup tables for `g`.
+    pub fn new(g: &'g Grammar) -> Analyzer<'g> {
+        let auto = Automaton::build(g);
+        let tables = auto.tables(g);
+        let graph = StateGraph::build(g, &auto);
+        Analyzer {
+            g,
+            auto,
+            tables,
+            graph,
+            spent: Duration::ZERO,
+        }
+    }
+
+    /// The LALR automaton.
+    pub fn automaton(&self) -> &Automaton {
+        &self.auto
+    }
+
+    /// The resolved parse tables (with the conflict list).
+    pub fn tables(&self) -> &Tables {
+        &self.tables
+    }
+
+    /// The state-item graph.
+    pub fn graph(&self) -> &StateGraph {
+        &self.graph
+    }
+
+    /// The shortest lookahead-sensitive path for a conflict (also exposed
+    /// for the Figure 5 reproduction).
+    pub fn shortest_path(&self, conflict: &Conflict) -> Option<Vec<LsNode>> {
+        let target = self.graph.node(conflict.state, conflict.reduce_item(self.g));
+        lssi::shortest_path(
+            self.g,
+            &self.auto,
+            &self.graph,
+            target,
+            self.g.tindex(conflict.terminal),
+        )
+    }
+
+    /// Produces the counterexample report for one conflict.
+    pub fn analyze_conflict(&mut self, conflict: &Conflict, cfg: &CexConfig) -> ConflictReport {
+        let started = Instant::now();
+        let path = self.shortest_path(conflict);
+
+        let (kind, unifying) = if self.spent >= cfg.cumulative_limit {
+            (ExampleKind::NonunifyingSkipped, None)
+        } else {
+            let slsp_states = path
+                .as_deref()
+                .map(|p| lssi::states_of_path(&self.graph, p))
+                .unwrap_or_default();
+            match unifying_search(
+                self.g,
+                &self.auto,
+                &self.graph,
+                conflict,
+                &slsp_states,
+                &cfg.search,
+            ) {
+                SearchOutcome::Unifying(ex) => (ExampleKind::Unifying, Some(*ex)),
+                SearchOutcome::Exhausted => (ExampleKind::NonunifyingExhausted, None),
+                SearchOutcome::TimedOut => (ExampleKind::NonunifyingTimeout, None),
+            }
+        };
+
+        let nonunifying = path
+            .as_deref()
+            .and_then(|p| nonunifying_example(self.g, &self.auto, &self.graph, conflict, p));
+
+        let elapsed = started.elapsed();
+        self.spent += elapsed;
+        ConflictReport {
+            conflict: *conflict,
+            kind,
+            unifying,
+            nonunifying,
+            elapsed,
+        }
+    }
+
+    /// Analyzes every conflict of the grammar.
+    pub fn analyze_all(&mut self, cfg: &CexConfig) -> GrammarReport {
+        let started = Instant::now();
+        let conflicts: Vec<Conflict> = self.tables.conflicts().to_vec();
+        let reports = conflicts
+            .iter()
+            .map(|c| self.analyze_conflict(c, cfg))
+            .collect();
+        GrammarReport {
+            reports,
+            total_time: started.elapsed(),
+        }
+    }
+}
+
+/// One-call convenience: analyze all conflicts of `g` with default limits.
+///
+/// # Example
+///
+/// ```
+/// use lalrcex_grammar::Grammar;
+/// use lalrcex_core::analyze;
+///
+/// let g = Grammar::parse("%% e : e '+' e | NUM ;")?;
+/// let report = analyze(&g);
+/// assert_eq!(report.reports.len(), 1);
+/// assert_eq!(report.unifying_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze(g: &Grammar) -> GrammarReport {
+    Analyzer::new(g).analyze_all(&CexConfig::default())
+}
+
+/// Formats an item in CUP's style: `expr ::= expr · PLUS expr`.
+fn display_item_cup(g: &Grammar, item: Item) -> String {
+    let p = g.prod(item.prod());
+    let mut out = format!("{} ::=", g.display_name(p.lhs()));
+    for (i, &s) in p.rhs().iter().enumerate() {
+        if i == item.dot() {
+            out.push_str(" \u{2022}");
+        }
+        out.push(' ');
+        out.push_str(g.display_name(s));
+    }
+    if item.dot() == p.rhs().len() {
+        out.push_str(" \u{2022}");
+    }
+    out
+}
+
+/// Renders a derivation for the report, hiding the `$accept` wrapper.
+fn pretty_top(g: &Grammar, d: &Derivation) -> String {
+    match d {
+        Derivation::Node(sym, children) if *sym == g.accept() => children
+            .iter()
+            .map(|c| c.pretty(g))
+            .collect::<Vec<_>>()
+            .join(" "),
+        other => other.pretty(g),
+    }
+}
+
+/// Renders a derivation's sentential form, hiding the `$accept` wrapper's
+/// trailing end-of-input marker.
+fn flat_top(g: &Grammar, d: &Derivation) -> String {
+    let s = d.flat(g);
+    s.strip_suffix(" $").unwrap_or(&s).to_owned()
+}
+
+/// Formats a full conflict report in the style of the paper's Figure 11.
+pub fn format_report(g: &Grammar, r: &ConflictReport) -> String {
+    let c = &r.conflict;
+    let (what, action2) = match c.kind {
+        ConflictKind::ShiftReduce { shift_item } => {
+            ("Shift/Reduce", format!("shift on {}", display_item_cup(g, shift_item)))
+        }
+        ConflictKind::ReduceReduce { other_prod } => (
+            "Reduce/Reduce",
+            format!(
+                "reduction on {}",
+                display_item_cup(g, Item::new(other_prod, g.prod(other_prod).rhs().len()))
+            ),
+        ),
+    };
+    let mut out = format!(
+        "Warning : *** {} conflict found in state #{}\n  between reduction on {}\n  and {}\n  under symbol {}\n",
+        what,
+        c.state.index(),
+        display_item_cup(g, c.reduce_item(g)),
+        action2,
+        g.display_name(c.terminal),
+    );
+    match (&r.unifying, &r.nonunifying) {
+        (Some(u), _) => {
+            out.push_str(&format!(
+                "Ambiguity detected for nonterminal {}\nExample: {}\n",
+                g.display_name(u.nonterminal),
+                u.derivation1.flat(g),
+            ));
+            out.push_str(&format!(
+                "Derivation using reduction:\n  {}\nDerivation using {}:\n  {}\n",
+                u.derivation1.pretty(g),
+                if matches!(c.kind, ConflictKind::ShiftReduce { .. }) {
+                    "shift"
+                } else {
+                    "second reduction"
+                },
+                u.derivation2.pretty(g),
+            ));
+        }
+        (None, Some(n)) => {
+            let reason = match r.kind {
+                ExampleKind::NonunifyingExhausted => "No ambiguity was detected for this conflict",
+                ExampleKind::NonunifyingTimeout => {
+                    "The search for a unifying counterexample timed out"
+                }
+                _ => "The unifying search was skipped (cumulative time budget spent)",
+            };
+            out.push_str(&format!("{reason}; reporting a nonunifying counterexample\n"));
+            out.push_str(&format!(
+                "Example using reduction: {}\nDerivation:\n  {}\n",
+                flat_top(g, &n.reduce_derivation),
+                pretty_top(g, &n.reduce_derivation),
+            ));
+            if let Some(o) = &n.other_derivation {
+                out.push_str(&format!(
+                    "Example using the other action: {}\nDerivation:\n  {}\n",
+                    flat_top(g, o),
+                    pretty_top(g, o),
+                ));
+            }
+        }
+        (None, None) => {
+            out.push_str("No counterexample could be constructed (internal limitation)\n");
+        }
+    }
+    out
+}

@@ -1,0 +1,673 @@
+//! The product-parser outward search for unifying counterexamples (§5).
+//!
+//! Two copies of the parser are simulated in parallel, starting *at the
+//! conflict* (Figure 8): one is forced to take the conflict reduction, the
+//! other the conflict shift (or second reduction). Configurations hold one
+//! item sequence and one partial-derivation list per parser; successor
+//! configurations implement the eight actions of Figure 10 — transitions,
+//! production steps, reverse transitions, reverse production steps, and
+//! reductions, each on either parser. The search is ordered by a cost that
+//! penalises production steps and repeated items (§5.4), and terminates
+//! when both parsers have derived the same nonterminal with structurally
+//! distinct derivations — a proof of ambiguity.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::{Duration, Instant};
+
+use lalrcex_grammar::{Derivation, Grammar, SymbolId, SymbolKind, TerminalSet};
+use lalrcex_lr::{Automaton, Conflict, ConflictKind, StateId};
+
+use crate::state_graph::{StateGraph, StateItemId};
+
+/// Cost of a joint transition.
+const TRANSITION_COST: u32 = 1;
+/// Cost of a production step (penalised relative to transitions, §5.4).
+const PRODUCTION_COST: u32 = 2;
+/// Cost of a reverse transition (prepends to both parsers).
+const REVERSE_TRANSITION_COST: u32 = 1;
+/// Cost of a reverse production step.
+const REVERSE_PRODUCTION_COST: u32 = 2;
+/// Cost of a reduction.
+const REDUCE_COST: u32 = 1;
+/// Extra cost when a production step revisits a state-item already in the
+/// sequence — §5.4: "the search algorithm must postpone such an expansion
+/// until other configurations have been considered".
+const DUPLICATE_PENALTY: u32 = 8;
+
+/// Tunable knobs for the unifying search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// Per-conflict time limit (the paper's implementation uses 5 s).
+    pub time_limit: Duration,
+    /// Disable the shortest-path restriction on reverse transitions
+    /// (the paper's `-extendedsearch` flag, §6).
+    pub extended: bool,
+    /// Hard cap on explored configurations (memory guard).
+    pub max_configs: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            time_limit: Duration::from_secs(5),
+            extended: false,
+            max_configs: 1 << 21,
+        }
+    }
+}
+
+/// A unifying counterexample: one string, two derivations.
+#[derive(Clone, Debug)]
+pub struct UnifyingExample {
+    /// The ambiguous nonterminal (§5.4: the innermost nonterminal whose
+    /// derivations unify).
+    pub nonterminal: SymbolId,
+    /// Derivation taking the conflict reduction.
+    pub derivation1: Derivation,
+    /// Derivation taking the conflict shift (or second reduction).
+    pub derivation2: Derivation,
+}
+
+impl UnifyingExample {
+    /// The counterexample string (leaves of either derivation).
+    pub fn sentential_form(&self) -> Vec<SymbolId> {
+        self.derivation1.leaves()
+    }
+}
+
+/// Result of the unifying search for one conflict.
+#[derive(Clone, Debug)]
+pub enum SearchOutcome {
+    /// A unifying counterexample was found — the grammar is ambiguous.
+    Unifying(Box<UnifyingExample>),
+    /// The configuration space was exhausted without finding one (under the
+    /// shortest-path restriction unless `extended` was set).
+    Exhausted,
+    /// The time or memory budget ran out.
+    TimedOut,
+}
+
+/// The dedup key of a configuration: everything that determines its future.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Core {
+    items: [Vec<StateItemId>; 2],
+    pending: [Option<TerminalSet>; 2],
+    reduced: [bool; 2],
+}
+
+#[derive(Clone)]
+struct Config {
+    core: Core,
+    derivs: [Vec<Derivation>; 2],
+    cost: u32,
+}
+
+struct Search<'a> {
+    g: &'a Grammar,
+    auto: &'a Automaton,
+    graph: &'a StateGraph,
+    /// Dense terminal index of the conflict terminal.
+    t_idx: usize,
+    /// Reduce/reduce conflict? (Both parsers start on reduce items.)
+    rr: bool,
+    /// States allowed as reverse-transition targets (`None` = extended).
+    allowed: Option<HashSet<StateId>>,
+}
+
+impl Search<'_> {
+    fn item(&self, si: StateItemId) -> lalrcex_lr::Item {
+        self.graph.item(si)
+    }
+
+    fn lookahead(&self, si: StateItemId) -> &TerminalSet {
+        self.graph.lookahead(self.auto, si)
+    }
+
+    fn successors(&self, c: &Config, out: &mut Vec<Config>) {
+        let red = [
+            self.item(*c.core.items[0].last().expect("nonempty")).is_reduce(self.g),
+            self.item(*c.core.items[1].last().expect("nonempty")).is_reduce(self.g),
+        ];
+        for p in 0..2 {
+            if red[p] {
+                self.reduce_or_prep(c, p, out);
+            }
+        }
+        if !red[0] && !red[1] {
+            self.forward(c, out);
+        }
+    }
+
+    fn reduce_or_prep(&self, c: &Config, p: usize, out: &mut Vec<Config>) {
+        let items = &c.core.items[p];
+        let m = items.len();
+        let it = self.item(*items.last().expect("nonempty"));
+        let l = self.g.prod(it.prod()).rhs().len();
+        if m >= l + 2 {
+            self.reduce(c, p, out);
+        } else if m == l + 1 {
+            // Figure 10(d): reverse production step on parser p.
+            debug_assert_eq!(self.item(items[0]).dot(), 0);
+            for &pre in self.graph.reverse_production_steps(items[0]) {
+                let mut n = c.clone();
+                n.core.items[p].insert(0, pre);
+                n.cost += REVERSE_PRODUCTION_COST
+                    + if c.core.items[p].contains(&pre) {
+                        DUPLICATE_PENALTY
+                    } else {
+                        0
+                    };
+                out.push(n);
+            }
+        } else {
+            // m < l+1: parser p's first item has dot > 0.
+            debug_assert!(self.item(items[0]).dot() > 0);
+            let q = 1 - p;
+            if self.item(c.core.items[q][0]).dot() == 0 {
+                // Figure 10(e): reverse production step on the other parser.
+                for &pre in self.graph.reverse_production_steps(c.core.items[q][0]) {
+                    let mut n = c.clone();
+                    n.core.items[q].insert(0, pre);
+                    n.cost += REVERSE_PRODUCTION_COST
+                        + if c.core.items[q].contains(&pre) {
+                            DUPLICATE_PENALTY
+                        } else {
+                            0
+                        };
+                    out.push(n);
+                }
+            } else {
+                self.reverse_transitions(c, out);
+            }
+        }
+    }
+
+    /// Figure 10(c): prepend matching predecessors to both parsers.
+    fn reverse_transitions(&self, c: &Config, out: &mut Vec<Config>) {
+        let h = [c.core.items[0][0], c.core.items[1][0]];
+        let sym = self
+            .item(h[0])
+            .prev_symbol(self.g)
+            .expect("reverse transition requires dot > 0");
+        for &p0 in self.graph.reverse_transitions(h[0]) {
+            let state = self.graph.state(p0);
+            if let Some(allowed) = &self.allowed {
+                if !allowed.contains(&state) {
+                    continue;
+                }
+            }
+            // §5.3: the item prepended to the first parser must keep the
+            // conflict terminal viable until Stage 1 completes.
+            if !c.core.reduced[0] && !self.lookahead(p0).contains(self.t_idx) {
+                continue;
+            }
+            for &p1 in self.graph.reverse_transitions(h[1]) {
+                if self.graph.state(p1) != state {
+                    continue;
+                }
+                if self.rr && !c.core.reduced[1] && !self.lookahead(p1).contains(self.t_idx) {
+                    continue;
+                }
+                let mut n = c.clone();
+                n.core.items[0].insert(0, p0);
+                n.core.items[1].insert(0, p1);
+                n.derivs[0].insert(0, Derivation::Leaf(sym));
+                n.derivs[1].insert(0, Derivation::Leaf(sym));
+                n.cost += REVERSE_TRANSITION_COST;
+                out.push(n);
+            }
+        }
+    }
+
+    /// Figure 10(f): reduction on parser p (which has enough items).
+    fn reduce(&self, c: &Config, p: usize, out: &mut Vec<Config>) {
+        let items = &c.core.items[p];
+        let m = items.len();
+        let last = *items.last().expect("nonempty");
+        let it = self.item(last);
+        let prod = it.prod();
+        let l = self.g.prod(prod).rhs().len();
+        let lhs = self.g.prod(prod).lhs();
+
+        let pred = items[m - l - 2];
+        debug_assert_eq!(self.item(pred).next_symbol(self.g), Some(lhs));
+        let Some(goto_si) = self.graph.transition(pred) else {
+            return;
+        };
+
+        // Lookahead viability: intersect the pending constraint with the
+        // reduce item's lookahead set.
+        let la = self.lookahead(last);
+        let pending = match &c.core.pending[p] {
+            Some(pn) => {
+                let mut x = pn.clone();
+                x.intersect_with(la);
+                x
+            }
+            None => la.clone(),
+        };
+        if pending.is_empty() {
+            return;
+        }
+
+        // Wrap the last `l` symbol derivations (keeping dot markers inline).
+        let mut derivs = c.derivs[p].clone();
+        let mut popped = Vec::new();
+        if l == 0 && !c.core.reduced[p] {
+            // An ε-reduction at the conflict point keeps the dot inside.
+            if matches!(derivs.last(), Some(Derivation::Dot)) {
+                popped.push(derivs.pop().expect("just checked"));
+            }
+        }
+        let mut need = l;
+        while need > 0 {
+            let d = derivs.pop().expect("derivations match transitions");
+            if !matches!(d, Derivation::Dot) {
+                need -= 1;
+            }
+            popped.push(d);
+        }
+        popped.reverse();
+        derivs.push(Derivation::Node(lhs, popped));
+
+        let mut n = c.clone();
+        n.core.items[p].truncate(m - l - 1);
+        n.core.items[p].push(goto_si);
+        n.core.pending[p] = Some(pending);
+        n.core.reduced[p] = true;
+        n.derivs[p] = derivs;
+        n.cost += REDUCE_COST;
+        out.push(n);
+    }
+
+    /// Joint transitions and forward production steps (Figure 10(a), (b)).
+    fn forward(&self, c: &Config, out: &mut Vec<Config>) {
+        let last = [
+            *c.core.items[0].last().expect("nonempty"),
+            *c.core.items[1].last().expect("nonempty"),
+        ];
+        let next = [
+            self.item(last[0]).next_symbol(self.g),
+            self.item(last[1]).next_symbol(self.g),
+        ];
+        if next[0] == next[1] {
+            if let (Some(sym), Some(t0), Some(t1)) = (
+                next[0],
+                self.graph.transition(last[0]),
+                self.graph.transition(last[1]),
+            ) {
+                let p0 = self.pending_after(&c.core.pending[0], sym);
+                let p1 = self.pending_after(&c.core.pending[1], sym);
+                if let (Some(p0), Some(p1)) = (p0, p1) {
+                    let mut n = c.clone();
+                    n.core.items[0].push(t0);
+                    n.core.items[1].push(t1);
+                    n.core.pending = [p0, p1];
+                    n.derivs[0].push(Derivation::Leaf(sym));
+                    n.derivs[1].push(Derivation::Leaf(sym));
+                    n.cost += TRANSITION_COST;
+                    out.push(n);
+                }
+            }
+        }
+        for p in 0..2 {
+            let Some(sym) = next[p] else { continue };
+            if self.g.kind(sym) != SymbolKind::Nonterminal {
+                continue;
+            }
+            for &tgt in self.graph.production_steps(last[p]) {
+                let mut n = c.clone();
+                n.core.items[p].push(tgt);
+                n.cost += PRODUCTION_COST
+                    + if c.core.items[p].contains(&tgt) {
+                        DUPLICATE_PENALTY
+                    } else {
+                        0
+                    };
+                out.push(n);
+            }
+        }
+    }
+
+    /// Outcome of shifting `sym` against a pending lookahead constraint:
+    /// `None` = forbidden, `Some(p)` = allowed with new pending `p`.
+    #[allow(clippy::option_option)]
+    fn pending_after(
+        &self,
+        pending: &Option<TerminalSet>,
+        sym: SymbolId,
+    ) -> Option<Option<TerminalSet>> {
+        let Some(p) = pending else {
+            return Some(None);
+        };
+        match self.g.kind(sym) {
+            SymbolKind::Terminal => {
+                if p.contains(self.g.tindex(sym)) {
+                    Some(None)
+                } else {
+                    None
+                }
+            }
+            SymbolKind::Nonterminal => {
+                if self.auto.analysis().first(sym).intersects(p) {
+                    Some(None)
+                } else if self.auto.analysis().nullable(sym) {
+                    // The constraint survives a nullable nonterminal.
+                    Some(Some(p.clone()))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// §5.4 completion: both item sequences have the shape
+    /// `[? -> α · A β, ? -> α A · β]` over the same nonterminal `A`, with
+    /// structurally distinct derivations of `A`.
+    fn completed(&self, c: &Config) -> Option<UnifyingExample> {
+        if c.core.items[0].len() != 2 || c.core.items[1].len() != 2 {
+            return None;
+        }
+        let mut nts = [None, None];
+        for p in 0..2 {
+            let head = c.core.items[p][0];
+            if self.graph.transition(head) != Some(c.core.items[p][1]) {
+                return None;
+            }
+            nts[p] = self.item(head).next_symbol(self.g);
+        }
+        let a = nts[0]?;
+        if nts[1] != Some(a) || self.g.kind(a) != SymbolKind::Nonterminal {
+            return None;
+        }
+        let d0 = single_derivation(&c.derivs[0])?;
+        let d1 = single_derivation(&c.derivs[1])?;
+        if d0.strip_dots() == d1.strip_dots() {
+            return None;
+        }
+        Some(UnifyingExample {
+            nonterminal: a,
+            derivation1: d0.clone(),
+            derivation2: d1.clone(),
+        })
+    }
+}
+
+/// The unique non-dot derivation in a list, if there is exactly one.
+fn single_derivation(derivs: &[Derivation]) -> Option<&Derivation> {
+    let mut found = None;
+    for d in derivs {
+        if matches!(d, Derivation::Dot) {
+            continue;
+        }
+        if found.is_some() {
+            return None;
+        }
+        found = Some(d);
+    }
+    found
+}
+
+/// Runs the unifying search for one conflict.
+///
+/// `slsp_states` is the set of states on the shortest lookahead-sensitive
+/// path; reverse transitions are restricted to it unless
+/// [`SearchConfig::extended`] is set (§6).
+pub fn unifying_search(
+    g: &Grammar,
+    auto: &Automaton,
+    graph: &StateGraph,
+    conflict: &Conflict,
+    slsp_states: &[StateId],
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    let rr = matches!(conflict.kind, ConflictKind::ReduceReduce { .. });
+    let t = conflict.terminal;
+    let search = Search {
+        g,
+        auto,
+        graph,
+        t_idx: g.tindex(t),
+        rr,
+        allowed: if cfg.extended {
+            None
+        } else {
+            Some(slsp_states.iter().copied().collect())
+        },
+    };
+
+    let item1 = graph.node(conflict.state, conflict.reduce_item(g));
+    let item2 = graph.node(conflict.state, conflict.other_item(g));
+    let t_set = TerminalSet::singleton(g.terminal_count(), g.tindex(t));
+    let init = Config {
+        core: Core {
+            items: [vec![item1], vec![item2]],
+            pending: [Some(t_set.clone()), if rr { Some(t_set) } else { None }],
+            reduced: [false, !rr],
+        },
+        derivs: [vec![Derivation::Dot], vec![Derivation::Dot]],
+        cost: 0,
+    };
+
+    let deadline = Instant::now() + cfg.time_limit;
+    let mut heap: BinaryHeap<Reverse<(u32, u64)>> = BinaryHeap::new();
+    let mut arena: Vec<Config> = Vec::new();
+    let mut visited: HashSet<Core> = HashSet::new();
+    visited.insert(init.core.clone());
+    arena.push(init);
+    heap.push(Reverse((0, 0)));
+
+    let mut scratch = Vec::new();
+    let mut pops: u32 = 0;
+    while let Some(Reverse((_, idx))) = heap.pop() {
+        pops += 1;
+        if pops % 256 == 0 && Instant::now() > deadline {
+            return SearchOutcome::TimedOut;
+        }
+        if arena.len() > cfg.max_configs {
+            return SearchOutcome::TimedOut;
+        }
+        let c = arena[idx as usize].clone();
+        if let Some(ex) = search.completed(&c) {
+            return SearchOutcome::Unifying(Box::new(ex));
+        }
+        scratch.clear();
+        search.successors(&c, &mut scratch);
+        for n in scratch.drain(..) {
+            if visited.insert(n.core.clone()) {
+                let key = (n.cost, arena.len() as u64);
+                arena.push(n);
+                heap.push(Reverse(key));
+            }
+        }
+    }
+    SearchOutcome::Exhausted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lssi;
+    use crate::report::{analyze, Analyzer, CexConfig};
+    use crate::report::ExampleKind;
+    use crate::state_graph::StateGraph;
+    use crate::validate::unifying_consistent;
+
+    fn figure1() -> Grammar {
+        Grammar::parse(
+            "%start stmt
+             %%
+             stmt : 'if' expr 'then' stmt 'else' stmt
+                  | 'if' expr 'then' stmt
+                  | expr '?' stmt stmt
+                  | 'arr' '[' expr ']' ':=' expr
+                  ;
+             expr : num | expr '+' expr ;
+             num  : digit | num digit ;",
+        )
+        .unwrap()
+    }
+
+    fn run_conflict(g: &Grammar, term: &str, cfg: &SearchConfig) -> SearchOutcome {
+        let auto = Automaton::build(g);
+        let graph = StateGraph::build(g, &auto);
+        let tables = auto.tables(g);
+        let c = tables
+            .conflicts()
+            .iter()
+            .find(|c| g.display_name(c.terminal) == term)
+            .unwrap_or_else(|| panic!("conflict on {term}"));
+        let target = graph.node(c.state, c.reduce_item(g));
+        let path = lssi::shortest_path(g, &auto, &graph, target, g.tindex(c.terminal)).unwrap();
+        let states = lssi::states_of_path(&graph, &path);
+        unifying_search(g, &auto, &graph, c, &states, cfg)
+    }
+
+    #[test]
+    fn dangling_else_unifying_example() {
+        let g = figure1();
+        let out = run_conflict(&g, "else", &SearchConfig::default());
+        let SearchOutcome::Unifying(ex) = out else {
+            panic!("expected unifying example, got {out:?}");
+        };
+        assert_eq!(g.display_name(ex.nonterminal), "stmt");
+        assert_eq!(
+            ex.derivation1.flat(&g),
+            "if expr then if expr then stmt \u{2022} else stmt"
+        );
+        assert!(unifying_consistent(&g, &ex));
+    }
+
+    #[test]
+    fn expression_plus_conflict() {
+        // §2.4: expr + expr · + expr, a derivation of expr (not of stmt).
+        let g = figure1();
+        let out = run_conflict(&g, "+", &SearchConfig::default());
+        let SearchOutcome::Unifying(ex) = out else {
+            panic!("expected unifying example, got {out:?}");
+        };
+        assert_eq!(g.display_name(ex.nonterminal), "expr");
+        assert_eq!(ex.derivation1.flat(&g), "expr + expr \u{2022} + expr");
+        assert!(unifying_consistent(&g, &ex));
+    }
+
+    #[test]
+    fn challenging_conflict_digit() {
+        // §3.1: the hard one. The unifying counterexample is
+        // `expr ? arr [ expr ] := num · digit digit ? stmt stmt` (or an
+        // equivalent form), a derivation of stmt.
+        let g = figure1();
+        let out = run_conflict(&g, "digit", &SearchConfig::default());
+        let SearchOutcome::Unifying(ex) = out else {
+            panic!("expected unifying example, got {out:?}");
+        };
+        assert_eq!(g.display_name(ex.nonterminal), "stmt");
+        assert!(unifying_consistent(&g, &ex));
+        let s = ex.derivation1.flat(&g);
+        assert!(
+            s.starts_with("expr ? arr [ expr ] := num \u{2022} digit"),
+            "example: {s}"
+        );
+    }
+
+    #[test]
+    fn figure3_search_exhausts() {
+        // Figure 3 is unambiguous (LR(2)); the search must terminate with
+        // no unifying counterexample.
+        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;")
+            .unwrap();
+        let out = run_conflict(&g, "a", &SearchConfig::default());
+        assert!(matches!(out, SearchOutcome::Exhausted), "{out:?}");
+    }
+
+    #[test]
+    fn figure7_finds_unifying_examples() {
+        // Figure 7: shortest-path prefix is incompatible with the second
+        // shift item, so the outward search must reconstruct `n n a · b d c`.
+        let g = Grammar::parse(
+            "%% S : N | N 'c' ;
+                N : 'n' N 'd' | 'n' N 'c' | 'n' A 'b' | 'n' B ;
+                A : 'a' ;
+                B : 'a' 'b' 'c' | 'a' 'b' 'd' ;",
+        )
+        .unwrap();
+        let report = analyze(&g);
+        assert_eq!(report.reports.len(), 2, "Table 1 row figure7: 2 conflicts");
+        for r in &report.reports {
+            assert_eq!(r.kind, ExampleKind::Unifying, "{:?}", r.conflict);
+            let ex = r.unifying.as_ref().unwrap();
+            assert!(unifying_consistent(&g, ex));
+        }
+    }
+
+    #[test]
+    fn reduce_reduce_unifying() {
+        // Ambiguous r/r: two nonterminals derive the same string with the
+        // same continuation.
+        let g = Grammar::parse("%% s : a X | b X ; a : T ; b : T ;").unwrap();
+        let report = analyze(&g);
+        assert_eq!(report.reports.len(), 1);
+        let r = &report.reports[0];
+        assert_eq!(r.kind, ExampleKind::Unifying);
+        let ex = r.unifying.as_ref().unwrap();
+        assert_eq!(g.display_name(ex.nonterminal), "s");
+        assert_eq!(ex.derivation1.flat(&g), "T \u{2022} X");
+        assert!(unifying_consistent(&g, ex));
+    }
+
+    #[test]
+    fn epsilon_production_conflict() {
+        // Nullable production in conflict: s : A s | A | ε-ish shape.
+        let g = Grammar::parse("%% s : 'a' s | o ; o : | 'a' ;").unwrap();
+        let report = analyze(&g);
+        assert!(!report.reports.is_empty());
+        for r in &report.reports {
+            if let Some(ex) = &r.unifying {
+                assert!(unifying_consistent(&g, ex), "{:?}", ex);
+            }
+        }
+        assert!(report.unifying_count() >= 1, "grammar is ambiguous");
+    }
+
+    #[test]
+    fn timeout_is_respected() {
+        let g = figure1();
+        let cfg = SearchConfig {
+            time_limit: Duration::ZERO,
+            ..SearchConfig::default()
+        };
+        let out = run_conflict(&g, "else", &cfg);
+        assert!(matches!(out, SearchOutcome::TimedOut), "{out:?}");
+    }
+
+    #[test]
+    fn analyzer_reports_all_figure1_conflicts_unifying() {
+        // Table 1 row figure1: 3 conflicts, 3 unifying.
+        let g = figure1();
+        let mut an = Analyzer::new(&g);
+        let report = an.analyze_all(&CexConfig::default());
+        assert_eq!(report.reports.len(), 3);
+        assert_eq!(report.unifying_count(), 3);
+        assert_eq!(report.exhausted_count(), 0);
+        assert_eq!(report.timeout_count(), 0);
+    }
+
+    #[test]
+    fn cumulative_budget_skips_search() {
+        let g = figure1();
+        let mut an = Analyzer::new(&g);
+        let cfg = CexConfig {
+            cumulative_limit: Duration::ZERO,
+            ..CexConfig::default()
+        };
+        let report = an.analyze_all(&cfg);
+        assert_eq!(report.unifying_count(), 0);
+        assert!(report
+            .reports
+            .iter()
+            .all(|r| r.kind == ExampleKind::NonunifyingSkipped));
+        // Nonunifying fallbacks are still produced.
+        assert!(report.reports.iter().all(|r| r.nonunifying.is_some()));
+    }
+}

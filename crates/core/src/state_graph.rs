@@ -1,0 +1,271 @@
+//! The state-item graph: nodes are (state, item) pairs, edges are the
+//! transitions and production steps of the paper's lookahead-sensitive
+//! graph (§4, Figure 4) with the lookahead component factored out, plus
+//! precomputed reverse edges for the backward searches of §5.3 and §6.
+
+use std::collections::HashMap;
+
+use lalrcex_grammar::{Grammar, SymbolId, SymbolKind, TerminalSet};
+use lalrcex_lr::{Automaton, Item, StateId};
+
+/// Identifies a node of a [`StateGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateItemId(u32);
+
+impl StateItemId {
+    /// Dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for StateItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "si#{}", self.0)
+    }
+}
+
+/// The (state, item) graph over an LALR automaton.
+///
+/// Lookup tables are built once per grammar (the paper's §6 "Data
+/// structures": "our implementation generates several lookup tables for
+/// these actions" before working on the first conflict).
+pub struct StateGraph {
+    nodes: Vec<(StateId, Item)>,
+    index: HashMap<(StateId, Item), StateItemId>,
+    /// Forward transition (dot advance into the goto state), if any.
+    trans: Vec<Option<StateItemId>>,
+    /// Production steps: `(s, A -> α · B β)` to every `(s, B -> · γ)`.
+    prods: Vec<Vec<StateItemId>>,
+    /// Reverse transitions.
+    rev_trans: Vec<Vec<StateItemId>>,
+    /// Reverse production steps.
+    rev_prods: Vec<Vec<StateItemId>>,
+}
+
+impl StateGraph {
+    /// Builds the graph and its reverse-edge tables.
+    pub fn build(g: &Grammar, auto: &Automaton) -> StateGraph {
+        let mut nodes = Vec::new();
+        let mut index = HashMap::new();
+        for sid in auto.state_ids() {
+            for &it in auto.state(sid).items() {
+                let id = StateItemId(nodes.len() as u32);
+                nodes.push((sid, it));
+                index.insert((sid, it), id);
+            }
+        }
+        let n = nodes.len();
+        let mut trans = vec![None; n];
+        let mut prods = vec![Vec::new(); n];
+        let mut rev_trans = vec![Vec::new(); n];
+        let mut rev_prods = vec![Vec::new(); n];
+
+        for (i, &(sid, it)) in nodes.iter().enumerate() {
+            let st = auto.state(sid);
+            if let Some(next) = it.next_symbol(g) {
+                // Transition edge.
+                let target_state = st
+                    .transition(next)
+                    .expect("state has transition for every item's next symbol");
+                let target = index[&(target_state, it.advance(g))];
+                trans[i] = Some(target);
+                rev_trans[target.index()].push(StateItemId(i as u32));
+                // Production-step edges.
+                if g.kind(next) == SymbolKind::Nonterminal {
+                    for &pid in g.prods_of(next) {
+                        let target = index[&(sid, Item::start(pid))];
+                        prods[i].push(target);
+                        rev_prods[target.index()].push(StateItemId(i as u32));
+                    }
+                }
+            }
+        }
+
+        StateGraph {
+            nodes,
+            index,
+            trans,
+            prods,
+            rev_trans,
+            rev_prods,
+        }
+    }
+
+    /// Number of nodes (total items across all states).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node for `(state, item)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item is not part of the state.
+    pub fn node(&self, state: StateId, item: Item) -> StateItemId {
+        self.index[&(state, item)]
+    }
+
+    /// The node for `(state, item)`, or `None` if the item is not in the
+    /// state.
+    pub fn get_node(&self, state: StateId, item: Item) -> Option<StateItemId> {
+        self.index.get(&(state, item)).copied()
+    }
+
+    /// The state of a node.
+    pub fn state(&self, id: StateItemId) -> StateId {
+        self.nodes[id.index()].0
+    }
+
+    /// The item of a node.
+    pub fn item(&self, id: StateItemId) -> Item {
+        self.nodes[id.index()].1
+    }
+
+    /// Forward transition (dot advance), if the item is not a reduce item.
+    pub fn transition(&self, id: StateItemId) -> Option<StateItemId> {
+        self.trans[id.index()]
+    }
+
+    /// Production-step successors.
+    pub fn production_steps(&self, id: StateItemId) -> &[StateItemId] {
+        &self.prods[id.index()]
+    }
+
+    /// Reverse transitions: every node whose transition leads here.
+    pub fn reverse_transitions(&self, id: StateItemId) -> &[StateItemId] {
+        &self.rev_trans[id.index()]
+    }
+
+    /// Reverse production steps: every node with a production step here.
+    pub fn reverse_production_steps(&self, id: StateItemId) -> &[StateItemId] {
+        &self.rev_prods[id.index()]
+    }
+
+    /// The LALR(1) lookahead set of a node's item.
+    pub fn lookahead<'a>(&self, auto: &'a Automaton, id: StateItemId) -> &'a TerminalSet {
+        let (sid, it) = self.nodes[id.index()];
+        let st = auto.state(sid);
+        let idx = st.item_index(it).expect("node items exist in their state");
+        st.lookahead(idx)
+    }
+
+    /// Set of nodes that can reach `target` through reverse transitions and
+    /// reverse production steps (the §6 pruning for the shortest
+    /// lookahead-sensitive path search).
+    pub fn reaching_set(&self, target: StateItemId) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![target];
+        seen[target.index()] = true;
+        while let Some(id) = stack.pop() {
+            for &p in self
+                .rev_trans[id.index()]
+                .iter()
+                .chain(self.rev_prods[id.index()].iter())
+            {
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The symbol consumed by the transition *into* this node (the symbol
+    /// before its dot). `None` for dot-at-start items.
+    pub fn accessing_symbol(&self, g: &Grammar, id: StateItemId) -> Option<SymbolId> {
+        self.item(id).prev_symbol(g)
+    }
+
+    /// Renders a node like `(7, stmt -> if expr · then stmt)`.
+    pub fn display(&self, g: &Grammar, id: StateItemId) -> String {
+        let (sid, it) = self.nodes[id.index()];
+        format!("({}, {})", sid.index(), it.display(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::Grammar;
+    use lalrcex_lr::Automaton;
+
+    fn setup(src: &str) -> (Grammar, Automaton) {
+        let g = Grammar::parse(src).unwrap();
+        let auto = Automaton::build(&g);
+        (g, auto)
+    }
+
+    #[test]
+    fn node_count_is_total_items() {
+        let (g, auto) = setup("%% s : A s | B ;");
+        let graph = StateGraph::build(&g, &auto);
+        let total: usize = auto.state_ids().map(|id| auto.state(id).items().len()).sum();
+        assert_eq!(graph.node_count(), total);
+    }
+
+    #[test]
+    fn transitions_align_with_automaton() {
+        let (g, auto) = setup("%% s : 'if' e 'then' s | X ; e : Y ;");
+        let graph = StateGraph::build(&g, &auto);
+        for i in 0..graph.node_count() {
+            let id = StateItemId(i as u32);
+            let (sid, it) = (graph.state(id), graph.item(id));
+            match it.next_symbol(&g) {
+                Some(sym) => {
+                    let t = graph.transition(id).expect("has transition");
+                    assert_eq!(graph.state(t), auto.state(sid).transition(sym).unwrap());
+                    assert_eq!(graph.item(t), it.advance(&g));
+                    // Reverse edge present.
+                    assert!(graph.reverse_transitions(t).contains(&id));
+                }
+                None => assert!(graph.transition(id).is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn production_steps_stay_in_state() {
+        let (g, auto) = setup("%% s : e ';' ; e : e '+' N | N ;");
+        let graph = StateGraph::build(&g, &auto);
+        for i in 0..graph.node_count() {
+            let id = StateItemId(i as u32);
+            for &p in graph.production_steps(id) {
+                assert_eq!(graph.state(p), graph.state(id), "prod step within state");
+                assert_eq!(graph.item(p).dot(), 0);
+                assert!(graph.reverse_production_steps(p).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn reaching_set_contains_start_for_reachable_conflict() {
+        let (g, auto) = setup("%% e : e '+' e | N ;");
+        let graph = StateGraph::build(&g, &auto);
+        // Find the reduce node for `e -> e + e ·`.
+        let e = g.symbol_named("e").unwrap();
+        let plus_prod = g.prods_of(e)[0];
+        let reduce = Item::new(plus_prod, 3);
+        let mut target = None;
+        for sid in auto.state_ids() {
+            if let Some(id) = graph.get_node(sid, reduce) {
+                target = Some(id);
+            }
+        }
+        let target = target.expect("reduce item exists somewhere");
+        let reach = graph.reaching_set(target);
+        let start = graph.node(StateId::START, Item::start(g.accept_prod()));
+        assert!(reach[start.index()], "start node reaches the conflict");
+        assert!(reach.iter().filter(|&&b| b).count() < graph.node_count());
+    }
+
+    #[test]
+    fn lookahead_accessor_matches_state() {
+        let (g, auto) = setup("%% s : A | ;");
+        let graph = StateGraph::build(&g, &auto);
+        let id = graph.node(StateId::START, Item::start(g.prods_of(g.start())[1]));
+        let la = graph.lookahead(&auto, id);
+        assert!(la.contains(g.tindex(SymbolId::EOF)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Structural validation of counterexamples.
+//!
+//! These checks are self-contained (no Earley oracle needed): they verify
+//! that reported derivations really are derivations of the grammar and
+//! that a unifying counterexample's two derivations share one string while
+//! differing structurally. The integration tests additionally cross-check
+//! ambiguity claims against the independent `lalrcex-earley` oracle.
+
+use lalrcex_grammar::{Derivation, Grammar, SymbolKind};
+
+use crate::nonunifying::NonunifyingExample;
+use crate::search::UnifyingExample;
+
+/// `true` if every expanded node of `d` applies an actual production of
+/// the grammar (dot markers are ignored).
+pub fn derivation_wellformed(g: &Grammar, d: &Derivation) -> bool {
+    match d {
+        Derivation::Leaf(_) | Derivation::Dot => true,
+        Derivation::Node(sym, children) => {
+            if g.kind(*sym) != SymbolKind::Nonterminal {
+                return false;
+            }
+            let child_syms: Vec<_> = children.iter().filter_map(Derivation::symbol).collect();
+            let matches_prod = g
+                .prods_of(*sym)
+                .iter()
+                .any(|&pid| g.prod(pid).rhs() == child_syms.as_slice());
+            matches_prod && children.iter().all(|c| derivation_wellformed(g, c))
+        }
+    }
+}
+
+/// `true` if a unifying example is internally consistent: both derivations
+/// are wellformed, derive the same nonterminal, produce the same string,
+/// and differ structurally (ignoring dots).
+pub fn unifying_consistent(g: &Grammar, ex: &UnifyingExample) -> bool {
+    let UnifyingExample {
+        nonterminal,
+        derivation1,
+        derivation2,
+    } = ex;
+    derivation_wellformed(g, derivation1)
+        && derivation_wellformed(g, derivation2)
+        && derivation1.symbol() == Some(*nonterminal)
+        && derivation2.symbol() == Some(*nonterminal)
+        && derivation1.leaves() == derivation2.leaves()
+        && derivation1.strip_dots() != derivation2.strip_dots()
+}
+
+/// `true` if a nonunifying example is internally consistent: derivations
+/// are wellformed and share a common prefix up to the conflict point.
+pub fn nonunifying_consistent(g: &Grammar, ex: &NonunifyingExample) -> bool {
+    if !derivation_wellformed(g, &ex.reduce_derivation) {
+        return false;
+    }
+    let Some(other) = &ex.other_derivation else {
+        return true;
+    };
+    if !derivation_wellformed(g, other) {
+        return false;
+    }
+    // Common prefix up to the dot.
+    prefix_to_dot(g, &ex.reduce_derivation) == prefix_to_dot(g, other)
+}
+
+/// The leaf symbols before the (first) dot marker.
+fn prefix_to_dot(g: &Grammar, d: &Derivation) -> Vec<String> {
+    fn walk(d: &Derivation, g: &Grammar, out: &mut Vec<String>, stop: &mut bool) {
+        if *stop {
+            return;
+        }
+        match d {
+            Derivation::Dot => *stop = true,
+            Derivation::Leaf(s) => out.push(g.display_name(*s).to_owned()),
+            Derivation::Node(_, children) => {
+                for c in children {
+                    walk(c, g, out, stop);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut stop = false;
+    walk(d, g, &mut out, &mut stop);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::SymbolId;
+
+    fn g() -> Grammar {
+        Grammar::parse("%% e : e '+' e | N ;").unwrap()
+    }
+
+    #[test]
+    fn wellformed_accepts_valid_tree() {
+        let g = g();
+        let e = g.symbol_named("e").unwrap();
+        let n = g.symbol_named("N").unwrap();
+        let plus = g.symbol_named("+").unwrap();
+        let tree = Derivation::Node(
+            e,
+            vec![
+                Derivation::Node(e, vec![Derivation::Leaf(n)]),
+                Derivation::Leaf(plus),
+                Derivation::Leaf(e),
+            ],
+        );
+        assert!(derivation_wellformed(&g, &tree));
+    }
+
+    #[test]
+    fn wellformed_rejects_wrong_rhs() {
+        let g = g();
+        let e = g.symbol_named("e").unwrap();
+        let plus = g.symbol_named("+").unwrap();
+        let bad = Derivation::Node(e, vec![Derivation::Leaf(plus)]);
+        assert!(!derivation_wellformed(&g, &bad));
+        let bad2 = Derivation::Node(plus, vec![]);
+        assert!(!derivation_wellformed(&g, &bad2));
+    }
+
+    #[test]
+    fn wellformed_ignores_dots() {
+        let g = g();
+        let e = g.symbol_named("e").unwrap();
+        let n = g.symbol_named("N").unwrap();
+        let tree = Derivation::Node(e, vec![Derivation::Leaf(n), Derivation::Dot]);
+        assert!(derivation_wellformed(&g, &tree));
+    }
+
+    #[test]
+    fn prefix_to_dot_extraction() {
+        let g = g();
+        let e = g.symbol_named("e").unwrap();
+        let n = g.symbol_named("N").unwrap();
+        let plus = g.symbol_named("+").unwrap();
+        let tree = Derivation::Node(
+            e,
+            vec![
+                Derivation::Leaf(n),
+                Derivation::Leaf(plus),
+                Derivation::Dot,
+                Derivation::Leaf(e),
+            ],
+        );
+        assert_eq!(prefix_to_dot(&g, &tree), vec!["N", "+"]);
+        let _ = SymbolId::EOF;
+    }
+}

@@ -1,0 +1,17 @@
+//! Prints the conflicts of one corpus grammar (by name) or a raw file.
+use lalrcex_lr::Automaton;
+
+fn main() {
+    let name = std::env::args().nth(1).expect("grammar name");
+    let text = match lalrcex_corpus::by_name(&name) {
+        Some(e) => e.text(),
+        None => std::fs::read_to_string(&name).expect("readable grammar file"),
+    };
+    let g = lalrcex_grammar::Grammar::parse(&text).expect("grammar parses");
+    let auto = Automaton::build(&g);
+    let t = auto.tables(&g);
+    println!("{} conflicts", t.conflicts().len());
+    for c in t.conflicts() {
+        println!("  {}", c.describe(&g));
+    }
+}

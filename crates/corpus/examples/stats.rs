@@ -1,0 +1,32 @@
+//! Prints reconstruction statistics for every corpus grammar.
+use lalrcex_lr::Automaton;
+
+fn main() {
+    println!(
+        "{:<12} {:>4} {:>5} {:>6} {:>5}   (paper: nt prods states conflicts)",
+        "name", "nt", "prods", "states", "conf"
+    );
+    for e in lalrcex_corpus::all() {
+        let g = match e.load() {
+            Ok(g) => g,
+            Err(err) => {
+                println!("{:<12} PARSE ERROR: {err}", e.name);
+                continue;
+            }
+        };
+        let auto = Automaton::build(&g);
+        let conflicts = auto.tables(&g).conflicts().len();
+        println!(
+            "{:<12} {:>4} {:>5} {:>6} {:>5}   (paper: {} {} {} {})",
+            e.name,
+            g.nonterminal_count() - 1,
+            g.prod_count(),
+            auto.state_count(),
+            conflicts,
+            e.paper.nonterminals,
+            e.paper.productions,
+            e.paper.states,
+            e.paper.conflicts,
+        );
+    }
+}

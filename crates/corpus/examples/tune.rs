@@ -1,0 +1,40 @@
+//! Injection-tuning scratchpad.
+use lalrcex_lr::Automaton;
+
+fn count(text: &str) -> String {
+    match lalrcex_grammar::Grammar::parse(text) {
+        Ok(g) => {
+            let auto = Automaton::build(&g);
+            format!("{}", auto.tables(&g).conflicts().len())
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn detail(label: &str, text: &str) {
+    let g = lalrcex_grammar::Grammar::parse(text).unwrap();
+    let auto = Automaton::build(&g);
+    println!("--- {label}: {}", auto.tables(&g).conflicts().len());
+    for c in auto.tables(&g).conflicts().iter().take(30) {
+        println!("  {}", c.describe(&g));
+    }
+}
+
+fn main() {
+    let eqn = std::fs::read_to_string("crates/corpus/grammars/eqn.y").unwrap();
+    let eqn_prec = "%left 'mark' 'lineup'\n%left 'from' 'to'\n%left 'over'\n%left 'sub' 'sup'\n%left 'roman' 'italic' 'bold' 'fat' 'size' 'font' 'sqrt'\n%left 'dot' 'dotdot' 'hat' 'tilde' 'vec' 'bar' 'under'\n";
+    detail("eqn+prec", &format!("{eqn_prec}{eqn}"));
+
+    let xi = std::fs::read_to_string("crates/corpus/grammars/xi.y").unwrap();
+    let xi_prec = "%left '+'\n%left '*'\n%nonassoc UMINUS\n";
+    let xi2 = xi.replace("| '-' expr", "| '-' expr %prec UMINUS");
+    detail("xi+prec(no !=)", &format!("{xi_prec}{xi2}"));
+
+    println!("se1 v6 {}", count("%start S\n%%\nS : 'a' S 'b' S | 'b' S 'a' S | %empty ;"));
+    println!("se1 v7 {}", count("%start S\n%%\nS : 'a' S 'b' S | 'b' S 'a' S | 'a' 'b' | 'b' 'a' | %empty ;"));
+    println!("so8 pad {}", count("%start s\n%%\ns : 'a' s 'a' | 'b' s 'b' | 'a' | 'b' | 'x' | 'z' t ;\nt : 'p' t 'p' | 'q' | t 'q' ;"));
+    let sql_small = "%start query\n%%\nquery : 'SELECT' select 'FROM' tables where ;\nselect : '*' | cols | 'DISTINCT' cols ;\ncols : col | cols ',' col ;\ncol : ID | ID '.' ID ;\ntables : ID | tables ',' ID | tables ',' ID ID ;\nwhere : %empty | 'WHERE' cond ;\ncond : cond 'OR' cond | ID '=' val | ID '<' val | ID '>' val | '(' cond ')' | ID 'BETWEEN' val 'AND' val ;\nval : ID | NUM | STRING | '-' val ;\n";
+    println!("sqlsmall {}", count(sql_small));
+    let g = lalrcex_grammar::Grammar::parse(sql_small).unwrap();
+    println!("sqlsmall nt={} prods={}", g.nonterminal_count()-1, g.prod_count());
+}

@@ -1,0 +1,19 @@
+// Reconstruction of `abcd`: a small grammar with three independent
+// ambiguities — an associativity ambiguity in `e`, a dangling else in
+// `i`, and a reduce/reduce ambiguity between `e` and `l` on `;`.
+%start s
+%%
+s : e ';'
+  | i
+  | l ';'
+  ;
+l : N
+  | l N
+  ;
+e : e '+' e
+  | N
+  | '(' e ')'
+  ;
+i : 'if' e 'then' s 'else' s
+  | 'if' e 'then' s
+  ;

@@ -1,0 +1,20 @@
+// Reconstruction of `ambfailed01` (§7.2): an ambiguous grammar whose only
+// unifying counterexample requires reverse transitions through states that
+// are NOT on the shortest lookahead-sensitive path, so the restricted
+// search exhausts and reports a nonunifying counterexample. The full
+// search (`-extendedsearch`) finds `m n a · b d c`-style ambiguity:
+//   m n a b d c  =  [m [n a b] d] c   (S -> M 'c', M -> 'm' N 'd')
+//                =  [m [n [a b d]] c] (S -> M,     M -> 'm' N 'c')
+// while the shortest path to the conflict goes through `m a ·` whose
+// states never see `n`.
+%start S
+%%
+S : M | M 'c' ;
+M : 'm' N 'd'
+  | 'm' N 'c'
+  | 'm' A 'b'
+  | 'm' B
+  ;
+N : 'n' A 'b' | 'n' B ;
+A : 'a' ;
+B : 'a' 'b' 'd' ;

@@ -1,0 +1,71 @@
+// Reconstruction of `eqn`: the troff/eqn mathematical typesetting
+// language. Box juxtaposition plus the postfix sub/sup/over operators is
+// the classic source of its conflict: `box box · sub box` can attach the
+// subscript to the last box or to the concatenation.
+%left 'mark' 'lineup'
+%left 'from' 'to'
+%left 'over'
+%left 'sub' 'sup'
+%left 'roman' 'italic' 'bold' 'fat' 'size' 'font' 'sqrt'
+%left 'dot' 'dotdot' 'hat' 'tilde' 'vec' 'bar' 'under'
+%start equation
+%%
+equation : boxes ;
+boxes : box
+      | boxes box
+      ;
+box : simplebox
+    | box 'sub' box 'sup' box // the classic eqn conflict
+    | box 'sub' box
+    | box 'sup' box
+    | box 'over' box
+    | box 'from' box
+    | box 'to' box
+    | 'sqrt' box
+    | diacritical
+    | fontchange
+    ;
+diacritical : box 'dot'
+            | box 'dotdot'
+            | box 'hat'
+            | box 'tilde'
+            | box 'vec'
+            | box 'bar'
+            | box 'under'
+            ;
+fontchange : 'roman' box
+           | 'italic' box
+           | 'bold' box
+           | 'fat' box
+           | 'size' NUM box %prec 'size'
+           | 'font' ID box %prec 'font'
+           ;
+simplebox : TEXT
+          | NUM
+          | ID
+          | '{' boxes '}'
+          | '(' boxes ')'
+          | pile_box
+          | matrix_box
+          | marked
+          ;
+pile_box : 'pile' '{' cols '}'
+     | 'lpile' '{' cols '}'
+     | 'rpile' '{' cols '}'
+     | 'cpile' '{' cols '}'
+     ;
+cols : col
+     | cols 'above' col
+     ;
+col : boxes ;
+matrix_box : 'matrix' '{' mcols '}' ;
+mcols : mcol
+      | mcols mcol
+      ;
+mcol : 'ccol' '{' cols '}'
+     | 'lcol' '{' cols '}'
+     | 'rcol' '{' cols '}'
+     ;
+marked : 'mark' box
+       | 'lineup' box
+       ;

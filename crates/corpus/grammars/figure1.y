@@ -1,0 +1,16 @@
+// Figure 1 of the paper: the ambiguous statement/expression grammar with
+// the dangling else, the ambiguous expression, and the "challenging"
+// num/digit conflict of §3.1.
+%start stmt
+%%
+stmt : 'if' expr 'then' stmt 'else' stmt
+     | 'if' expr 'then' stmt
+     | expr '?' stmt stmt
+     | 'arr' '[' expr ']' ':=' expr
+     ;
+expr : num
+     | expr '+' expr
+     ;
+num  : digit
+     | num digit
+     ;

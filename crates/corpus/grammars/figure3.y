@@ -1,0 +1,8 @@
+// Figure 3 of the paper: an unambiguous (LR(2)) grammar with a
+// shift/reduce conflict between `X -> a ·` and `Y -> a · a b` under `a`.
+%start S
+%%
+S : T | S T ;
+T : X | Y ;
+X : 'a' ;
+Y : 'a' 'a' 'b' ;

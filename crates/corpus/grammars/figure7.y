@@ -1,0 +1,13 @@
+// Figure 7 of the paper: an ambiguous grammar where the shortest
+// lookahead-sensitive path does not yield a unifying counterexample for
+// the second shift item (`n n a · b d c` needs an extra `n`).
+%start S
+%%
+S : N | N 'c' ;
+N : 'n' N 'd'
+  | 'n' N 'c'
+  | 'n' A 'b'
+  | 'n' B
+  ;
+A : 'a' ;
+B : 'a' 'b' 'c' | 'a' 'b' 'd' ;

@@ -1,0 +1,309 @@
+// Base ISO-7185-style Pascal grammar for the BV10 benchmark rows
+// (Pascal.1–Pascal.5), modeled after the classic public-domain Pascal
+// yacc grammar. The dangling else is resolved with the usual
+// %nonassoc trick so the base grammar is conflict-free; each Pascal.n
+// variant injects one conflict.
+%nonassoc 'then'
+%nonassoc 'else'
+%start pascal_program
+%%
+pascal_program : program_heading ';' block '.' ;
+program_heading : 'program' ID
+                | 'program' ID '(' identifier_list ')'
+                ;
+identifier_list : identifier_list ',' ID
+                | ID
+                ;
+
+block : label_part constant_part type_part variable_part proc_part statement_part ;
+
+label_part : %empty
+           | 'label' label_list ';'
+           ;
+label_list : label_list ',' plabel
+           | plabel
+           ;
+plabel : NUM ;
+
+constant_part : %empty
+              | 'const' constant_list
+              ;
+constant_list : constant_list constant_definition
+              | constant_definition
+              ;
+constant_definition : ID '=' cexpression ';' ;
+cexpression : csimple_expression
+            | csimple_expression relop csimple_expression
+            ;
+csimple_expression : cterm
+                   | csimple_expression addop cterm
+                   ;
+cterm : cfactor
+      | cterm mulop cfactor
+      ;
+cfactor : sign cfactor
+        | cexponentiation
+        ;
+cexponentiation : cprimary
+                | cprimary '**' cexponentiation
+                ;
+cprimary : ID
+         | '(' cexpression ')'
+         | unsigned_constant
+         | 'not' cprimary
+         ;
+
+constant : non_string
+         | sign non_string
+         | STRING
+         ;
+sign : '+' | '-' ;
+non_string : NUM
+           | ID
+           | REALNUM
+           ;
+unsigned_constant : unsigned_number
+                  | STRING
+                  | 'nil'
+                  ;
+unsigned_number : NUM | REALNUM ;
+
+type_part : %empty
+          | 'type' type_definition_list
+          ;
+type_definition_list : type_definition_list type_definition
+                     | type_definition
+                     ;
+type_definition : ID '=' type_denoter ';' ;
+type_denoter : ID
+             | new_type
+             ;
+new_type : new_ordinal_type
+         | new_structured_type
+         | new_pointer_type
+         ;
+new_ordinal_type : enumerated_type
+                 | subrange_type
+                 ;
+enumerated_type : '(' identifier_list ')' ;
+subrange_type : constant '..' constant ;
+new_structured_type : structured_type
+                    | 'packed' structured_type
+                    ;
+structured_type : array_type
+                | record_type
+                | set_type
+                | file_type
+                ;
+array_type : 'array' '[' index_list ']' 'of' component_type ;
+index_list : index_list ',' index_type
+           | index_type
+           ;
+index_type : ordinal_type ;
+ordinal_type : new_ordinal_type
+             | ID
+             ;
+component_type : type_denoter ;
+record_type : 'record' record_section_list 'end'
+            | 'record' record_section_list ';' variant_part 'end'
+            | 'record' variant_part 'end'
+            ;
+record_section_list : record_section_list ';' record_section
+                    | record_section
+                    ;
+record_section : identifier_list ':' type_denoter ;
+variant_part : 'case' variant_selector 'of' variant_list
+             | 'case' variant_selector 'of' variant_list ';'
+             ;
+variant_selector : tag_field ':' tag_type
+                 | tag_type
+                 ;
+tag_field : ID ;
+tag_type : ID ;
+variant_list : variant_list ';' variant
+             | variant
+             ;
+variant : case_constant_list ':' '(' record_section_list ')'
+        | case_constant_list ':' '(' record_section_list ';' variant_part ')'
+        | case_constant_list ':' '(' variant_part ')'
+        ;
+case_constant_list : case_constant_list ',' case_constant
+                   | case_constant
+                   ;
+case_constant : constant
+              | constant '..' constant
+              ;
+set_type : 'set' 'of' base_type ;
+base_type : ordinal_type ;
+file_type : 'file' 'of' component_type ;
+new_pointer_type : '^' domain_type ;
+domain_type : ID ;
+
+variable_part : %empty
+              | 'var' variable_declaration_list ';'
+              ;
+variable_declaration_list : variable_declaration_list ';' variable_declaration
+                          | variable_declaration
+                          ;
+variable_declaration : identifier_list ':' type_denoter ;
+
+proc_part : %empty
+          | proc_part proc_or_func_declaration ';'
+          ;
+proc_or_func_declaration : procedure_declaration
+                         | function_declaration
+                         ;
+procedure_declaration : procedure_heading ';' directive
+                      | procedure_heading ';' block
+                      ;
+procedure_heading : 'procedure' ID
+                  | 'procedure' ID formal_parameter_list
+                  ;
+directive : 'forward'
+          | 'external'
+          ;
+formal_parameter_list : '(' formal_parameter_section_list ')' ;
+formal_parameter_section_list : formal_parameter_section_list ';' formal_parameter_section
+                              | formal_parameter_section
+                              ;
+formal_parameter_section : value_parameter_specification
+                         | variable_parameter_specification
+                         | procedural_parameter_specification
+                         | functional_parameter_specification
+                         ;
+value_parameter_specification : identifier_list ':' ID ;
+variable_parameter_specification : 'var' identifier_list ':' ID ;
+procedural_parameter_specification : procedure_heading ;
+functional_parameter_specification : function_heading ;
+function_declaration : function_heading ';' directive
+                     | function_identification ';' block
+                     | function_heading ';' block
+                     ;
+function_heading : 'function' ID ':' result_type
+                 | 'function' ID formal_parameter_list ':' result_type
+                 ;
+function_identification : 'function' ID ;
+result_type : ID ;
+
+statement_part : compound_statement ;
+compound_statement : 'begin' statement_sequence 'end' ;
+statement_sequence : statement_sequence ';' statement
+                   | statement
+                   ;
+statement : open_statement
+          | closed_statement
+          ;
+open_statement : plabel ':' non_labeled_open_statement
+               | non_labeled_open_statement
+               ;
+closed_statement : plabel ':' non_labeled_closed_statement
+                 | non_labeled_closed_statement
+                 ;
+non_labeled_closed_statement : assignment_statement
+                             | procedure_statement
+                             | goto_statement
+                             | compound_statement
+                             | case_statement
+                             | repeat_statement
+                             | closed_with_statement
+                             | closed_if_statement
+                             | closed_while_statement
+                             | closed_for_statement
+                             | %empty
+                             ;
+non_labeled_open_statement : open_with_statement
+                           | open_if_statement
+                           | open_while_statement
+                           | open_for_statement
+                           ;
+repeat_statement : 'repeat' statement_sequence 'until' boolean_expression ;
+open_while_statement : 'while' boolean_expression 'do' open_statement ;
+closed_while_statement : 'while' boolean_expression 'do' closed_statement ;
+open_for_statement : 'for' control_variable ':=' initial_value direction final_value 'do' open_statement ;
+closed_for_statement : 'for' control_variable ':=' initial_value direction final_value 'do' closed_statement ;
+open_with_statement : 'with' record_variable_list 'do' open_statement ;
+closed_with_statement : 'with' record_variable_list 'do' closed_statement ;
+open_if_statement : 'if' boolean_expression 'then' statement
+                  | 'if' boolean_expression 'then' closed_statement 'else' open_statement
+                  ;
+closed_if_statement : 'if' boolean_expression 'then' closed_statement 'else' closed_statement ;
+assignment_statement : variable_access ':=' expression ;
+variable_access : ID
+                | indexed_variable
+                | field_designator
+                | variable_access '^'
+                ;
+indexed_variable : variable_access '[' index_expression_list ']' ;
+index_expression_list : index_expression_list ',' index_expression
+                      | index_expression
+                      ;
+index_expression : expression ;
+field_designator : variable_access '.' ID ;
+procedure_statement : ID params
+                    | ID
+                    ;
+params : '(' actual_parameter_list ')' ;
+actual_parameter_list : actual_parameter_list ',' actual_parameter
+                      | actual_parameter
+                      ;
+actual_parameter : expression
+                 | expression ':' expression
+                 | expression ':' expression ':' expression
+                 ;
+goto_statement : 'goto' plabel ;
+case_statement : 'case' case_index 'of' case_list_element_list 'end'
+               | 'case' case_index 'of' case_list_element_list ';' 'end'
+               | 'case' case_index 'of' case_list_element_list ';' otherwisepart statement 'end'
+               | 'case' case_index 'of' case_list_element_list ';' otherwisepart statement ';' 'end'
+               ;
+case_index : expression ;
+case_list_element_list : case_list_element_list ';' case_list_element
+                       | case_list_element
+                       ;
+case_list_element : case_constant_list ':' statement ;
+otherwisepart : 'otherwise'
+              | 'otherwise' ':'
+              ;
+control_variable : ID ;
+initial_value : expression ;
+direction : 'to' | 'downto' ;
+final_value : expression ;
+record_variable_list : record_variable_list ',' variable_access
+                     | variable_access
+                     ;
+boolean_expression : expression ;
+expression : simple_expression
+           | simple_expression relop simple_expression
+           ;
+simple_expression : term
+                  | simple_expression addop term
+                  ;
+term : factor
+     | term mulop factor
+     ;
+factor : sign factor
+       | exponentiation
+       ;
+exponentiation : primary
+               | primary '**' exponentiation
+               ;
+primary : variable_access
+        | unsigned_constant
+        | function_designator
+        | set_constructor
+        | '(' expression ')'
+        | 'not' primary
+        ;
+function_designator : ID params ;
+set_constructor : '[' member_designator_list ']'
+                | '[' ']'
+                ;
+member_designator_list : member_designator_list ',' member_designator
+                       | member_designator
+                       ;
+member_designator : member_designator '..' expression
+                  | expression
+                  ;
+addop : '+' | '-' | 'or' ;
+mulop : '*' | '/' | 'div' | 'mod' | 'and' ;
+relop : '=' | '<>' | '<' | '>' | '<=' | '>=' | 'in' ;

@@ -1,0 +1,56 @@
+// Reconstruction of `simp2`: a small imperative language (SIMP-like) with
+// a single subtle ambiguity: statement sequencing is written as a binary
+// operator (`stmts ';' stmts`), so `stmt ; stmt · ; stmt` can associate
+// either way. Boolean and arithmetic operators carry precedence so only
+// that one conflict remains.
+%left 'or'
+%left 'and'
+%nonassoc 'not'
+%nonassoc '=' '<'
+%left '+' '-'
+%left '*' '/'
+%start prog
+%%
+prog : stmts ;
+stmts : stmt
+      | stmts ';' stmts
+      ;
+stmt : ID ':=' expr
+     | 'if' bexpr 'then' stmts 'fi'
+     | 'if' bexpr 'then' stmts 'else' stmts 'fi'
+     | 'while' bexpr 'do' stmts 'od'
+     | 'for' ID ':=' expr 'to' expr 'do' stmts 'od'
+     | 'skip'
+     | 'begin' stmts 'end'
+     | 'print' expr
+     | 'read' ID
+     ;
+bexpr : expr '=' expr
+      | expr '<' expr
+      | 'not' bexpr
+      | bexpr 'and' bexpr
+      | bexpr 'or' bexpr
+      | '(' bexpr ')' %prec 'not'
+      | 'true'
+      | 'false'
+      ;
+expr : expr '+' term
+     | expr '-' term
+     | term
+     ;
+term : term '*' factor
+     | term '/' factor
+     | factor
+     ;
+factor : ID
+       | NUM
+       | '(' expr ')'
+       | '-' factor
+       | ID '(' args ')'
+       ;
+args : %empty
+     | arglist
+     ;
+arglist : expr
+        | arglist ',' expr
+        ;

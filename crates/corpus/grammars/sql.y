@@ -1,0 +1,141 @@
+// Base SQL grammar for the BV10-style benchmark rows (SQL.1–SQL.5).
+// A moderate SQL subset: SELECT with joins/grouping, INSERT, UPDATE,
+// DELETE, CREATE TABLE, and a full expression/condition layer. The base
+// grammar is conflict-free; each SQL.n variant injects one conflict (see
+// the corpus registry).
+%left 'JOIN'
+%left 'OR'
+%left 'AND'
+%nonassoc 'NOT'
+%nonassoc '=' '<>' '<' '>' '<=' '>='
+%left '+' '-'
+%left '*' '/'
+%start sql_list
+%%
+sql_list : sql ';'
+         | sql_list sql ';'
+         ;
+sql : select_stmt
+    | insert_stmt
+    | update_stmt
+    | delete_stmt
+    | create_stmt
+    ;
+
+select_stmt : 'SELECT' opt_distinct selection 'FROM' table_refs opt_where opt_group opt_order ;
+opt_distinct : %empty
+             | 'DISTINCT'
+             | 'ALL'
+             ;
+selection : '*'
+          | select_list
+          ;
+select_list : select_item
+            | select_list ',' select_item
+            ;
+select_item : expr
+            | expr 'AS' ID
+            ;
+table_refs : table_ref
+           | table_refs ',' table_ref
+           ;
+table_ref : ID
+          | ID ID
+          | table_ref 'JOIN' table_ref 'ON' condition %prec 'JOIN'
+          | '(' select_stmt ')' ID
+          ;
+opt_where : %empty
+          | 'WHERE' condition
+          ;
+opt_group : %empty
+          | 'GROUP' 'BY' column_list opt_having
+          ;
+opt_having : %empty
+           | 'HAVING' condition
+           ;
+opt_order : %empty
+          | 'ORDER' 'BY' order_list
+          ;
+order_list : order_item
+           | order_list ',' order_item
+           ;
+order_item : column
+           | column 'ASC'
+           | column 'DESC'
+           ;
+column_list : column
+            | column_list ',' column
+            ;
+column : ID
+       | ID '.' ID
+       ;
+
+insert_stmt : 'INSERT' 'INTO' ID opt_columns 'VALUES' '(' value_list ')'
+            | 'INSERT' 'INTO' ID opt_columns select_stmt
+            ;
+opt_columns : %empty
+            | '(' column_list ')'
+            ;
+value_list : expr
+           | value_list ',' expr
+           ;
+
+update_stmt : 'UPDATE' ID 'SET' assign_list opt_where ;
+assign_list : assign
+            | assign_list ',' assign
+            ;
+assign : column '=' expr ;
+
+delete_stmt : 'DELETE' 'FROM' ID opt_where ;
+
+create_stmt : 'CREATE' 'TABLE' ID '(' column_defs ')' ;
+column_defs : column_def
+            | column_defs ',' column_def
+            ;
+column_def : ID type opt_constraint ;
+type : 'INTEGER'
+     | 'VARCHAR' '(' NUM ')'
+     | 'FLOAT'
+     | 'DATE'
+     ;
+opt_constraint : %empty
+               | 'NOT' 'NULL'
+               | 'PRIMARY' 'KEY'
+               ;
+
+condition : condition 'OR' condition
+          | condition 'AND' condition
+          | 'NOT' condition
+          | '(' condition ')' %prec 'NOT'
+          | predicate
+          ;
+predicate : expr '=' expr
+          | expr '<>' expr
+          | expr '<' expr
+          | expr '>' expr
+          | expr '<=' expr
+          | expr '>=' expr
+          | expr 'IS' 'NULL'
+          | expr 'IS' 'NOT' 'NULL'
+          | expr 'IN' '(' value_list ')'
+          | expr 'LIKE' STRING
+          | 'EXISTS' '(' select_stmt ')'
+          ;
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | '-' expr %prec '*'
+     | atom
+     ;
+atom : column
+     | NUM
+     | STRING
+     | 'NULL'
+     | '(' expr ')'
+     | func '(' arg ')'
+     ;
+func : 'COUNT' | 'SUM' | 'AVG' | 'MIN' | 'MAX' ;
+arg : expr
+    | '*'
+    ;

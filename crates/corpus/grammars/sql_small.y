@@ -1,0 +1,35 @@
+// Small SQL subset for the BV10 row SQL.1 (the paper's SQL.1 is a much
+// smaller grammar than SQL.2-5: 8 nonterminals, 23 productions). The
+// condition layer's OR has no associativity declaration — the injected
+// ambiguity.
+%start query
+%%
+query : 'SELECT' select 'FROM' tables where ;
+select : '*'
+       | cols
+       | 'DISTINCT' cols
+       ;
+cols : col
+     | cols ',' col
+     ;
+col : ID
+    | ID '.' ID
+    ;
+tables : ID
+       | tables ',' ID
+       | tables ',' ID ID
+       ;
+where : %empty
+      | 'WHERE' cond
+      ;
+cond : cond 'OR' cond
+     | ID '=' val
+     | ID '<' val
+     | ID '>' val
+     | '(' cond ')'
+     | ID 'BETWEEN' val 'AND' val
+     ;
+val : ID
+    | NUM
+    | STRING
+    ;

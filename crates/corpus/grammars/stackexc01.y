@@ -1,0 +1,11 @@
+// math.stackexchange 297721 "Determining ambiguity in context-free
+// grammars": the equal-numbers-of-a's-and-b's grammar, famously ambiguous.
+%start S
+%%
+S : 'a' S 'b' S
+  | 'b' S 'a' S
+  | 'c'
+  | 'd'
+  | 'e'
+  | %empty
+  ;

@@ -1,0 +1,11 @@
+// cstheory.stackexchange 22384 "Resolving ambiguity in an LALR grammar
+// with empty productions": two nullable options whose FOLLOW sets overlap
+// create a reduce/reduce conflict, yet the grammar is unambiguous
+// (deciding needs two tokens of lookahead).
+%start s
+%%
+s : p | q | 'z' ;
+p : o1 'x' ;
+q : o2 'x' 'y' ;
+o1 : %empty | 'a' ;
+o2 : %empty | 'a' 'a' ;

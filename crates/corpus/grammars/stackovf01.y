@@ -1,0 +1,10 @@
+// stackoverflow 3373114 "Bison shift-reduce conflict for simple grammar":
+// a center-palindrome grammar — unambiguous but not LR(k) for any k, so
+// the single conflict has no unifying counterexample.
+%start e
+%%
+e : 'a' e 'a'
+  | 'a'
+  | 'c'
+  | 'd'
+  ;

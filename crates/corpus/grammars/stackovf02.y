@@ -1,0 +1,9 @@
+// stackoverflow 910445 "Issue resolving a shift-reduce conflict in my
+// grammar": juxtaposition (sequencing without a separator) is ambiguous.
+%start e
+%%
+e : e e
+  | 'a'
+  | 'b'
+  | '(' e ')'
+  ;

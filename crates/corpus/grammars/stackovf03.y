@@ -1,0 +1,10 @@
+// stackoverflow 7967202 "Bison complained conflicts: 1 shift/reduce":
+// the dangling else in miniature.
+%start s
+%%
+s : 'i' s 'e' s
+  | 'i' s
+  | 'x'
+  | 'y'
+  | 'z'
+  ;

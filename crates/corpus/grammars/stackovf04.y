@@ -1,0 +1,12 @@
+// stackoverflow 958885 "How to resolve a shift-reduce conflict in an
+// unambiguous grammar": two reductions of the same token whose contexts
+// only diverge two tokens later — unambiguous, not LALR(1).
+%start s
+%%
+s : a 'x' 'p'
+  | b 'x' 'q'
+  | c
+  ;
+a : 'T' ;
+b : 'T' ;
+c : 'u' | 'v' | 'w' ;

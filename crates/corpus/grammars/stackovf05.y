@@ -1,0 +1,17 @@
+// stackoverflow 22384530 "Bison/yacc reduce-reduce conflict for a
+// specific grammar": an assignment language whose expression layer has an
+// injected ambiguity.
+%start prog
+%%
+prog : stmt
+     | prog stmt
+     ;
+stmt : ID '=' e ';' ;
+e : e '+' e
+  | t
+  ;
+t : ID
+  | NUM
+  | '-' t
+  | '(' e ')'
+  ;

@@ -1,0 +1,14 @@
+// stackoverflow 1760083 "How to resolve this shift-reduce conflict":
+// three nonterminals that erase to the same token create two
+// reduce/reduce conflicts, but every full sentence is unambiguous.
+%start s
+%%
+s : a 'x' 'p'
+  | b 'x' 'q'
+  | c 'x' 'r'
+  | d
+  ;
+a : 'T' ;
+b : 'T' ;
+c : 'T' ;
+d : 'z' | 'w' ;

@@ -1,0 +1,21 @@
+// stackoverflow 5176867 "Why are there 3 parsing conflicts in my tiny
+// grammar": an optional trailing clause plus an ambiguous operator.
+%start s
+%%
+s : c
+  | s c
+  ;
+c : 'when' e 'then' acts 'end'
+  | 'when' e 'then' acts 'otherwise' acts 'end'
+  ;
+acts : act
+     | acts act
+     ;
+act : 'do' ID
+    | 'do' ID 'with' e
+    ;
+e : e 'and' e
+  | e 'or' e
+  | ID
+  | NUM
+  ;

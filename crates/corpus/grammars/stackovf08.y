@@ -1,0 +1,17 @@
+// stackoverflow 10031330 "Shift-reduce conflicts in a simple grammar"
+// (an XML-ish document grammar): palindromic open/close nesting —
+// unambiguous but far from LALR(1), producing a pile of conflicts that
+// all need nonunifying counterexamples.
+%start s
+%%
+s : 'a' s 'a'
+  | 'b' s 'b'
+  | 'a'
+  | 'b'
+  | 'x'
+  | 'z' t
+  ;
+t : 'p' t 'p'
+  | 'q'
+  | t 'q'
+  ;

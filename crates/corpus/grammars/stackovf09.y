@@ -1,0 +1,22 @@
+// stackoverflow 196179 "shift/reduce conflict": the C-style
+// declaration-versus-expression problem — `ID ID ;` is a declaration,
+// `ID ;` an expression — unambiguous, but the first `ID` cannot be
+// classified with one token of lookahead once a cast-like form exists.
+%start prog
+%%
+prog : item
+     | prog item
+     ;
+item : decl | stmt ;
+decl : typ ID ';' ;
+typ : 'int'
+    | ID
+    | typ '*'
+    ;
+stmt : e ';' ;
+e : ID
+  | NUM
+  | e '+' e
+  | '*' e
+  | ID '(' e ')'
+  ;

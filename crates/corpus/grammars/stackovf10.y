@@ -1,0 +1,31 @@
+// stackoverflow 9651733 "Why are these conflicts appearing in the
+// following yacc grammar": an expression grammar with four binary
+// operators, unary minus, and postfix calls — all without precedence
+// declarations, producing a conflict for every (reduction, operator)
+// pair, every one of them a genuine ambiguity.
+%start prog
+%%
+prog : stmt
+     | prog stmt
+     ;
+stmt : ID '=' e ';'
+     | 'print' e ';'
+     ;
+e : e '+' e
+  | e '-' e
+  | e '*' e
+  | e '/' e
+  | '-' e
+  | primary
+  ;
+primary : ID
+        | NUM
+        | '(' e ')'
+        | ID '(' args ')'
+        ;
+args : %empty
+     | arglist
+     ;
+arglist : e
+        | arglist ',' e
+        ;

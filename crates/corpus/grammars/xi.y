@@ -1,0 +1,74 @@
+// Reconstruction of `xi`: a grammar in the style of the Xi language
+// (Cornell CS 4120), whose array/indexing syntax and multiple-return
+// constructs created several ambiguous conflicts during its design.
+// Six conflicts: array-literal vs indexing juxtaposition, unparenthesized
+// binary operators without precedence, and the optional-else statement.
+%left '!='
+%left '+'
+%left '*'
+%start program
+%%
+program : uses decls ;
+uses : %empty
+     | uses 'use' ID
+     ;
+decls : decl
+      | decls decl
+      ;
+decl : ID '(' params ')' rets block ;
+params : %empty
+       | paramlist
+       ;
+paramlist : param
+          | paramlist ',' param
+          ;
+param : ID ':' type ;
+rets : %empty
+     | ':' typelist
+     ;
+typelist : type
+         | typelist ',' type
+         ;
+type : 'int'
+     | 'bool'
+     | type '[' ']'
+     ;
+block : '{' stmts '}' ;
+stmts : %empty
+      | stmts stmt
+      ;
+stmt : ID ':' type init
+     | lhs '=' expr
+     | 'if' expr stmt
+     | 'if' expr stmt 'else' stmt
+     | 'while' expr stmt
+     | 'return' exprs
+     | block
+     | ID '(' exprs ')'
+     ;
+init : %empty
+     | '=' expr
+     ;
+lhs : ID
+    | lhs '[' expr ']'
+    ;
+exprs : %empty
+      | exprlist
+      ;
+exprlist : expr
+         | exprlist ',' expr
+         ;
+expr : expr '+' expr
+     | expr '*' expr
+     | expr '!=' expr
+     | '-' expr
+     | atom
+     ;
+atom : ID
+     | NUM
+     | 'true'
+     | 'false'
+     | atom '[' expr ']'
+     | '{' exprlist '}'
+     | '(' expr ')'
+     ;

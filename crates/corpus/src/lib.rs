@@ -1,0 +1,579 @@
+//! The evaluation grammar corpus: a reconstruction of every grammar in
+//! Table 1 of *Finding Counterexamples from Parsing Conflicts*
+//! (Isradisaikul & Myers, PLDI 2015).
+//!
+//! Three groups, as in the paper (§7.1):
+//!
+//! * **Ours** — the grammars printed in the paper (exact) plus
+//!   reconstructions of the authors' motivating grammars
+//!   (`ambfailed01`, `abcd`, `simp2`, `xi`, `eqn`, `java-ext1/2`).
+//! * **Stack Overflow / Stack Exchange** — small grammars rebuilt from
+//!   the linked questions' topics.
+//! * **BV10** — full-scale SQL / Pascal / C / Java grammars with one
+//!   injected conflict per variant, mirroring Basten & Vinju's
+//!   conflict-injection methodology.
+//!
+//! The original CUP inputs are not available offline, so each entry
+//! carries the *paper's* reported statistics (`paper` field) alongside the
+//! reconstruction; the Table 1 harness prints both so divergence is
+//! visible rather than hidden.
+//!
+//! # Example
+//!
+//! ```
+//! use lalrcex_corpus::{by_name, all};
+//!
+//! let fig1 = by_name("figure1").unwrap();
+//! let g = fig1.load()?;
+//! assert_eq!(g.nonterminal_count() - 1, 3); // paper counts exclude $accept
+//! assert_eq!(all().len(), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use lalrcex_grammar::{Grammar, GrammarError};
+
+/// Which section of Table 1 an entry belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Category {
+    /// Grammars from the paper and the authors' projects.
+    Ours,
+    /// Grammars from Stack Overflow / Stack Exchange questions.
+    StackOverflow,
+    /// The BV10 conflict-injected grammars.
+    Bv10,
+}
+
+/// The statistics Table 1 reports for a grammar (the *paper's* numbers,
+/// kept for side-by-side comparison with the reconstruction).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// `# nonterms` (excludes the augmented start symbol).
+    pub nonterminals: usize,
+    /// `# prods` (includes the augmented production).
+    pub productions: usize,
+    /// `# states`.
+    pub states: usize,
+    /// `# conflicts`.
+    pub conflicts: usize,
+    /// `Amb?` — whether the grammar is ambiguous.
+    pub ambiguous: bool,
+    /// `# unif`.
+    pub unifying: usize,
+    /// `# nonunif`.
+    pub nonunifying: usize,
+    /// `# time out`.
+    pub timeouts: usize,
+}
+
+/// How an entry's DSL text is assembled.
+enum Source {
+    /// A standalone grammar file.
+    Text(&'static str),
+    /// A base grammar with textual patches: every `(from, to)` replacement
+    /// is applied (and must match), then each `append` fragment (rule
+    /// text) is added at the end.
+    Patched {
+        base: &'static str,
+        replace: &'static [(&'static str, &'static str)],
+        append: &'static [&'static str],
+    },
+}
+
+/// One grammar of the corpus.
+pub struct CorpusEntry {
+    /// Table 1 row name, e.g. `"figure1"` or `"Java.2"`.
+    pub name: &'static str,
+    /// Section of Table 1.
+    pub category: Category,
+    /// The paper's reported statistics for this row.
+    pub paper: PaperRow,
+    source: Source,
+}
+
+impl CorpusEntry {
+    /// The assembled DSL text of the grammar.
+    pub fn text(&self) -> String {
+        match &self.source {
+            Source::Text(t) => (*t).to_owned(),
+            Source::Patched {
+                base,
+                replace,
+                append,
+            } => {
+                let mut text = (*base).to_owned();
+                for (from, to) in *replace {
+                    assert!(
+                        text.contains(from),
+                        "patch for {} does not match base grammar: {from:?}",
+                        self.name
+                    );
+                    text = text.replacen(from, to, 1);
+                }
+                for frag in *append {
+                    text.push('\n');
+                    text.push_str(frag);
+                }
+                text
+            }
+        }
+    }
+
+    /// Parses the grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`GrammarError`] — corpus tests assert this
+    /// never happens.
+    pub fn load(&self) -> Result<Grammar, GrammarError> {
+        Grammar::parse(&self.text())
+    }
+}
+
+const FIGURE1: &str = include_str!("../grammars/figure1.y");
+const FIGURE3: &str = include_str!("../grammars/figure3.y");
+const FIGURE7: &str = include_str!("../grammars/figure7.y");
+const AMBFAILED01: &str = include_str!("../grammars/ambfailed01.y");
+const ABCD: &str = include_str!("../grammars/abcd.y");
+const SIMP2: &str = include_str!("../grammars/simp2.y");
+const XI: &str = include_str!("../grammars/xi.y");
+const EQN: &str = include_str!("../grammars/eqn.y");
+const STACKEXC01: &str = include_str!("../grammars/stackexc01.y");
+const STACKEXC02: &str = include_str!("../grammars/stackexc02.y");
+const STACKOVF01: &str = include_str!("../grammars/stackovf01.y");
+const STACKOVF02: &str = include_str!("../grammars/stackovf02.y");
+const STACKOVF03: &str = include_str!("../grammars/stackovf03.y");
+const STACKOVF04: &str = include_str!("../grammars/stackovf04.y");
+const STACKOVF05: &str = include_str!("../grammars/stackovf05.y");
+const STACKOVF06: &str = include_str!("../grammars/stackovf06.y");
+const STACKOVF07: &str = include_str!("../grammars/stackovf07.y");
+const STACKOVF08: &str = include_str!("../grammars/stackovf08.y");
+const STACKOVF09: &str = include_str!("../grammars/stackovf09.y");
+const STACKOVF10: &str = include_str!("../grammars/stackovf10.y");
+const SQL: &str = include_str!("../grammars/sql.y");
+const SQL_SMALL: &str = include_str!("../grammars/sql_small.y");
+const PASCAL: &str = include_str!("../grammars/pascal.y");
+const C89: &str = include_str!("../grammars/c89.y");
+const JAVA: &str = include_str!("../grammars/java.y");
+const JAVA_EXT1: &str = include_str!("../grammars/java_ext1.inc");
+const JAVA_EXT2: &str = include_str!("../grammars/java_ext2.inc");
+
+#[allow(clippy::too_many_arguments)]
+const fn row(
+    nonterminals: usize,
+    productions: usize,
+    states: usize,
+    conflicts: usize,
+    ambiguous: bool,
+    unifying: usize,
+    nonunifying: usize,
+    timeouts: usize,
+) -> PaperRow {
+    PaperRow {
+        nonterminals,
+        productions,
+        states,
+        conflicts,
+        ambiguous,
+        unifying,
+        nonunifying,
+        timeouts,
+    }
+}
+
+/// Every grammar of Table 1, in the paper's row order.
+pub fn all() -> Vec<CorpusEntry> {
+    use Category::{Bv10, Ours, StackOverflow};
+    let mut v = Vec::new();
+    let mut push = |name, category, paper, source| {
+        v.push(CorpusEntry {
+            name,
+            category,
+            paper,
+            source,
+        });
+    };
+
+    // --- Our grammars ---------------------------------------------------
+    push("figure1", Ours, row(3, 9, 24, 3, true, 3, 0, 0), Source::Text(FIGURE1));
+    push("figure3", Ours, row(4, 7, 10, 1, false, 0, 1, 0), Source::Text(FIGURE3));
+    push("figure7", Ours, row(4, 10, 16, 2, true, 2, 0, 0), Source::Text(FIGURE7));
+    push(
+        "ambfailed01",
+        Ours,
+        row(6, 10, 17, 1, true, 0, 1, 0),
+        Source::Text(AMBFAILED01),
+    );
+    push("abcd", Ours, row(5, 11, 22, 3, true, 3, 0, 0), Source::Text(ABCD));
+    push("simp2", Ours, row(10, 41, 70, 1, true, 1, 0, 0), Source::Text(SIMP2));
+    push("xi", Ours, row(16, 41, 82, 6, true, 6, 0, 0), Source::Text(XI));
+    push("eqn", Ours, row(14, 67, 133, 1, true, 1, 0, 0), Source::Text(EQN));
+    push(
+        "java-ext1",
+        Ours,
+        row(185, 445, 767, 2, false, 0, 0, 2),
+        Source::Patched {
+            base: JAVA,
+            replace: &[],
+            append: &[JAVA_EXT1],
+        },
+    );
+    push(
+        "java-ext2",
+        Ours,
+        row(234, 599, 1255, 1, false, 0, 0, 1),
+        Source::Patched {
+            base: JAVA,
+            replace: &[],
+            append: &[JAVA_EXT1, JAVA_EXT2],
+        },
+    );
+
+    // --- Stack Overflow / Stack Exchange --------------------------------
+    push(
+        "stackexc01",
+        StackOverflow,
+        row(2, 7, 13, 3, true, 3, 0, 0),
+        Source::Text(STACKEXC01),
+    );
+    push(
+        "stackexc02",
+        StackOverflow,
+        row(6, 11, 15, 1, false, 0, 1, 0),
+        Source::Text(STACKEXC02),
+    );
+    push(
+        "stackovf01",
+        StackOverflow,
+        row(2, 5, 9, 1, false, 0, 1, 0),
+        Source::Text(STACKOVF01),
+    );
+    push(
+        "stackovf02",
+        StackOverflow,
+        row(2, 5, 9, 4, true, 4, 0, 0),
+        Source::Text(STACKOVF02),
+    );
+    push(
+        "stackovf03",
+        StackOverflow,
+        row(2, 6, 10, 1, true, 1, 0, 0),
+        Source::Text(STACKOVF03),
+    );
+    push(
+        "stackovf04",
+        StackOverflow,
+        row(5, 9, 13, 1, false, 0, 1, 0),
+        Source::Text(STACKOVF04),
+    );
+    push(
+        "stackovf05",
+        StackOverflow,
+        row(5, 10, 14, 1, true, 1, 0, 0),
+        Source::Text(STACKOVF05),
+    );
+    push(
+        "stackovf06",
+        StackOverflow,
+        row(6, 10, 15, 2, false, 0, 2, 0),
+        Source::Text(STACKOVF06),
+    );
+    push(
+        "stackovf07",
+        StackOverflow,
+        row(7, 12, 17, 3, true, 3, 0, 0),
+        Source::Text(STACKOVF07),
+    );
+    push(
+        "stackovf08",
+        StackOverflow,
+        row(3, 13, 21, 8, false, 0, 8, 0),
+        Source::Text(STACKOVF08),
+    );
+    push(
+        "stackovf09",
+        StackOverflow,
+        row(6, 12, 27, 1, false, 0, 1, 0),
+        Source::Text(STACKOVF09),
+    );
+    push(
+        "stackovf10",
+        StackOverflow,
+        row(9, 20, 53, 19, true, 19, 0, 0),
+        Source::Text(STACKOVF10),
+    );
+
+    // --- BV10 -------------------------------------------------------------
+    // SQL: 29 nonterminals, 81 productions, ~150 states.
+    push(
+        "SQL.1",
+        Bv10,
+        row(8, 23, 46, 1, true, 1, 0, 0),
+        Source::Text(SQL_SMALL),
+    );
+    push(
+        "SQL.2",
+        Bv10,
+        row(29, 81, 151, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: SQL,
+            replace: &[],
+            append: &["// injected: generalized qualified column\ncolumn : column '.' ID ;\n"],
+        },
+    );
+    push(
+        "SQL.3",
+        Bv10,
+        row(29, 81, 149, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: SQL,
+            replace: &[],
+            append: &["// injected: overlapping unit production\nselect_item : column ;\n"],
+        },
+    );
+    push(
+        "SQL.4",
+        Bv10,
+        row(29, 81, 151, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: SQL,
+            replace: &[],
+            append: &["// injected: rule extension overlapping the list separator\norder_item : order_item ',' column ;\n"],
+        },
+    );
+    push(
+        "SQL.5",
+        Bv10,
+        row(29, 81, 151, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: SQL,
+            replace: &[],
+            append: &["// injected: appendable value lists\nvalue_list : value_list expr ;\n"],
+        },
+    );
+
+    // Pascal: 79 nonterminals, 177 productions, ~320 states.
+    push(
+        "Pascal.1",
+        Bv10,
+        row(79, 177, 323, 3, true, 2, 0, 1),
+        Source::Patched {
+            base: PASCAL,
+            replace: &[],
+            append: &["// injected: break the open/closed statement discipline\nnon_labeled_closed_statement : 'if' boolean_expression 'then' closed_statement ;\n"],
+        },
+    );
+    push(
+        "Pascal.2",
+        Bv10,
+        row(79, 177, 324, 5, true, 5, 0, 0),
+        Source::Patched {
+            base: PASCAL,
+            replace: &[],
+            append: &["// injected: trailing-semicolon sequences\nstatement_sequence : statement_sequence ';' ;\n"],
+        },
+    );
+    push(
+        "Pascal.3",
+        Bv10,
+        row(79, 177, 321, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: PASCAL,
+            replace: &[],
+            append: &["// injected: variant with trailing semicolon\nvariant : case_constant_list ':' '(' record_section_list ')' ';' ;\n"],
+        },
+    );
+    push(
+        "Pascal.4",
+        Bv10,
+        row(79, 177, 322, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: PASCAL,
+            replace: &[],
+            append: &["// injected: case arms with trailing semicolon\ncase_list_element : case_constant_list ':' statement ';' ;\n"],
+        },
+    );
+    push(
+        "Pascal.5",
+        Bv10,
+        row(79, 177, 322, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: PASCAL,
+            replace: &[],
+            append: &["// injected: parameter sections with trailing semicolon\nformal_parameter_section : identifier_list ':' ID ';' ;\n"],
+        },
+    );
+
+    // C: 64 nonterminals, 214 productions, ~370 states.
+    push(
+        "C.1",
+        Bv10,
+        row(64, 214, 369, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: C89,
+            replace: &[(" %prec 'LOWER_THAN_ELSE'", "")],
+            append: &[],
+        },
+    );
+    push(
+        "C.2",
+        Bv10,
+        row(64, 214, 368, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: C89,
+            replace: &[],
+            append: &["// injected: nullable initializers\ninitializer : %empty ;\n"],
+        },
+    );
+    push(
+        "C.3",
+        Bv10,
+        row(64, 214, 368, 4, true, 4, 0, 0),
+        Source::Patched {
+            base: C89,
+            replace: &[],
+            append: &["// injected: identifiers as abstract declarators\ndirect_abstract_declarator : IDENTIFIER ;\n"],
+        },
+    );
+    push(
+        "C.4",
+        Bv10,
+        row(64, 214, 369, 1, true, 0, 0, 1),
+        Source::Patched {
+            base: C89,
+            replace: &[],
+            append: &["// injected: identifier casts\ncast_expression : '(' IDENTIFIER ')' cast_expression ;\n"],
+        },
+    );
+    push(
+        "C.5",
+        Bv10,
+        row(64, 214, 370, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: C89,
+            replace: &[],
+            append: &["// injected: doubled array declarator brackets\ndirect_declarator : direct_declarator '[' ']' '[' ']' ;\n"],
+        },
+    );
+
+    // Java: 152 nonterminals, 351 productions, ~600 states.
+    push(
+        "Java.1",
+        Bv10,
+        row(152, 351, 607, 1, true, 1, 0, 0),
+        Source::Patched {
+            base: JAVA,
+            replace: &[],
+            append: &["// injected: name-only casts\ncast_expression : '(' name ')' unary_expression_not_plus_minus ;\n"],
+        },
+    );
+    push(
+        "Java.2",
+        Bv10,
+        row(152, 351, 606, 1133, true, 141, 0, 9),
+        Source::Patched {
+            base: JAVA,
+            replace: &[],
+            append: &["// injected: nullable block statements (the paper: 'the addition\n// of a nullable production generates a large number of conflicts')\nblock_statement : %empty ;\n"],
+        },
+    );
+    push(
+        "Java.3",
+        Bv10,
+        row(152, 351, 608, 2, true, 2, 0, 0),
+        Source::Patched {
+            base: JAVA,
+            replace: &[],
+            append: &["// injected: array types over class types\narray_type : class_or_interface_type dims ;\n"],
+        },
+    );
+    push(
+        "Java.4",
+        Bv10,
+        row(152, 351, 608, 14, true, 6, 2, 6),
+        Source::Patched {
+            base: JAVA,
+            replace: &[],
+            append: &["// injected: nullable argument lists\nargument_list : %empty ;\n"],
+        },
+    );
+    push(
+        "Java.5",
+        Bv10,
+        row(152, 351, 607, 3, true, 3, 0, 0),
+        Source::Patched {
+            base: JAVA,
+            replace: &[],
+            append: &["// injected: parenthesized assignment targets\nleft_hand_side : '(' left_hand_side ')' ;\n"],
+        },
+    );
+
+    v
+}
+
+/// Looks up an entry by its Table 1 name.
+pub fn by_name(name: &str) -> Option<CorpusEntry> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_lr::Automaton;
+
+    #[test]
+    fn all_grammars_parse() {
+        for e in all() {
+            let g = e.load().unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            assert!(g.prod_count() > 1, "{} has productions", e.name);
+        }
+    }
+
+    #[test]
+    fn table_has_42_rows() {
+        assert_eq!(all().len(), 42);
+    }
+
+    #[test]
+    fn paper_figures_are_exact() {
+        // The grammars printed in the paper must match Table 1 exactly
+        // (counts exclude $accept, include the augmented production).
+        for name in ["figure1", "figure3", "figure7"] {
+            let e = by_name(name).unwrap();
+            let g = e.load().unwrap();
+            assert_eq!(
+                g.nonterminal_count() - 1,
+                e.paper.nonterminals,
+                "{name}: nonterminals"
+            );
+            assert_eq!(g.prod_count(), e.paper.productions, "{name}: productions");
+            let auto = Automaton::build(&g);
+            assert_eq!(auto.state_count(), e.paper.states, "{name}: states");
+            assert_eq!(
+                auto.tables(&g).conflicts().len(),
+                e.paper.conflicts,
+                "{name}: conflicts"
+            );
+        }
+    }
+
+    #[test]
+    fn every_grammar_has_conflicts() {
+        // Every Table 1 row has at least one conflict — that is the point.
+        for e in all() {
+            let g = e.load().unwrap();
+            let auto = Automaton::build(&g);
+            assert!(
+                !auto.tables(&g).conflicts().is_empty(),
+                "{} must have conflicts",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert!(by_name("Java.2").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(by_name("eqn").unwrap().category, Category::Ours);
+    }
+}

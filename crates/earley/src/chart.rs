@@ -1,0 +1,225 @@
+//! Classic Earley recognition over sentential forms.
+//!
+//! The scanner is generalized: an input symbol (terminal *or* nonterminal)
+//! is consumed when an item has exactly that symbol after its dot. A
+//! nonterminal consumed this way is an unexpanded leaf of the derivation,
+//! matching the paper's preference for counterexamples that are "no more
+//! concrete than necessary" (§3.2).
+
+use lalrcex_grammar::{Grammar, ProdId, SymbolId, SymbolKind};
+
+/// An Earley item: production, dot position, and origin set index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct EItem {
+    prod: ProdId,
+    dot: usize,
+    origin: usize,
+}
+
+/// `true` if `start ⇒* input`, where nonterminals in `input` stand for
+/// themselves (they are not expanded).
+///
+/// # Example
+///
+/// ```
+/// use lalrcex_grammar::Grammar;
+/// use lalrcex_earley::chart::recognizes;
+///
+/// let g = Grammar::parse("%% s : 'a' s 'b' | ;")?;
+/// let s = g.symbol_named("s").unwrap();
+/// let a = g.symbol_named("a").unwrap();
+/// let b = g.symbol_named("b").unwrap();
+/// assert!(recognizes(&g, s, &[a, a, b, b]));
+/// assert!(recognizes(&g, s, &[a, s, b]));
+/// assert!(!recognizes(&g, s, &[b, a]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn recognizes(g: &Grammar, start: SymbolId, input: &[SymbolId]) -> bool {
+    assert!(
+        g.kind(start) == SymbolKind::Nonterminal,
+        "start symbol must be a nonterminal"
+    );
+    // Trivial derivation: the input is exactly [start].
+    if input == [start] {
+        return true;
+    }
+    let n = input.len();
+    let mut sets: Vec<Vec<EItem>> = vec![Vec::new(); n + 1];
+
+    let add = |sets: &mut Vec<Vec<EItem>>, k: usize, item: EItem| -> bool {
+        if sets[k].contains(&item) {
+            false
+        } else {
+            sets[k].push(item);
+            true
+        }
+    };
+
+    for &pid in g.prods_of(start) {
+        add(
+            &mut sets,
+            0,
+            EItem {
+                prod: pid,
+                dot: 0,
+                origin: 0,
+            },
+        );
+    }
+
+    for k in 0..=n {
+        // Process until the set stabilizes (prediction/completion can feed
+        // each other, including through ε-productions).
+        let mut idx = 0;
+        while idx < sets[k].len() {
+            let item = sets[k][idx];
+            idx += 1;
+            let rhs = g.prod(item.prod).rhs();
+            if item.dot < rhs.len() {
+                let next = rhs[item.dot];
+                // Scan: symbol matches itself.
+                if k < n && input[k] == next {
+                    add(
+                        &mut sets,
+                        k + 1,
+                        EItem {
+                            prod: item.prod,
+                            dot: item.dot + 1,
+                            origin: item.origin,
+                        },
+                    );
+                }
+                // Predict.
+                if g.kind(next) == SymbolKind::Nonterminal {
+                    for &pid in g.prods_of(next) {
+                        add(
+                            &mut sets,
+                            k,
+                            EItem {
+                                prod: pid,
+                                dot: 0,
+                                origin: k,
+                            },
+                        );
+                    }
+                    // Magic completion for nullable nonterminals already
+                    // completed in this set (Aycock–Horspool fix).
+                    let completed_here: Vec<EItem> = sets[k]
+                        .iter()
+                        .copied()
+                        .filter(|c| {
+                            c.origin == k
+                                && g.prod(c.prod).lhs() == next
+                                && c.dot == g.prod(c.prod).rhs().len()
+                        })
+                        .collect();
+                    if !completed_here.is_empty() {
+                        add(
+                            &mut sets,
+                            k,
+                            EItem {
+                                prod: item.prod,
+                                dot: item.dot + 1,
+                                origin: item.origin,
+                            },
+                        );
+                    }
+                }
+            } else {
+                // Complete.
+                let lhs = g.prod(item.prod).lhs();
+                let parents: Vec<EItem> = sets[item.origin]
+                    .iter()
+                    .copied()
+                    .filter(|p| {
+                        let prhs = g.prod(p.prod).rhs();
+                        p.dot < prhs.len() && prhs[p.dot] == lhs
+                    })
+                    .collect();
+                for p in parents {
+                    add(
+                        &mut sets,
+                        k,
+                        EItem {
+                            prod: p.prod,
+                            dot: p.dot + 1,
+                            origin: p.origin,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    sets[n].iter().any(|item| {
+        item.origin == 0
+            && item.dot == g.prod(item.prod).rhs().len()
+            && g.prod(item.prod).lhs() == start
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::Grammar;
+
+    fn syms(g: &Grammar, names: &[&str]) -> Vec<SymbolId> {
+        names.iter().map(|n| g.symbol_named(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn balanced_parens() {
+        let g = Grammar::parse("%% s : '(' s ')' s | ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        assert!(recognizes(&g, s, &syms(&g, &["(", ")", "(", "(", ")", ")"])));
+        assert!(recognizes(&g, s, &[]));
+        assert!(!recognizes(&g, s, &syms(&g, &["(", "(", ")"])));
+    }
+
+    #[test]
+    fn nullable_chains() {
+        let g = Grammar::parse("%% s : a b X ; a : ; b : a ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        assert!(recognizes(&g, s, &syms(&g, &["X"])));
+        assert!(!recognizes(&g, s, &[]));
+    }
+
+    #[test]
+    fn sentential_form_with_nonterminal_leaf() {
+        let g = Grammar::parse("%% s : 'if' e 'then' s | X ; e : Y ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        let e = g.symbol_named("e").unwrap();
+        let input = vec![
+            g.symbol_named("if").unwrap(),
+            e,
+            g.symbol_named("then").unwrap(),
+            s,
+        ];
+        assert!(recognizes(&g, s, &input));
+    }
+
+    #[test]
+    fn trivial_self_derivation() {
+        let g = Grammar::parse("%% s : X ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        assert!(recognizes(&g, s, &[s]));
+    }
+
+    #[test]
+    fn start_from_inner_nonterminal() {
+        let g = Grammar::parse("%% s : e ';' ; e : e '+' N | N ;").unwrap();
+        let e = g.symbol_named("e").unwrap();
+        assert!(recognizes(&g, e, &syms(&g, &["N", "+", "N"])));
+        assert!(!recognizes(&g, e, &syms(&g, &["N", "+", "N", ";"])));
+    }
+
+    #[test]
+    fn left_and_right_recursion() {
+        let g = Grammar::parse("%% l : l A | ; r : A r | ;").unwrap();
+        let l = g.symbol_named("l").unwrap();
+        let r = g.symbol_named("r").unwrap();
+        let input = syms(&g, &["A", "A", "A", "A"]);
+        assert!(recognizes(&g, l, &input));
+        assert!(recognizes(&g, r, &input));
+    }
+}

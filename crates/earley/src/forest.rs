@@ -1,0 +1,380 @@
+//! Span-based derivation forests: enumerate all distinct derivation trees
+//! of a sentential form, up to configurable limits.
+//!
+//! The counterexample engine claims that a unifying counterexample has two
+//! distinct derivations; [`is_ambiguous_form`] verifies such claims with a
+//! completely independent algorithm (no LR machinery involved).
+
+use std::collections::HashSet;
+
+use lalrcex_grammar::{Derivation, Grammar, SymbolId, SymbolKind};
+
+/// Enumeration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Stop after this many distinct trees.
+    pub max_parses: usize,
+    /// Maximum derivation depth (guards against cyclic grammars, where a
+    /// form can have infinitely many derivations).
+    pub max_depth: usize,
+    /// Overall work budget (elementary enumeration steps).
+    pub max_steps: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_parses: 8,
+            max_depth: 48,
+            max_steps: 500_000,
+        }
+    }
+}
+
+/// The derivability table `sym ⇒* input[i..j]` for every symbol and span.
+struct SpanTable {
+    n: usize,
+    nsym: usize,
+    table: Vec<bool>, // [sym.index() * (n+1)^2 + i * (n+1) + j]
+}
+
+impl SpanTable {
+    fn idx(&self, sym: SymbolId, i: usize, j: usize) -> usize {
+        sym.index() * (self.n + 1) * (self.n + 1) + i * (self.n + 1) + j
+    }
+
+    fn get(&self, sym: SymbolId, i: usize, j: usize) -> bool {
+        self.table[self.idx(sym, i, j)]
+    }
+
+    fn set(&mut self, sym: SymbolId, i: usize, j: usize) -> bool {
+        let k = self.idx(sym, i, j);
+        let was = self.table[k];
+        self.table[k] = true;
+        !was
+    }
+
+    fn build(g: &Grammar, input: &[SymbolId]) -> SpanTable {
+        let n = input.len();
+        let nsym = g.symbol_count();
+        let mut t = SpanTable {
+            n,
+            nsym,
+            table: vec![false; nsym * (n + 1) * (n + 1)],
+        };
+        let _ = t.nsym;
+        // Leaves: every input symbol derives itself.
+        for (i, &s) in input.iter().enumerate() {
+            t.set(s, i, i + 1);
+        }
+        // Fixpoint over productions.
+        loop {
+            let mut changed = false;
+            for p in g.productions() {
+                let lhs = p.lhs();
+                for i in 0..=n {
+                    for j in i..=n {
+                        if t.get(lhs, i, j) {
+                            continue;
+                        }
+                        if seq_covers(g, &t, p.rhs(), i, j) {
+                            t.set(lhs, i, j);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        t
+    }
+}
+
+/// Can `seq` derive exactly `input[i..j]`? (Positions reachable after each
+/// prefix of `seq`, classic sequence DP.)
+fn seq_covers(g: &Grammar, t: &SpanTable, seq: &[SymbolId], i: usize, j: usize) -> bool {
+    let _ = g;
+    let mut positions = vec![false; j + 1];
+    positions[i] = true;
+    for &y in seq {
+        let mut next = vec![false; j + 1];
+        for (m, &ok) in positions.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            for m2 in m..=j {
+                if t.get(y, m, m2) {
+                    next[m2] = true;
+                }
+            }
+        }
+        positions = next;
+        if !positions.iter().any(|&b| b) {
+            return false;
+        }
+    }
+    positions[j]
+}
+
+struct Enumerator<'a> {
+    g: &'a Grammar,
+    input: &'a [SymbolId],
+    table: SpanTable,
+    limits: Limits,
+    steps: usize,
+}
+
+impl Enumerator<'_> {
+    /// All *distinct* derivations of `sym` spanning `input[i..j]`, up to
+    /// limits. Deduplication matters: duplicate productions (or equal
+    /// sub-derivations reached along different splits) must not consume
+    /// the `max_parses` budget, or genuinely distinct trees get lost.
+    fn trees(&mut self, sym: SymbolId, i: usize, j: usize, depth: usize) -> Vec<Derivation> {
+        let mut out = Vec::new();
+        if self.steps >= self.limits.max_steps || depth > self.limits.max_depth {
+            return out;
+        }
+        self.steps += 1;
+        let mut seen = HashSet::new();
+        // The unexpanded leaf.
+        if j == i + 1 && self.input[i] == sym {
+            let leaf = Derivation::Leaf(sym);
+            seen.insert(leaf.clone());
+            out.push(leaf);
+        }
+        if self.g.kind(sym) != SymbolKind::Nonterminal {
+            return out;
+        }
+        for &pid in self.g.prods_of(sym) {
+            let rhs = self.g.prod(pid).rhs();
+            let mut splits: Vec<Vec<Derivation>> = Vec::new();
+            self.expand_seq(rhs, i, j, depth, &mut Vec::new(), &mut splits, out.len());
+            for children in splits {
+                let node = Derivation::Node(sym, children);
+                if seen.insert(node.clone()) {
+                    out.push(node);
+                    if out.len() >= self.limits.max_parses {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates ways `seq` derives `input[i..j]`, collecting the child
+    /// derivation vectors into `acc`.
+    fn expand_seq(
+        &mut self,
+        seq: &[SymbolId],
+        i: usize,
+        j: usize,
+        depth: usize,
+        prefix: &mut Vec<Derivation>,
+        acc: &mut Vec<Vec<Derivation>>,
+        already: usize,
+    ) {
+        if already + acc.len() >= self.limits.max_parses || self.steps >= self.limits.max_steps {
+            return;
+        }
+        let Some((&y, rest)) = seq.split_first() else {
+            if i == j {
+                acc.push(prefix.clone());
+            }
+            return;
+        };
+        for m in i..=j {
+            if !self.table.get(y, i, m) {
+                continue;
+            }
+            // `rest` must be able to cover (m, j); cheap pre-check.
+            if !seq_covers(self.g, &self.table, rest, m, j) {
+                continue;
+            }
+            for child in self.trees(y, i, m, depth + 1) {
+                prefix.push(child);
+                self.expand_seq(rest, m, j, depth, prefix, acc, already);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+/// Enumerates distinct derivation trees of `input` from `start`, up to the
+/// limits. The trivial tree (when `input == [start]`) is included.
+///
+/// # Panics
+///
+/// Panics if `start` is a terminal.
+pub fn parses(g: &Grammar, start: SymbolId, input: &[SymbolId], limits: Limits) -> Vec<Derivation> {
+    assert!(
+        g.kind(start) == SymbolKind::Nonterminal,
+        "start symbol must be a nonterminal"
+    );
+    // Iterative deepening on derivation depth: shallow (cheap) trees are
+    // found before the step budget is spent in deep ε-span recursions of
+    // cyclic grammars.
+    let mut seen = HashSet::new();
+    let mut out: Vec<Derivation> = Vec::new();
+    let mut spent = 0usize;
+    let mut depth = 4usize;
+    loop {
+        let table = SpanTable::build(g, input);
+        let mut e = Enumerator {
+            g,
+            input,
+            table,
+            limits: Limits {
+                max_depth: depth.min(limits.max_depth),
+                max_steps: limits.max_steps.saturating_sub(spent),
+                ..limits
+            },
+            steps: 0,
+        };
+        for t in e.trees(start, 0, input.len(), 0) {
+            if seen.insert(t.clone()) && out.len() < limits.max_parses {
+                out.push(t);
+            }
+        }
+        spent += e.steps;
+        if out.len() >= limits.max_parses
+            || depth >= limits.max_depth
+            || spent >= limits.max_steps
+        {
+            break;
+        }
+        depth *= 2;
+    }
+    out
+}
+
+/// Number of distinct derivation trees, capped at `max`.
+pub fn count_parses(g: &Grammar, start: SymbolId, input: &[SymbolId], max: usize) -> usize {
+    parses(
+        g,
+        start,
+        input,
+        Limits {
+            max_parses: max,
+            ..Limits::default()
+        },
+    )
+    .len()
+}
+
+/// `true` if the sentential form `input` has two distinct derivations from
+/// `start` — i.e. it is a valid *unifying counterexample* for an ambiguity
+/// of `start`.
+pub fn is_ambiguous_form(g: &Grammar, start: SymbolId, input: &[SymbolId]) -> bool {
+    count_parses(g, start, input, 2) >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::Grammar;
+
+    fn syms(g: &Grammar, names: &[&str]) -> Vec<SymbolId> {
+        names.iter().map(|n| g.symbol_named(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn unambiguous_string_has_one_tree() {
+        let g = Grammar::parse("%% l : l A | A ;").unwrap();
+        let l = g.symbol_named("l").unwrap();
+        assert_eq!(count_parses(&g, l, &syms(&g, &["A", "A", "A"]), 10), 1);
+    }
+
+    #[test]
+    fn classic_ambiguous_expression() {
+        let g = Grammar::parse("%% e : e '+' e | N ;").unwrap();
+        let e = g.symbol_named("e").unwrap();
+        assert_eq!(count_parses(&g, e, &syms(&g, &["N", "+", "N", "+", "N"]), 10), 2);
+        assert!(is_ambiguous_form(&g, e, &syms(&g, &["N", "+", "N", "+", "N"])));
+        assert!(!is_ambiguous_form(&g, e, &syms(&g, &["N", "+", "N"])));
+    }
+
+    #[test]
+    fn sentential_form_ambiguity() {
+        let g = Grammar::parse("%% e : e '+' e | N ;").unwrap();
+        let e = g.symbol_named("e").unwrap();
+        let plus = g.symbol_named("+").unwrap();
+        let input = vec![e, plus, e, plus, e];
+        let trees = parses(&g, e, &input, Limits::default());
+        assert_eq!(trees.len(), 2);
+        for t in &trees {
+            assert_eq!(t.leaves(), input, "leaves must be the input form");
+        }
+    }
+
+    #[test]
+    fn dangling_else_two_trees() {
+        let g = Grammar::parse(
+            "%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;",
+        )
+        .unwrap();
+        let s = g.symbol_named("s").unwrap();
+        let e = g.symbol_named("e").unwrap();
+        let input = vec![
+            g.symbol_named("if").unwrap(),
+            e,
+            g.symbol_named("then").unwrap(),
+            s,
+            g.symbol_named("else").unwrap(),
+            s,
+        ];
+        // `if e then s else s` itself has only one parse; the ambiguity
+        // appears with a nested if.
+        assert_eq!(count_parses(&g, s, &input, 10), 1);
+        let nested = vec![
+            g.symbol_named("if").unwrap(),
+            e,
+            g.symbol_named("then").unwrap(),
+            g.symbol_named("if").unwrap(),
+            e,
+            g.symbol_named("then").unwrap(),
+            s,
+            g.symbol_named("else").unwrap(),
+            s,
+        ];
+        assert_eq!(count_parses(&g, s, &nested, 10), 2);
+    }
+
+    #[test]
+    fn cyclic_grammar_is_bounded() {
+        // s -> s is a cycle: infinitely many derivations of `A`.
+        let g = Grammar::parse("%% s : s | A ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        let c = count_parses(&g, s, &syms(&g, &["A"]), 5);
+        assert!(c >= 2, "cycle found ({c} trees)");
+        assert!(c <= 5, "respects the cap");
+    }
+
+    #[test]
+    fn nullable_ambiguity() {
+        // Two ways to derive ε.
+        let g = Grammar::parse("%% s : a a ; a : ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        assert_eq!(count_parses(&g, s, &[], 10), 1);
+        let g2 = Grammar::parse("%% s : a | b ; a : ; b : ;").unwrap();
+        let s2 = g2.symbol_named("s").unwrap();
+        assert_eq!(count_parses(&g2, s2, &[], 10), 2);
+    }
+
+    #[test]
+    fn non_derivable_input_has_no_trees() {
+        let g = Grammar::parse("%% s : A B ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        assert_eq!(count_parses(&g, s, &syms(&g, &["B", "A"]), 10), 0);
+    }
+
+    #[test]
+    fn trivial_tree_for_start_itself() {
+        let g = Grammar::parse("%% s : A ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        let trees = parses(&g, s, &[s], Limits::default());
+        assert_eq!(trees, vec![Derivation::Leaf(s)]);
+    }
+}

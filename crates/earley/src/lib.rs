@@ -1,0 +1,33 @@
+//! Earley recognition and exhaustive derivation enumeration.
+//!
+//! This crate is the *independent oracle* of the `lalrcex` toolkit: it
+//! knows nothing about LR automata, so it can cross-check what the
+//! counterexample engine claims. Two components:
+//!
+//! * [`chart`] — a classic Earley recognizer, generalized to *sentential
+//!   forms*: the input may contain nonterminals, which match themselves
+//!   (an unexpanded leaf), and recognition may start from any nonterminal.
+//! * [`forest`] — a span-based derivation table from which all distinct
+//!   derivation trees of an input can be enumerated (up to limits). A
+//!   sentential form with two distinct trees proves the grammar ambiguous,
+//!   which is exactly the property a *unifying counterexample* (§3.2 of
+//!   the paper) must have.
+//!
+//! # Example
+//!
+//! ```
+//! use lalrcex_grammar::Grammar;
+//! use lalrcex_earley::{chart, forest};
+//!
+//! let g = Grammar::parse("%% e : e '+' e | N ;")?;
+//! let e = g.symbol_named("e").unwrap();
+//! let plus = g.symbol_named("+").unwrap();
+//! // `e + e + e` — the paper's §2.4 counterexample shape.
+//! let input = vec![e, plus, e, plus, e];
+//! assert!(chart::recognizes(&g, e, &input));
+//! assert!(forest::is_ambiguous_form(&g, e, &input));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod chart;
+pub mod forest;

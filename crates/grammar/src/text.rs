@@ -1,0 +1,532 @@
+//! A yacc-like grammar DSL.
+//!
+//! The evaluation corpus and the `lalrcex` CLI read grammars in a small
+//! subset of yacc/CUP syntax:
+//!
+//! ```text
+//! // comments: //, /* */, or #
+//! %token IF THEN ELSE          // optional: names are classified by use
+//! %left '+' '-'
+//! %left '*' '/'
+//! %nonassoc UMINUS
+//! %start stmt
+//! %%
+//! stmt : IF expr THEN stmt ELSE stmt
+//!      | IF expr THEN stmt
+//!      ;
+//! expr : NUM | expr '+' expr | '-' expr %prec UMINUS | %empty ;
+//! ```
+//!
+//! As in yacc, any name that appears to the left of a `:` is a nonterminal
+//! and every other name is a terminal; quoted literals are always terminals.
+
+use crate::grammar::{Assoc, Grammar, GrammarBuilder, GrammarError};
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    /// A quoted literal — always a terminal.
+    Quoted(String),
+    Directive(String),
+    Colon,
+    Pipe,
+    Semi,
+    Section, // %%
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GrammarError {
+        GrammarError::Parse {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), GrammarError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') => match self.src.get(self.pos + 1) {
+                    Some(b'/') => {
+                        while let Some(c) = self.bump() {
+                            if c == b'\n' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(b'*') => {
+                        let start_line = self.line;
+                        self.bump();
+                        self.bump();
+                        loop {
+                            match self.bump() {
+                                Some(b'*') if self.peek() == Some(b'/') => {
+                                    self.bump();
+                                    break;
+                                }
+                                Some(_) => {}
+                                None => {
+                                    return Err(GrammarError::Parse {
+                                        line: start_line,
+                                        msg: "unterminated /* comment".into(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    _ => return Ok(()),
+                },
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn is_ident_byte(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'-' | b'\'')
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(Tok, u32)>, GrammarError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b'|' => {
+                self.bump();
+                Tok::Pipe
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b'%' => {
+                self.bump();
+                if self.peek() == Some(b'%') {
+                    self.bump();
+                    Tok::Section
+                } else {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphabetic() {
+                            name.push(self.bump().unwrap() as char);
+                        } else {
+                            break;
+                        }
+                    }
+                    if name.is_empty() {
+                        return Err(self.err("expected directive name after `%`"));
+                    }
+                    Tok::Directive(name)
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                self.bump();
+                let mut name = String::new();
+                loop {
+                    match self.bump() {
+                        Some(c) if c == quote => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(c) => name.push(c as char),
+                            None => return Err(self.err("unterminated literal")),
+                        },
+                        Some(c) => name.push(c as char),
+                        None => return Err(self.err("unterminated literal")),
+                    }
+                }
+                if name.is_empty() {
+                    return Err(self.err("empty literal"));
+                }
+                Tok::Quoted(name)
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if Self::is_ident_byte(c) && c != b'\'' {
+                        name.push(self.bump().unwrap() as char);
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(name)
+            }
+            other => {
+                // Accept common punctuation as bare terminal names so that
+                // grammars can write `e : e + e ;` without quotes.
+                if b"+-*/=<>!&^~@?,.()[]{}".contains(&other) {
+                    self.bump();
+                    let mut name = (other as char).to_string();
+                    // Greedily glue two-char operators like `:=`, `==`, `<=`.
+                    if let Some(next) = self.peek() {
+                        if next == b'=' && matches!(other, b'<' | b'>' | b'!' | b'=') {
+                            self.bump();
+                            name.push('=');
+                        }
+                    }
+                    Tok::Ident(name)
+                } else {
+                    return Err(self.err(format!("unexpected character `{}`", other as char)));
+                }
+            }
+        };
+        Ok(Some((tok, line)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GrammarError {
+        GrammarError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, GrammarError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) | Some(Tok::Quoted(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses the DSL text into a builder (exposed for tooling that wants to
+/// post-process rules before building).
+pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
+    let mut lex = Lexer::new(text);
+    let mut toks = Vec::new();
+    while let Some(t) = lex.next_tok()? {
+        toks.push(t);
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let mut b = GrammarBuilder::new();
+
+    // Declarations.
+    loop {
+        match p.peek() {
+            Some(Tok::Section) => {
+                p.bump();
+                break;
+            }
+            Some(Tok::Directive(_)) => {
+                let Some(Tok::Directive(d)) = p.bump() else {
+                    unreachable!()
+                };
+                match d.as_str() {
+                    "token" | "term" => {
+                        while matches!(p.peek(), Some(Tok::Ident(_) | Tok::Quoted(_))) {
+                            let (Some(Tok::Ident(name)) | Some(Tok::Quoted(name))) = p.bump()
+                            else {
+                                unreachable!()
+                            };
+                            b.token(&name);
+                        }
+                    }
+                    "left" | "right" | "nonassoc" => {
+                        let assoc = match d.as_str() {
+                            "left" => Assoc::Left,
+                            "right" => Assoc::Right,
+                            _ => Assoc::Nonassoc,
+                        };
+                        let mut names = Vec::new();
+                        while matches!(p.peek(), Some(Tok::Ident(_) | Tok::Quoted(_))) {
+                            let (Some(Tok::Ident(name)) | Some(Tok::Quoted(name))) = p.bump()
+                            else {
+                                unreachable!()
+                            };
+                            names.push(name);
+                        }
+                        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                        b.prec_level(assoc, &refs);
+                    }
+                    "start" => {
+                        let name = p.expect_ident("start symbol")?;
+                        b.start(&name);
+                    }
+                    other => return Err(p.err(format!("unknown directive `%{other}`"))),
+                }
+            }
+            Some(other) => {
+                return Err(p.err(format!("expected declaration or `%%`, found {other:?}")))
+            }
+            None => return Err(p.err("missing `%%` separator")),
+        }
+    }
+
+    // Rules.
+    while let Some(tok) = p.peek() {
+        let Tok::Ident(_) = tok else {
+            return Err(p.err(format!("expected rule name, found {tok:?}")));
+        };
+        let Some(Tok::Ident(lhs)) = p.bump() else {
+            unreachable!()
+        };
+        match p.bump() {
+            Some(Tok::Colon) => {}
+            other => return Err(p.err(format!("expected `:` after rule name, found {other:?}"))),
+        }
+        loop {
+            // One alternative.
+            let mut rhs: Vec<String> = Vec::new();
+            let mut prec: Option<String> = None;
+            loop {
+                match p.peek() {
+                    Some(Tok::Ident(_)) => {
+                        let Some(Tok::Ident(s)) = p.bump() else {
+                            unreachable!()
+                        };
+                        rhs.push(s);
+                    }
+                    Some(Tok::Quoted(_)) => {
+                        let Some(Tok::Quoted(s)) = p.bump() else {
+                            unreachable!()
+                        };
+                        // Quoted literals are always terminals; declaring
+                        // them surfaces accidental collisions with
+                        // nonterminal names as TokenOnLhs errors.
+                        b.token(&s);
+                        rhs.push(s);
+                    }
+                    Some(Tok::Directive(d)) if d == "empty" => {
+                        p.bump();
+                    }
+                    Some(Tok::Directive(d)) if d == "prec" => {
+                        p.bump();
+                        prec = Some(p.expect_ident("terminal after %prec")?);
+                    }
+                    _ => break,
+                }
+            }
+            let refs: Vec<&str> = rhs.iter().map(String::as_str).collect();
+            match prec {
+                Some(ps) => {
+                    b.rule_prec(&lhs, &refs, &ps);
+                }
+                None => {
+                    b.rule(&lhs, &refs);
+                }
+            }
+            match p.bump() {
+                Some(Tok::Pipe) => continue,
+                Some(Tok::Semi) => break,
+                other => {
+                    return Err(p.err(format!("expected `|` or `;` in rule, found {other:?}")))
+                }
+            }
+        }
+    }
+    Ok(b)
+}
+
+impl Grammar {
+    /// Parses a grammar from the yacc-like DSL described in
+    /// [the module docs](crate::Grammar#impl-Grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrammarError::Parse`] with a line number for syntax errors,
+    /// or the other [`GrammarError`] variants for semantic problems.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lalrcex_grammar::Grammar;
+    ///
+    /// let g = Grammar::parse("%% s : s A | A ;")?;
+    /// assert_eq!(g.prod_count(), 3);
+    /// # Ok::<(), lalrcex_grammar::GrammarError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Grammar, GrammarError> {
+        parse_into_builder(text)?.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Precedence;
+
+    #[test]
+    fn parses_figure1_grammar() {
+        let g = Grammar::parse(
+            "// Figure 1 of the paper
+             %start stmt
+             %%
+             stmt : 'if' expr 'then' stmt 'else' stmt
+                  | 'if' expr 'then' stmt
+                  | expr '?' stmt stmt
+                  | 'arr' '[' expr ']' ':=' expr
+                  ;
+             expr : num | expr '+' expr ;
+             num  : digit | num digit ;",
+        )
+        .unwrap();
+        assert_eq!(g.prod_count(), 9, "8 rules + augmented start");
+        assert_eq!(g.nonterminal_count(), 4); // $accept stmt expr num
+        assert!(g.is_terminal(g.symbol_named("digit").unwrap()));
+    }
+
+    #[test]
+    fn precedence_directives() {
+        let g = Grammar::parse(
+            "%left '+' '-'
+             %left '*'
+             %nonassoc EQ
+             %start e
+             %%
+             e : e '+' e | e '*' e | e EQ e | ID ;",
+        )
+        .unwrap();
+        let plus = g.terminal_prec(g.symbol_named("+").unwrap()).unwrap();
+        let star = g.terminal_prec(g.symbol_named("*").unwrap()).unwrap();
+        let eq = g.terminal_prec(g.symbol_named("EQ").unwrap()).unwrap();
+        assert!(star.level > plus.level);
+        assert!(eq.level > star.level);
+        assert_eq!(eq.assoc, Assoc::Nonassoc);
+    }
+
+    #[test]
+    fn explicit_prec_on_rule() {
+        let g = Grammar::parse(
+            "%right UMINUS
+             %%
+             e : '-' e %prec UMINUS | NUM ;",
+        )
+        .unwrap();
+        let e = g.symbol_named("e").unwrap();
+        let p = g.prod(g.prods_of(e)[0]);
+        assert_eq!(
+            p.precedence(),
+            Some(Precedence {
+                level: 1,
+                assoc: Assoc::Right
+            })
+        );
+    }
+
+    #[test]
+    fn empty_alternatives() {
+        let g = Grammar::parse("%% s : A s | %empty ; t : ;").unwrap();
+        let s = g.symbol_named("s").unwrap();
+        assert!(g.prod(g.prods_of(s)[1]).rhs().is_empty());
+    }
+
+    #[test]
+    fn bare_operators_without_quotes() {
+        let g = Grammar::parse("%% e : e + e | e <= e | ( e ) | NUM ;").unwrap();
+        assert!(g.symbol_named("+").is_some());
+        assert!(g.symbol_named("<=").is_some());
+        assert!(g.symbol_named("(").is_some());
+    }
+
+    #[test]
+    fn comments_all_styles() {
+        let g = Grammar::parse(
+            "# hash comment
+             // slashes
+             /* block
+                comment */
+             %% s : A ;",
+        )
+        .unwrap();
+        assert_eq!(g.prod_count(), 2);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = Grammar::parse("%start s\n%%\ns : A\n").unwrap_err();
+        match err {
+            GrammarError::Parse { line, .. } => assert!(line >= 3, "line was {line}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_directive_is_error() {
+        assert!(matches!(
+            Grammar::parse("%frobnicate\n%% s : A ;"),
+            Err(GrammarError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_section_is_error() {
+        assert!(matches!(
+            Grammar::parse("%start s"),
+            Err(GrammarError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_block_comment() {
+        assert!(matches!(
+            Grammar::parse("/* oops\n%% s : A ;"),
+            Err(GrammarError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,489 @@
+//! LR(0) automaton construction with LALR(1) per-item lookahead sets.
+//!
+//! Lookaheads are computed with the classic spontaneous-generation /
+//! propagation algorithm on kernel items (equivalent to the
+//! DeRemer–Pennello LALR(1) sets), then extended to closure items by a
+//! per-state fixpoint so that *every* item of every state carries the
+//! lookahead set shown in the paper's Figure 2. The counterexample engine
+//! depends on these per-item sets.
+
+use std::collections::HashMap;
+
+use lalrcex_grammar::{Analysis, Grammar, SymbolId, SymbolKind, TerminalSet};
+
+use crate::item::Item;
+use crate::table::Tables;
+
+/// Identifies a state of an [`Automaton`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// The start state.
+    pub const START: StateId = StateId(0);
+
+    /// Dense index of this state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a state id from an index obtained from
+    /// [`StateId::index`].
+    pub fn from_index(index: usize) -> StateId {
+        StateId(index as u32)
+    }
+}
+
+impl std::fmt::Debug for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "state#{}", self.0)
+    }
+}
+
+/// One parser state: items (kernel first), per-item lookahead sets, and
+/// outgoing transitions.
+pub struct State {
+    items: Vec<Item>,
+    lookaheads: Vec<TerminalSet>,
+    kernel_len: usize,
+    transitions: Vec<(SymbolId, StateId)>,
+    accessing_symbol: Option<SymbolId>,
+}
+
+impl State {
+    /// All items: the kernel items first, then closure items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of kernel items (a prefix of [`State::items`]).
+    pub fn kernel_len(&self) -> usize {
+        self.kernel_len
+    }
+
+    /// LALR(1) lookahead set of the item at `idx` in [`State::items`].
+    pub fn lookahead(&self, idx: usize) -> &TerminalSet {
+        &self.lookaheads[idx]
+    }
+
+    /// Outgoing transitions, sorted by symbol.
+    pub fn transitions(&self) -> &[(SymbolId, StateId)] {
+        &self.transitions
+    }
+
+    /// The target of the transition on `sym`, if any.
+    pub fn transition(&self, sym: SymbolId) -> Option<StateId> {
+        self.transitions
+            .binary_search_by_key(&sym, |&(s, _)| s)
+            .ok()
+            .map(|i| self.transitions[i].1)
+    }
+
+    /// The symbol on which every transition *into* this state is made
+    /// (`None` only for the start state).
+    pub fn accessing_symbol(&self) -> Option<SymbolId> {
+        self.accessing_symbol
+    }
+
+    /// Index of `item` within this state, or `None` if absent.
+    pub fn item_index(&self, item: Item) -> Option<usize> {
+        self.items.iter().position(|&i| i == item)
+    }
+}
+
+/// The LR(0) automaton of a grammar, annotated with LALR(1) lookaheads.
+pub struct Automaton {
+    states: Vec<State>,
+    analysis: Analysis,
+}
+
+/// LR(0) closure: expands `kernel` (kept first, in the given order) with
+/// the start items of every nonterminal that appears after a dot.
+fn closure(g: &Grammar, kernel: &[Item]) -> Vec<Item> {
+    let mut items: Vec<Item> = kernel.to_vec();
+    let mut seen: HashMap<Item, ()> = items.iter().map(|&i| (i, ())).collect();
+    let mut idx = 0;
+    while idx < items.len() {
+        let it = items[idx];
+        idx += 1;
+        if let Some(next) = it.next_symbol(g) {
+            if g.kind(next) == SymbolKind::Nonterminal {
+                for &pid in g.prods_of(next) {
+                    let start = Item::start(pid);
+                    if seen.insert(start, ()).is_none() {
+                        items.push(start);
+                    }
+                }
+            }
+        }
+    }
+    // Deterministic order for closure items (kernel keeps its order).
+    items[kernel.len()..].sort_unstable();
+    items
+}
+
+impl Automaton {
+    /// Builds the automaton (states, transitions, LALR(1) lookaheads).
+    pub fn build(g: &Grammar) -> Automaton {
+        let analysis = Analysis::new(g);
+        let nterm = g.terminal_count();
+
+        // --- LR(0) states ----------------------------------------------
+        struct Proto {
+            items: Vec<Item>,
+            kernel_len: usize,
+            transitions: Vec<(SymbolId, StateId)>,
+            accessing_symbol: Option<SymbolId>,
+        }
+
+        let mut kernels: HashMap<Vec<Item>, StateId> = HashMap::new();
+        let mut protos: Vec<Proto> = Vec::new();
+
+        let start_kernel = vec![Item::start(g.accept_prod())];
+        kernels.insert(start_kernel.clone(), StateId(0));
+        protos.push(Proto {
+            items: closure(g, &start_kernel),
+            kernel_len: 1,
+            transitions: Vec::new(),
+            accessing_symbol: None,
+        });
+
+        let mut work = 0;
+        while work < protos.len() {
+            // Group items by their next symbol.
+            let mut by_symbol: Vec<(SymbolId, Vec<Item>)> = Vec::new();
+            for &it in &protos[work].items {
+                if let Some(next) = it.next_symbol(g) {
+                    match by_symbol.iter_mut().find(|(s, _)| *s == next) {
+                        Some((_, v)) => v.push(it.advance(g)),
+                        None => by_symbol.push((next, vec![it.advance(g)])),
+                    }
+                }
+            }
+            let mut transitions = Vec::with_capacity(by_symbol.len());
+            for (sym, mut kernel) in by_symbol {
+                kernel.sort_unstable();
+                kernel.dedup();
+                let next_id = match kernels.get(&kernel) {
+                    Some(&id) => id,
+                    None => {
+                        let id = StateId(protos.len() as u32);
+                        kernels.insert(kernel.clone(), id);
+                        protos.push(Proto {
+                            items: closure(g, &kernel),
+                            kernel_len: kernel.len(),
+                            transitions: Vec::new(),
+                            accessing_symbol: Some(sym),
+                        });
+                        id
+                    }
+                };
+                transitions.push((sym, next_id));
+            }
+            transitions.sort_unstable_by_key(|&(s, _)| s);
+            protos[work].transitions = transitions;
+            work += 1;
+        }
+
+        // --- LALR(1) kernel lookaheads: spontaneous + propagation -------
+        // `kernel_la[s][i]` is the lookahead of kernel item i of state s.
+        let mut kernel_la: Vec<Vec<TerminalSet>> = protos
+            .iter()
+            .map(|p| vec![TerminalSet::empty(nterm); p.kernel_len])
+            .collect();
+        kernel_la[0][0].insert(g.tindex(SymbolId::EOF));
+
+        // Propagation links: (from_state, from_kernel_idx) -> (to_state,
+        // to_kernel_idx).
+        let mut links: Vec<((usize, usize), (usize, usize))> = Vec::new();
+
+        // Map (state, kernel item) -> kernel index, for targets.
+        let kernel_index = |protos: &[Proto], s: usize, item: Item| -> usize {
+            protos[s].items[..protos[s].kernel_len]
+                .iter()
+                .position(|&i| i == item)
+                .expect("advanced item must be in target kernel")
+        };
+
+        for (s, proto) in protos.iter().enumerate() {
+            for (ki, &kitem) in proto.items[..proto.kernel_len].iter().enumerate() {
+                // LR(1) closure of {(kitem, {#})} where # is a probe.
+                // Represented as (TerminalSet, has_probe).
+                let mut la: HashMap<Item, (TerminalSet, bool)> = HashMap::new();
+                la.insert(kitem, (TerminalSet::empty(nterm), true));
+                let mut queue = vec![kitem];
+                while let Some(it) = queue.pop() {
+                    let Some(next) = it.next_symbol(g) else {
+                        continue;
+                    };
+                    if g.kind(next) != SymbolKind::Nonterminal {
+                        continue;
+                    }
+                    let (cur_set, cur_probe) = la[&it].clone();
+                    let beta = &it.tail(g)[1..];
+                    let mut add = analysis.first_of_seq(g, beta, &TerminalSet::empty(nterm));
+                    let pass_through = analysis.seq_nullable(g, beta);
+                    if pass_through {
+                        add.union_with(&cur_set);
+                    }
+                    let add_probe = pass_through && cur_probe;
+                    for &pid in g.prods_of(next) {
+                        let target = Item::start(pid);
+                        let entry = la
+                            .entry(target)
+                            .or_insert_with(|| (TerminalSet::empty(nterm), false));
+                        let mut changed = entry.0.union_with(&add);
+                        if add_probe && !entry.1 {
+                            entry.1 = true;
+                            changed = true;
+                        }
+                        if changed {
+                            queue.push(target);
+                        }
+                    }
+                }
+                // Distribute to successor kernels.
+                for (it, (set, probe)) in &la {
+                    let Some(next) = it.next_symbol(g) else {
+                        continue;
+                    };
+                    let t = proto
+                        .transitions
+                        .iter()
+                        .find(|&&(sym, _)| sym == next)
+                        .map(|&(_, id)| id.index())
+                        .expect("transition exists for item with next symbol");
+                    let tj = kernel_index(&protos, t, it.advance(g));
+                    kernel_la[t][tj].union_with(set);
+                    if *probe {
+                        links.push(((s, ki), (t, tj)));
+                    }
+                }
+            }
+        }
+
+        // Propagate to fixpoint.
+        loop {
+            let mut changed = false;
+            for &((fs, fi), (ts, ti)) in &links {
+                let snap = kernel_la[fs][fi].clone();
+                changed |= kernel_la[ts][ti].union_with(&snap);
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // --- Extend lookaheads to closure items (per-state fixpoint) ----
+        let mut states: Vec<State> = Vec::with_capacity(protos.len());
+        for (s, proto) in protos.into_iter().enumerate() {
+            let n = proto.items.len();
+            let mut las: Vec<TerminalSet> = vec![TerminalSet::empty(nterm); n];
+            las[..proto.kernel_len].clone_from_slice(&kernel_la[s]);
+            let pos: HashMap<Item, usize> =
+                proto.items.iter().enumerate().map(|(i, &it)| (it, i)).collect();
+            loop {
+                let mut changed = false;
+                for i in 0..n {
+                    let it = proto.items[i];
+                    let Some(next) = it.next_symbol(g) else {
+                        continue;
+                    };
+                    if g.kind(next) != SymbolKind::Nonterminal {
+                        continue;
+                    }
+                    let beta = &it.tail(g)[1..];
+                    let mut add =
+                        analysis.first_of_seq(g, beta, &TerminalSet::empty(nterm));
+                    if analysis.seq_nullable(g, beta) {
+                        let snap = las[i].clone();
+                        add.union_with(&snap);
+                    }
+                    for &pid in g.prods_of(next) {
+                        let j = pos[&Item::start(pid)];
+                        changed |= las[j].union_with(&add);
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            states.push(State {
+                items: proto.items,
+                lookaheads: las,
+                kernel_len: proto.kernel_len,
+                transitions: proto.transitions,
+                accessing_symbol: proto.accessing_symbol,
+            });
+        }
+
+        Automaton { states, analysis }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// A state by id.
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.index()]
+    }
+
+    /// Iterates over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// The grammar analyses computed during construction.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Builds action/goto tables, resolving conflicts by precedence and
+    /// recording the rest. See [`Tables`].
+    pub fn tables(&self, g: &Grammar) -> Tables {
+        Tables::build(g, self)
+    }
+
+    /// Renders a state like the paper's Figure 2 (items with lookaheads,
+    /// then transitions).
+    pub fn dump_state(&self, g: &Grammar, id: StateId) -> String {
+        let st = self.state(id);
+        let mut out = format!("State {}\n", id.0);
+        for (i, &it) in st.items().iter().enumerate() {
+            let la: Vec<&str> = st
+                .lookahead(i)
+                .iter()
+                .map(|t| g.display_name(g.terminal(t)))
+                .collect();
+            out.push_str(&format!("  {}  {{{}}}\n", it.display(g), la.join(", ")));
+        }
+        for &(sym, target) in st.transitions() {
+            out.push_str(&format!("  {} => State {}\n", g.display_name(sym), target.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::Grammar;
+
+    /// The paper's Figure 1 grammar.
+    fn figure1() -> Grammar {
+        Grammar::parse(
+            "%start stmt
+             %%
+             stmt : 'if' expr 'then' stmt 'else' stmt
+                  | 'if' expr 'then' stmt
+                  | expr '?' stmt stmt
+                  | 'arr' '[' expr ']' ':=' expr
+                  ;
+             expr : num | expr '+' expr ;
+             num  : digit | num digit ;",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_state_count_matches_paper() {
+        // Table 1 row `figure1`: 24 states.
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        assert_eq!(auto.state_count(), 24);
+    }
+
+    #[test]
+    fn start_state_has_closure_of_start_symbol() {
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let s0 = auto.state(StateId::START);
+        assert_eq!(s0.kernel_len(), 1);
+        // 1 accept + 4 stmt + 2 expr + 2 num items.
+        assert_eq!(s0.items().len(), 9);
+        assert_eq!(s0.accessing_symbol(), None);
+    }
+
+    #[test]
+    fn accessing_symbols_are_consistent() {
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        for id in auto.state_ids() {
+            for &(sym, target) in auto.state(id).transitions() {
+                assert_eq!(auto.state(target).accessing_symbol(), Some(sym));
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_else_lookaheads() {
+        // Find the state containing `stmt -> if expr then stmt ·` — its
+        // lookahead must contain both `else` (enabling the conflict) and $.
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let stmt = g.symbol_named("stmt").unwrap();
+        let short_if = g.prods_of(stmt)[1];
+        let else_t = g.tindex(g.symbol_named("else").unwrap());
+        let eof = g.tindex(SymbolId::EOF);
+        let mut found = false;
+        for id in auto.state_ids() {
+            let st = auto.state(id);
+            for (i, &it) in st.items().iter().enumerate() {
+                if it.prod() == short_if && it.is_reduce(&g) {
+                    found = true;
+                    assert!(st.lookahead(i).contains(else_t), "{}", auto.dump_state(&g, id));
+                    assert!(st.lookahead(i).contains(eof));
+                    // That same state must also contain the long-if shift item.
+                    let long_if = g.prods_of(stmt)[0];
+                    let shift = Item::new(long_if, 4);
+                    assert!(st.item_index(shift).is_some());
+                }
+            }
+        }
+        assert!(found, "reduce item never appeared");
+    }
+
+    #[test]
+    fn closure_item_lookaheads_match_figure2() {
+        // In Figure 2's State 6 the closure item `expr -> · num` has
+        // lookahead {then, +}.
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let s6 = auto
+            .state(StateId::START)
+            .transition(g.symbol_named("if").unwrap())
+            .unwrap();
+        let st = auto.state(s6);
+        let expr = g.symbol_named("expr").unwrap();
+        let num_prod = g.prods_of(expr)[0];
+        let idx = st.item_index(Item::start(num_prod)).unwrap();
+        let la = st.lookahead(idx);
+        let then_t = g.tindex(g.symbol_named("then").unwrap());
+        let plus_t = g.tindex(g.symbol_named("+").unwrap());
+        assert!(la.contains(then_t));
+        assert!(la.contains(plus_t));
+        assert_eq!(la.len(), 2, "{}", auto.dump_state(&g, s6));
+    }
+
+    #[test]
+    fn lr0_grammar_has_deterministic_lookaheads() {
+        let g = Grammar::parse("%% s : s A | A ;").unwrap();
+        let auto = Automaton::build(&g);
+        // Left-recursive list grammar: 4 LR(0) states + accept bookkeeping.
+        assert!(auto.state_count() >= 4);
+        // No state may contain two reduce items with intersecting lookaheads.
+        for id in auto.state_ids() {
+            let st = auto.state(id);
+            let reduces: Vec<usize> = (0..st.items().len())
+                .filter(|&i| st.items()[i].is_reduce(&g))
+                .collect();
+            for (a, &i) in reduces.iter().enumerate() {
+                for &j in &reduces[a + 1..] {
+                    assert!(!st.lookahead(i).intersects(st.lookahead(j)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! A nondeterministic (GLR-style) runtime that enumerates parse trees.
+//!
+//! Where the deterministic [`parser`](crate::parser) follows the resolved
+//! tables, this runtime explores *every* action the automaton allows —
+//! shifts and all lookahead-compatible reductions — so it finds every
+//! derivation of the input, bounded by [`Limits`]. It is used as an
+//! independent oracle: a unifying counterexample produced by the search
+//! engine must have at least two distinct parses here.
+//!
+//! Inputs may be *sentential forms*: nonterminal symbols in the input are
+//! consumed directly by the corresponding goto transition, which is exactly
+//! a derivation that leaves the nonterminal unexpanded (§3.2 of the paper
+//! prefers such counterexamples).
+
+use std::collections::HashSet;
+
+use lalrcex_grammar::{Derivation, Grammar, SymbolId, SymbolKind};
+
+use crate::automaton::{Automaton, StateId};
+
+/// Exploration bounds for the nondeterministic runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Stop after collecting this many distinct parse trees.
+    pub max_parses: usize,
+    /// Abort exploration after this many elementary steps (guards against
+    /// cyclic grammars where the number of derivations is infinite).
+    pub max_steps: usize,
+    /// Maximum recursion depth (guards against unit/ε-cycles that reduce
+    /// forever without consuming input).
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_parses: 8,
+            max_steps: 200_000,
+            max_depth: 512,
+        }
+    }
+}
+
+struct Search<'a> {
+    g: &'a Grammar,
+    auto: &'a Automaton,
+    input: &'a [SymbolId],
+    limits: Limits,
+    steps: usize,
+    out: HashSet<Derivation>,
+}
+
+impl Search<'_> {
+    fn explore(
+        &mut self,
+        states: &mut Vec<StateId>,
+        values: &mut Vec<Derivation>,
+        pos: usize,
+        depth: usize,
+    ) {
+        if self.out.len() >= self.limits.max_parses
+            || self.steps >= self.limits.max_steps
+            || depth >= self.limits.max_depth
+        {
+            return;
+        }
+        self.steps += 1;
+        let state = *states.last().expect("stack never empty");
+        let st = self.auto.state(state);
+        let look = self.input.get(pos).copied();
+
+        // Accept: all input consumed and the state can shift `$end`
+        // (i.e. it holds `$accept -> start · $end`).
+        if look.is_none() && st.transition(SymbolId::EOF).is_some() && values.len() == 1 {
+            self.out.insert(values[0].clone());
+        }
+
+        // Shift (terminal or nonterminal input symbol).
+        if let Some(sym) = look {
+            if let Some(next) = st.transition(sym) {
+                states.push(next);
+                values.push(Derivation::Leaf(sym));
+                self.explore(states, values, pos + 1, depth + 1);
+                values.pop();
+                states.pop();
+            }
+        }
+
+        // Reductions compatible with the lookahead.
+        for (i, &it) in st.items().iter().enumerate() {
+            if !it.is_reduce(self.g) || it.prod() == self.g.accept_prod() {
+                continue;
+            }
+            if !self.lookahead_compatible(st.lookahead(i), look) {
+                continue;
+            }
+            let n = self.g.prod(it.prod()).rhs().len();
+            if n >= states.len() {
+                continue; // not enough context on this stack
+            }
+            let saved_states: Vec<StateId> = states.split_off(states.len() - n);
+            let children: Vec<Derivation> = values.split_off(values.len() - n);
+            let lhs = self.g.prod(it.prod()).lhs();
+            let top = *states.last().expect("stack never empty");
+            if let Some(next) = self.auto.state(top).transition(lhs) {
+                states.push(next);
+                values.push(Derivation::Node(lhs, children.clone()));
+                self.explore(states, values, pos, depth + 1);
+                values.pop();
+                states.pop();
+            }
+            states.extend(saved_states);
+            values.extend(children);
+        }
+    }
+
+    /// Sound pruning: a reduction can only be part of a successful parse if
+    /// the upcoming symbol can begin something in the item's lookahead set.
+    fn lookahead_compatible(&self, la: &lalrcex_grammar::TerminalSet, look: Option<SymbolId>) -> bool {
+        match look {
+            None => la.contains(self.g.tindex(SymbolId::EOF)),
+            Some(sym) => match self.g.kind(sym) {
+                SymbolKind::Terminal => la.contains(self.g.tindex(sym)),
+                SymbolKind::Nonterminal => {
+                    self.auto.analysis().first(sym).intersects(la)
+                        || self.auto.analysis().nullable(sym)
+                }
+            },
+        }
+    }
+}
+
+/// Enumerates distinct parse trees of `input` (a sentential form) as
+/// derivations of the start symbol, up to the given limits.
+pub fn parses(g: &Grammar, auto: &Automaton, input: &[SymbolId], limits: Limits) -> Vec<Derivation> {
+    let mut search = Search {
+        g,
+        auto,
+        input,
+        limits,
+        steps: 0,
+        out: HashSet::new(),
+    };
+    let mut states = vec![StateId::START];
+    let mut values = Vec::new();
+    search.explore(&mut states, &mut values, 0, 0);
+    let mut v: Vec<Derivation> = search.out.into_iter().collect();
+    v.sort_by_key(|d| format!("{d:?}"));
+    v
+}
+
+/// `true` if `input` has at least two distinct parses.
+pub fn is_ambiguous_sentence(g: &Grammar, auto: &Automaton, input: &[SymbolId]) -> bool {
+    parses(
+        g,
+        auto,
+        input,
+        Limits {
+            max_parses: 2,
+            ..Limits::default()
+        },
+    )
+    .len()
+    >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Automaton;
+    use lalrcex_grammar::Grammar;
+
+    fn setup(src: &str) -> (Grammar, Automaton) {
+        let g = Grammar::parse(src).unwrap();
+        let auto = Automaton::build(&g);
+        (g, auto)
+    }
+
+    fn syms(g: &Grammar, names: &[&str]) -> Vec<SymbolId> {
+        names.iter().map(|n| g.symbol_named(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn unambiguous_input_has_one_parse() {
+        let (g, auto) = setup("%% list : list ITEM | ITEM ;");
+        let p = parses(&g, &auto, &syms(&g, &["ITEM", "ITEM"]), Limits::default());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_expression_has_two_parses() {
+        let (g, auto) = setup("%% e : e '+' e | N ;");
+        let input = syms(&g, &["N", "+", "N", "+", "N"]);
+        let p = parses(&g, &auto, &input, Limits::default());
+        assert_eq!(p.len(), 2, "{p:#?}");
+        assert!(is_ambiguous_sentence(&g, &auto, &input));
+        assert!(!is_ambiguous_sentence(&g, &auto, &syms(&g, &["N", "+", "N"])));
+    }
+
+    #[test]
+    fn sentential_form_with_nonterminals() {
+        // The paper's §2.4 counterexample: `expr + expr + expr` with expr
+        // left as a nonterminal has two parses.
+        let (g, auto) = setup("%% e : e '+' e | N ;");
+        let e = g.symbol_named("e").unwrap();
+        let plus = g.symbol_named("+").unwrap();
+        let input = vec![e, plus, e, plus, e];
+        assert!(is_ambiguous_sentence(&g, &auto, &input));
+        assert!(!is_ambiguous_sentence(&g, &auto, &[e, plus, e]));
+    }
+
+    #[test]
+    fn dangling_else_counterexample_is_ambiguous() {
+        let (g, auto) = setup(
+            "%% s : 'if' E 'then' s 'else' s | 'if' E 'then' s | X ; E : Y ;",
+        );
+        let input = syms(
+            &g,
+            &["if", "E", "then", "if", "E", "then", "s", "else", "s"],
+        );
+        assert!(is_ambiguous_sentence(&g, &auto, &input));
+    }
+
+    #[test]
+    fn figure3_is_unambiguous_despite_conflict() {
+        let (g, auto) = setup("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;");
+        for input in [
+            syms(&g, &["a"]),
+            syms(&g, &["a", "a", "b"]),
+            syms(&g, &["a", "a", "a", "b"]),
+            syms(&g, &["a", "a", "b", "a"]),
+            syms(&g, &["a", "a", "a", "a", "b", "a"]),
+        ] {
+            let p = parses(&g, &auto, &input, Limits::default());
+            assert_eq!(p.len(), 1, "input {:?}", g.format_symbols(&input));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let (g, auto) = setup("%% s : A B ;");
+        assert!(parses(&g, &auto, &syms(&g, &["B"]), Limits::default()).is_empty());
+        assert!(parses(&g, &auto, &[], Limits::default()).is_empty());
+    }
+
+    #[test]
+    fn respects_max_parses_limit() {
+        let (g, auto) = setup("%% e : e '+' e | N ;");
+        let input = syms(&g, &["N", "+", "N", "+", "N", "+", "N", "+", "N"]);
+        let p = parses(
+            &g,
+            &auto,
+            &input,
+            Limits {
+                max_parses: 3,
+                max_steps: 1_000_000,
+                ..Limits::default()
+            },
+        );
+        assert_eq!(p.len(), 3);
+    }
+}

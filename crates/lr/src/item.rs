@@ -1,0 +1,169 @@
+//! LR items: a production with a dot position.
+
+use lalrcex_grammar::{Grammar, ProdId, SymbolId};
+use std::fmt;
+
+/// An LR item `A -> α · β`: production `prod` with the dot after the first
+/// `dot` right-hand-side symbols.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Item {
+    prod: ProdId,
+    dot: u16,
+}
+
+impl Item {
+    /// The item `A -> · rhs` for a production.
+    pub fn start(prod: ProdId) -> Item {
+        Item { prod, dot: 0 }
+    }
+
+    /// An item with an explicit dot position.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dot` exceeds the production length when
+    /// checked against a grammar; this constructor performs no checking.
+    pub fn new(prod: ProdId, dot: usize) -> Item {
+        Item {
+            prod,
+            dot: dot as u16,
+        }
+    }
+
+    /// The item's production.
+    pub fn prod(self) -> ProdId {
+        self.prod
+    }
+
+    /// Number of symbols before the dot.
+    pub fn dot(self) -> usize {
+        self.dot as usize
+    }
+
+    /// The symbol immediately after the dot, or `None` for a reduce item.
+    pub fn next_symbol(self, g: &Grammar) -> Option<SymbolId> {
+        g.prod(self.prod).rhs().get(self.dot()).copied()
+    }
+
+    /// The symbol immediately before the dot, or `None` at the start.
+    pub fn prev_symbol(self, g: &Grammar) -> Option<SymbolId> {
+        self.dot()
+            .checked_sub(1)
+            .map(|i| g.prod(self.prod).rhs()[i])
+    }
+
+    /// The symbols after the dot.
+    pub fn tail<'g>(self, g: &'g Grammar) -> &'g [SymbolId] {
+        &g.prod(self.prod).rhs()[self.dot()..]
+    }
+
+    /// `true` if the dot is at the end of the production.
+    pub fn is_reduce(self, g: &Grammar) -> bool {
+        self.dot() == g.prod(self.prod).rhs().len()
+    }
+
+    /// The item with the dot advanced one symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is already a reduce item.
+    pub fn advance(self, g: &Grammar) -> Item {
+        assert!(!self.is_reduce(g), "cannot advance a reduce item");
+        Item {
+            prod: self.prod,
+            dot: self.dot + 1,
+        }
+    }
+
+    /// The item with the dot moved one symbol back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dot is at the start.
+    pub fn retreat(self) -> Item {
+        assert!(self.dot > 0, "cannot retreat past the start");
+        Item {
+            prod: self.prod,
+            dot: self.dot - 1,
+        }
+    }
+
+    /// Renders the item like `stmt -> if expr · then stmt`.
+    pub fn display(self, g: &Grammar) -> String {
+        let p = g.prod(self.prod);
+        let mut out = format!("{} ->", g.display_name(p.lhs()));
+        for (i, &s) in p.rhs().iter().enumerate() {
+            if i == self.dot() {
+                out.push_str(" \u{00b7}");
+            }
+            out.push(' ');
+            out.push_str(g.display_name(s));
+        }
+        if self.is_reduce(g) {
+            out.push_str(" \u{00b7}");
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item({:?}@{})", self.prod, self.dot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalrcex_grammar::Grammar;
+
+    fn g() -> Grammar {
+        Grammar::parse("%% s : A b C ; b : X | ;").unwrap()
+    }
+
+    #[test]
+    fn navigation() {
+        let g = g();
+        let s = g.symbol_named("s").unwrap();
+        let p = g.prods_of(s)[0];
+        let it = Item::start(p);
+        assert_eq!(it.next_symbol(&g), g.symbol_named("A"));
+        assert_eq!(it.prev_symbol(&g), None);
+        assert!(!it.is_reduce(&g));
+        let it2 = it.advance(&g);
+        assert_eq!(it2.prev_symbol(&g), g.symbol_named("A"));
+        assert_eq!(it2.next_symbol(&g), g.symbol_named("b"));
+        assert_eq!(it2.retreat(), it);
+        let done = it2.advance(&g).advance(&g);
+        assert!(done.is_reduce(&g));
+        assert_eq!(done.next_symbol(&g), None);
+        assert_eq!(done.tail(&g), &[]);
+    }
+
+    #[test]
+    fn empty_production_item_is_reduce_at_start() {
+        let g = g();
+        let b = g.symbol_named("b").unwrap();
+        let eps = g.prods_of(b)[1];
+        let it = Item::start(eps);
+        assert!(it.is_reduce(&g));
+    }
+
+    #[test]
+    fn display_places_dot() {
+        let g = g();
+        let s = g.symbol_named("s").unwrap();
+        let p = g.prods_of(s)[0];
+        assert_eq!(Item::new(p, 1).display(&g), "s -> A \u{00b7} b C");
+        assert_eq!(Item::new(p, 3).display(&g), "s -> A b C \u{00b7}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance")]
+    fn advance_past_end_panics() {
+        let g = g();
+        let s = g.symbol_named("s").unwrap();
+        let p = g.prods_of(s)[0];
+        let _ = Item::new(p, 3).advance(&g);
+    }
+}

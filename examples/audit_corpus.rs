@@ -1,0 +1,63 @@
+//! Audit a full-scale grammar from the evaluation corpus.
+//!
+//! Run with `cargo run --release --example audit_corpus [NAME]`.
+//!
+//! Loads one of the Table 1 grammars (default: `SQL.1`), reports every
+//! conflict with its counterexample, and cross-checks each claimed
+//! ambiguity with the independent Earley oracle — the end-to-end pipeline
+//! a grammar author would run in CI.
+
+use lalrcex::core::{Analyzer, CexConfig, ExampleKind};
+use lalrcex::earley::forest;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "SQL.1".into());
+    let entry = lalrcex::corpus::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown corpus grammar {name}; see lalrcex_corpus::all()"));
+    let g = entry.load()?;
+    println!(
+        "{name}: {} nonterminals, {} productions (paper row: {} / {})",
+        g.nonterminal_count() - 1,
+        g.prod_count(),
+        entry.paper.nonterminals,
+        entry.paper.productions,
+    );
+
+    let mut analyzer = Analyzer::new(&g);
+    let conflicts: Vec<_> = analyzer.tables().conflicts().to_vec();
+    println!("{} conflicts", conflicts.len());
+
+    let cfg = CexConfig::default();
+    let mut confirmed = 0usize;
+    for c in &conflicts {
+        let r = analyzer.analyze_conflict(c, &cfg);
+        match r.kind {
+            ExampleKind::Unifying => {
+                let u = r.unifying.as_ref().expect("unifying example present");
+                let form = u.sentential_form();
+                let ok = forest::is_ambiguous_form(&g, u.nonterminal, &form);
+                if ok {
+                    confirmed += 1;
+                }
+                println!(
+                    "  state #{} on {}: ambiguous {} — {} [oracle: {}]",
+                    c.state.index(),
+                    g.display_name(c.terminal),
+                    g.display_name(u.nonterminal),
+                    u.derivation1.flat(&g),
+                    if ok { "confirmed" } else { "UNCONFIRMED" },
+                );
+            }
+            other => {
+                println!(
+                    "  state #{} on {}: {:?}",
+                    c.state.index(),
+                    g.display_name(c.terminal),
+                    other
+                );
+            }
+        }
+    }
+    println!("{confirmed} ambiguities independently confirmed");
+    Ok(())
+}

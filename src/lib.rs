@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the `lalrcex` toolkit.
+//!
+//! See the individual crates for details:
+//! [`grammar`], [`lr`], [`earley`], [`core`], [`baselines`], [`corpus`].
+
+pub use lalrcex_baselines as baselines;
+pub use lalrcex_core as core;
+pub use lalrcex_corpus as corpus;
+pub use lalrcex_earley as earley;
+pub use lalrcex_grammar as grammar;
+pub use lalrcex_lr as lr;

@@ -1,0 +1,165 @@
+//! Property-based tests over randomly generated grammars: the
+//! counterexample engine must never claim an ambiguity the independent
+//! Earley oracle cannot confirm, and the parsing engines must agree on
+//! membership, whatever the grammar looks like.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use lalrcex::core::{validate, Analyzer, CexConfig, SearchConfig};
+use lalrcex::earley::{chart, forest};
+use lalrcex::grammar::{Grammar, GrammarBuilder, SymbolId};
+use lalrcex::lr::{glr, Automaton};
+
+/// A compact description of a random grammar: for each nonterminal, a few
+/// productions over a mixed alphabet.
+#[derive(Clone, Debug)]
+struct GrammarSpec {
+    /// prods[i] = productions of nonterminal `ni`; each production is a
+    /// sequence of symbol codes (0..3 = terminals a..d, 4..7 = n0..n3).
+    prods: Vec<Vec<Vec<u8>>>,
+}
+
+const NT_COUNT: usize = 3;
+
+fn nt_name(i: usize) -> String {
+    format!("n{i}")
+}
+
+fn sym_name(code: u8) -> String {
+    match code {
+        0..=3 => format!("t{}", code),
+        other => nt_name((other - 4) as usize % NT_COUNT),
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = GrammarSpec> {
+    let prod = prop::collection::vec(0u8..7, 0..4);
+    let prods_of_one = prop::collection::vec(prod, 1..4);
+    prop::collection::vec(prods_of_one, NT_COUNT).prop_map(|prods| GrammarSpec { prods })
+}
+
+fn build(spec: &GrammarSpec) -> Grammar {
+    let mut b = GrammarBuilder::new();
+    b.start(&nt_name(0));
+    for (i, prods) in spec.prods.iter().enumerate() {
+        let lhs = nt_name(i);
+        for p in prods {
+            let names: Vec<String> = p.iter().map(|&c| sym_name(c)).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            b.rule(&lhs, &refs);
+        }
+    }
+    // Guarantee every nonterminal has at least one terminal production so
+    // most random grammars are productive (unproductive ones are still
+    // legal — the engine must not crash on them either way).
+    b.build().expect("random grammars are structurally valid")
+}
+
+fn quick_cfg() -> CexConfig {
+    CexConfig {
+        search: SearchConfig {
+            time_limit: Duration::from_millis(300),
+            max_configs: 1 << 14,
+            ..Default::default()
+        },
+        cumulative_limit: Duration::from_secs(5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    /// Soundness: every claimed unifying counterexample is a genuine
+    /// ambiguity (confirmed by the Earley forest oracle), and every
+    /// produced derivation applies real productions of the grammar.
+    #[test]
+    fn unifying_claims_are_sound(spec in arb_spec()) {
+        let g = build(&spec);
+        let mut analyzer = Analyzer::new(&g);
+        let report = analyzer.analyze_all(&quick_cfg());
+        for r in &report.reports {
+            if let Some(u) = &r.unifying {
+                prop_assert!(validate::unifying_consistent(&g, u));
+                prop_assert!(
+                    forest::is_ambiguous_form(&g, u.nonterminal, &u.sentential_form()),
+                    "claimed ambiguity not confirmed: {} for {:?}",
+                    u.derivation1.flat(&g), spec
+                );
+            }
+            if let Some(n) = &r.nonunifying {
+                prop_assert!(validate::nonunifying_consistent(&g, n));
+            }
+        }
+    }
+
+    /// GLR and Earley agree on membership of random short strings.
+    #[test]
+    fn engines_agree_on_membership(spec in arb_spec(), words in prop::collection::vec(0u8..4, 0..6)) {
+        let g = build(&spec);
+        let auto = Automaton::build(&g);
+        let input: Vec<SymbolId> = words
+            .iter()
+            .filter_map(|&c| g.symbol_named(&sym_name(c)))
+            .collect();
+        let glr_accepts = !glr::parses(
+            &g,
+            &auto,
+            &input,
+            glr::Limits { max_parses: 1, max_steps: 100_000, max_depth: 256 },
+        )
+        .is_empty();
+        let earley_accepts = chart::recognizes(&g, g.start(), &input);
+        prop_assert_eq!(glr_accepts, earley_accepts,
+            "membership disagreement on {:?} for {:?}", g.format_symbols(&input), spec);
+    }
+
+    /// Structural automaton invariants hold for every grammar.
+    #[test]
+    fn automaton_invariants(spec in arb_spec()) {
+        let g = build(&spec);
+        let auto = Automaton::build(&g);
+        for id in auto.state_ids() {
+            let st = auto.state(id);
+            prop_assert!(st.kernel_len() >= 1 || id == lalrcex::lr::StateId::START);
+            for &(sym, target) in st.transitions() {
+                prop_assert_eq!(auto.state(target).accessing_symbol(), Some(sym));
+            }
+            // Every item's successor state contains the advanced item.
+            for &it in st.items() {
+                if let Some(next) = it.next_symbol(&g) {
+                    let target = st.transition(next).expect("transition for item");
+                    prop_assert!(auto.state(target).item_index(it.advance(&g)).is_some());
+                }
+            }
+        }
+    }
+
+    /// The deterministic parser accepts exactly the GLR language when the
+    /// grammar has no conflicts.
+    #[test]
+    fn lr_equals_glr_without_conflicts(spec in arb_spec(), words in prop::collection::vec(0u8..4, 0..6)) {
+        let g = build(&spec);
+        let auto = Automaton::build(&g);
+        let tables = auto.tables(&g);
+        prop_assume!(tables.conflicts().is_empty());
+        let input: Vec<SymbolId> = words
+            .iter()
+            .filter_map(|&c| g.symbol_named(&sym_name(c)))
+            .collect();
+        let lr = lalrcex::lr::parser::parse(&g, &auto, &tables, &input).is_ok();
+        let glr_accepts = !glr::parses(
+            &g,
+            &auto,
+            &input,
+            glr::Limits { max_parses: 1, max_steps: 100_000, max_depth: 256 },
+        )
+        .is_empty();
+        prop_assert_eq!(lr, glr_accepts);
+    }
+}
