@@ -63,10 +63,10 @@ impl Enumerator<'_> {
     /// Expands the leftmost nonterminal of `form`; `prefix_len` counts the
     /// terminals already fixed at the front, `trace` fingerprints the
     /// derivation (sequence of production indices).
-    fn walk(&mut self, form: &mut Vec<SymbolId>, trace: u64, depth: usize) -> bool {
+    fn walk(&mut self, form: &[SymbolId], trace: u64, depth: usize) -> bool {
         self.steps += 1;
         if self.steps >= self.max_steps
-            || (self.steps % 4096 == 0 && Instant::now() > self.deadline)
+            || (self.steps.is_multiple_of(4096) && Instant::now() > self.deadline)
         {
             return false;
         }
@@ -94,13 +94,13 @@ impl Enumerator<'_> {
         }
         let Some(pos) = leftmost else {
             // A complete sentence.
-            match self.seen.entry(form.clone()) {
+            match self.seen.entry(form.to_vec()) {
                 Entry::Vacant(e) => {
                     e.insert(trace);
                 }
                 Entry::Occupied(e) => {
                     if *e.get() != trace {
-                        self.found = Some(form.clone());
+                        self.found = Some(form.to_vec());
                         return false;
                     }
                 }
@@ -119,7 +119,7 @@ impl Enumerator<'_> {
                 .wrapping_mul(1_000_003)
                 .wrapping_add(alt as u64 + 1)
                 .wrapping_add((pos as u64) << 40);
-            if !self.walk(&mut next, t, depth + 1) {
+            if !self.walk(&next, t, depth + 1) {
                 return false;
             }
         }
@@ -137,7 +137,12 @@ pub fn search(g: &Grammar, budget: &Budget) -> Outcome {
 /// (the enumeration automatically restricts itself to the sub-grammar
 /// reachable from `root` — the building block of the grammar-filtered
 /// baseline).
-pub fn search_from(g: &Grammar, a: &Analysis, root: lalrcex_grammar::SymbolId, budget: &Budget) -> Outcome {
+pub fn search_from(
+    g: &Grammar,
+    a: &Analysis,
+    root: lalrcex_grammar::SymbolId,
+    budget: &Budget,
+) -> Outcome {
     let deadline = Instant::now() + budget.time_limit;
     for bound in 1..=budget.max_len {
         let mut e = Enumerator {
@@ -150,8 +155,8 @@ pub fn search_from(g: &Grammar, a: &Analysis, root: lalrcex_grammar::SymbolId, b
             seen: HashMap::new(),
             found: None,
         };
-        let mut form = vec![root];
-        let completed = e.walk(&mut form, 0, 0);
+        let form = vec![root];
+        let completed = e.walk(&form, 0, 0);
         if let Some(sentence) = e.found {
             return Outcome::Ambiguous { sentence, bound };
         }
@@ -192,10 +197,7 @@ mod tests {
 
     #[test]
     fn dangling_else_found() {
-        let g = Grammar::parse(
-            "%% s : 'i' s 'e' s | 'i' s | 'x' ;",
-        )
-        .unwrap();
+        let g = Grammar::parse("%% s : 'i' s 'e' s | 'i' s | 'x' ;").unwrap();
         assert!(matches!(search(&g, &budget()), Outcome::Ambiguous { .. }));
     }
 
@@ -207,8 +209,7 @@ mod tests {
 
     #[test]
     fn figure3_is_unambiguous_within_bound() {
-        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;")
-            .unwrap();
+        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;").unwrap();
         assert_eq!(search(&g, &budget()), Outcome::ExhaustedBound);
     }
 

@@ -68,10 +68,8 @@ mod tests {
 
     #[test]
     fn shortest_path_reaches_conflict_state() {
-        let g = Grammar::parse(
-            "%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;",
-        )
-        .unwrap();
+        let g = Grammar::parse("%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;")
+            .unwrap();
         let auto = Automaton::build(&g);
         let tables = auto.tables(&g);
         let c = &tables.conflicts()[0];

@@ -58,7 +58,10 @@ fn ancestors(g: &Grammar, target: SymbolId) -> Vec<SymbolId> {
             }
         }
     }
-    (0..n).filter(|&i| seen[i]).map(|i| g.nonterminal(i)).collect()
+    (0..n)
+        .filter(|&i| seen[i])
+        .map(|i| g.nonterminal(i))
+        .collect()
 }
 
 /// Size of the sub-grammar reachable from a nonterminal (used to order
@@ -146,10 +149,9 @@ mod tests {
     fn filtered_search_finds_inner_ambiguity() {
         // The ambiguity is in `e`; filtering should find it from the inner
         // root without enumerating statements.
-        let g = lalrcex_grammar::Grammar::parse(
-            "%% s : 'print' e ';' | s s ';' ; e : e '+' e | N ;",
-        )
-        .unwrap();
+        let g =
+            lalrcex_grammar::Grammar::parse("%% s : 'print' e ';' | s s ';' ; e : e '+' e | N ;")
+                .unwrap();
         let auto = Automaton::build(&g);
         let t = auto.tables(&g);
         let c = t
@@ -168,10 +170,8 @@ mod tests {
 
     #[test]
     fn candidate_roots_are_innermost_first() {
-        let g = lalrcex_grammar::Grammar::parse(
-            "%% s : 'print' e ';' ; e : e '+' e | N ;",
-        )
-        .unwrap();
+        let g =
+            lalrcex_grammar::Grammar::parse("%% s : 'print' e ';' ; e : e '+' e | N ;").unwrap();
         let auto = Automaton::build(&g);
         let t = auto.tables(&g);
         let c = &t.conflicts()[0];

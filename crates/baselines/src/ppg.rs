@@ -35,7 +35,12 @@ impl PpgExample {
     /// conflict terminal follows. PPG asserts the reduction can be taken
     /// with this terminal as lookahead; if the folded form is not a valid
     /// sentential prefix, the example is misleading.
-    pub fn claimed_reduce_form(&self, g: &Grammar, reduce_prod_len: usize, lhs: SymbolId) -> Vec<SymbolId> {
+    pub fn claimed_reduce_form(
+        &self,
+        g: &Grammar,
+        reduce_prod_len: usize,
+        lhs: SymbolId,
+    ) -> Vec<SymbolId> {
         let _ = g;
         let keep = self.prefix.len().saturating_sub(reduce_prod_len);
         let mut v = self.prefix[..keep].to_vec();
@@ -208,10 +213,8 @@ mod tests {
     use lalrcex_lr::Automaton;
 
     fn dangling_else() -> (Grammar, Automaton) {
-        let g = Grammar::parse(
-            "%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;",
-        )
-        .unwrap();
+        let g = Grammar::parse("%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;")
+            .unwrap();
         let auto = Automaton::build(&g);
         (g, auto)
     }
@@ -268,7 +271,11 @@ mod tests {
             "{:?}",
             report
                 .iter()
-                .map(|(c, ex, v)| format!("{} -> {} ({v})", g.display_name(c.terminal), ex.display(&g)))
+                .map(|(c, ex, v)| format!(
+                    "{} -> {} ({v})",
+                    g.display_name(c.terminal),
+                    ex.display(&g)
+                ))
                 .collect::<Vec<_>>()
         );
     }

@@ -1,5 +1,6 @@
-//! Criterion benchmarks for the counterexample pipeline — one group per
-//! measurable claim of the paper's evaluation:
+//! Micro-benchmarks for the counterexample pipeline — one group per
+//! measurable claim of the paper's evaluation, on the hermetic
+//! `std::time::Instant` harness (`lalrcex_bench::micro`):
 //!
 //! * `automaton` — LALR construction cost on grammars of growing size
 //!   (the fixed setup cost before any conflict is diagnosed).
@@ -9,28 +10,26 @@
 //!   quantity reported in Table 1's "Average" column.
 //! * `baseline` — the grammar-filtered bounded search on the same
 //!   conflict, the paper's comparison point (parenthesised column).
+//!
+//! Filter with `cargo bench -- NAME` (substring match on `group/bench`).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use lalrcex_baselines::{amber, filtered};
+use lalrcex_bench::micro::{Group, MicroConfig};
 use lalrcex_core::{lssi, unifying_search, Analyzer, CexConfig, SearchConfig, StateGraph};
 use lalrcex_lr::Automaton;
 
-fn automaton_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("automaton");
+fn automaton_construction(cfg: MicroConfig, filter: Option<String>) {
+    let mut group = Group::new("automaton", cfg, filter);
     for name in ["figure1", "SQL.1", "eqn", "C.1", "Java.1"] {
         let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
-            b.iter(|| Automaton::build(g).state_count())
-        });
+        group.bench(name, || Automaton::build(&g).state_count());
     }
-    group.finish();
 }
 
-fn lssi_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lssi");
+fn lssi_search(cfg: MicroConfig, filter: Option<String>) {
+    let mut group = Group::new("lssi", cfg, filter);
     for name in ["figure1", "eqn", "C.1", "Java.1"] {
         let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
         let auto = Automaton::build(&g);
@@ -38,20 +37,16 @@ fn lssi_search(c: &mut Criterion) {
         let graph = StateGraph::build(&g, &auto);
         let conflict = tables.conflicts()[0];
         let target = graph.node(conflict.state, conflict.reduce_item(&g));
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                lssi::shortest_path(&g, &auto, &graph, target, g.tindex(conflict.terminal))
-                    .expect("path exists")
-                    .len()
-            })
+        group.bench(name, || {
+            lssi::shortest_path(&g, &auto, &graph, target, g.tindex(conflict.terminal))
+                .expect("path exists")
+                .len()
         });
     }
-    group.finish();
 }
 
-fn unifying(c: &mut Criterion) {
-    let mut group = c.benchmark_group("unifying");
-    group.measurement_time(Duration::from_secs(10));
+fn unifying(cfg: MicroConfig, filter: Option<String>) {
+    let mut group = Group::new("unifying", cfg, filter);
     for name in ["figure1", "figure7", "SQL.1", "simp2"] {
         let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
         let auto = Automaton::build(&g);
@@ -62,33 +57,29 @@ fn unifying(c: &mut Criterion) {
         let path = lssi::shortest_path(&g, &auto, &graph, target, g.tindex(conflict.terminal))
             .expect("path");
         let states = lssi::states_of_path(&graph, &path);
-        let cfg = SearchConfig::default();
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| unifying_search(&g, &auto, &graph, &conflict, &states, &cfg))
+        let scfg = SearchConfig::default();
+        group.bench(name, || {
+            unifying_search(&g, &auto, &graph, &conflict, &states, &scfg)
         });
     }
-    group.finish();
 }
 
-fn full_conflict(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_conflict");
-    group.sample_size(10);
+fn full_conflict(cfg: MicroConfig, filter: Option<String>) {
+    let mut group = Group::new("full_conflict", cfg, filter);
     for name in ["figure1", "eqn", "SQL.1", "Pascal.3", "C.1", "Java.1"] {
         let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut analyzer = Analyzer::new(&g);
-                let conflict = analyzer.tables().conflicts()[0];
-                analyzer.analyze_conflict(&conflict, &CexConfig::default()).kind
-            })
+        group.bench(name, || {
+            let mut analyzer = Analyzer::new(&g);
+            let conflict = analyzer.tables().conflicts()[0];
+            analyzer
+                .analyze_conflict(&conflict, &CexConfig::default())
+                .kind
         });
     }
-    group.finish();
 }
 
-fn baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_filtered");
-    group.sample_size(10);
+fn baseline(cfg: MicroConfig, filter: Option<String>) {
+    let mut group = Group::new("baseline_filtered", cfg, filter);
     for name in ["figure1", "SQL.1"] {
         let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
         let auto = Automaton::build(&g);
@@ -99,19 +90,23 @@ fn baseline(c: &mut Criterion) {
             time_limit: Duration::from_secs(20),
             max_steps: 50_000_000,
         };
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| filtered::search(&g, &conflict, &budget))
-        });
+        group.bench(name, || filtered::search(&g, &conflict, &budget));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    automaton_construction,
-    lssi_search,
-    unifying,
-    full_conflict,
-    baseline
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- FILTER` puts the filter in argv; `cargo bench` also
+    // passes `--bench`, which we ignore.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+    let cfg = MicroConfig::default();
+    let slow = MicroConfig {
+        samples: 10,
+        min_time: Duration::from_millis(500),
+        ..cfg
+    };
+    automaton_construction(cfg, filter.clone());
+    lssi_search(cfg, filter.clone());
+    unifying(slow, filter.clone());
+    full_conflict(slow, filter.clone());
+    baseline(slow, filter);
+}

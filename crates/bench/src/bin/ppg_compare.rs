@@ -23,7 +23,11 @@ fn main() {
         let report = ppg::validity_report(&g, &auto);
         let invalid: Vec<_> = report.iter().filter(|(_, _, ok)| !ok).collect();
         if invalid.is_empty() {
-            println!("{:<12} {} PPG examples, all valid", entry.name, report.len());
+            println!(
+                "{:<12} {} PPG examples, all valid",
+                entry.name,
+                report.len()
+            );
             continue;
         }
         misleading_grammars.push(entry.name);
@@ -44,10 +48,7 @@ fn main() {
             if let Some(u) = &r.unifying {
                 println!("    ours:       {}", u.derivation1.flat(&g));
             } else if let Some(n) = &r.nonunifying {
-                println!(
-                    "    ours:       {}",
-                    n.reduce_derivation.flat(&g)
-                );
+                println!("    ours:       {}", n.reduce_derivation.flat(&g));
             }
         }
     }

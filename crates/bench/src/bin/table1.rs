@@ -4,12 +4,15 @@
 //!
 //! ```text
 //! USAGE: table1 [--fast] [--baseline] [--only NAME] [--time-limit SECS]
+//!               [--workers N]
 //!
 //!   --fast             skip the four largest grammars (java-ext*, Java.2)
 //!   --baseline         also run the grammar-filtered bounded search
 //!                      (CFGAnalyzer stand-in) per grammar — slow
 //!   --only NAME        run a single row
 //!   --time-limit SECS  per-conflict unifying budget (default 5)
+//!   --workers N        worker threads for the per-conflict fan-out
+//!                      (default 0 = one per CPU)
 //! ```
 
 use std::time::Duration;
@@ -22,6 +25,7 @@ fn main() {
     let mut baseline = false;
     let mut only: Option<String> = None;
     let mut time_limit = Duration::from_secs(5);
+    let mut workers: usize = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -29,10 +33,10 @@ fn main() {
             "--baseline" => baseline = true,
             "--only" => only = args.next(),
             "--time-limit" => {
-                time_limit = Duration::from_secs(
-                    args.next().and_then(|s| s.parse().ok()).unwrap_or(5),
-                )
+                time_limit =
+                    Duration::from_secs(args.next().and_then(|s| s.parse().ok()).unwrap_or(5))
             }
+            "--workers" => workers = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -42,13 +46,15 @@ fn main() {
 
     let mut cfg = paper_config();
     cfg.search.time_limit = time_limit;
+    cfg.workers = workers;
 
     let heavy = ["java-ext1", "java-ext2", "Java.2"];
     println!(
-        "{:<12} | {:>4} {:>5} {:>6} | {:>5} | {:>5} {:>7} {:>5} | {:>9} {:>9} | paper(conf u/n/t)",
-        "grammar", "nt", "prods", "states", "conf", "unif", "nonunif", "tout", "total(s)", "avg(s)"
+        "{:<12} | {:>4} {:>5} {:>6} | {:>5} | {:>5} {:>7} {:>5} | {:>9} {:>9} | {:>9} {:>8} {:>4} | paper(conf u/n/t)",
+        "grammar", "nt", "prods", "states", "conf", "unif", "nonunif", "tout", "total(s)", "avg(s)",
+        "explored", "deduped", "memo"
     );
-    println!("{}", "-".repeat(110));
+    println!("{}", "-".repeat(136));
 
     let mut rows: Vec<Row> = Vec::new();
     let mut ratios: Vec<f64> = Vec::new();
@@ -96,7 +102,7 @@ fn main() {
             None => String::new(),
         };
         println!(
-            "{:<12} | {:>4} {:>5} {:>6} | {:>5} | {:>5} {:>7} {:>5} | {:>9} {:>9} | ({} {}/{}/{}){}",
+            "{:<12} | {:>4} {:>5} {:>6} | {:>5} | {:>5} {:>7} {:>5} | {:>9} {:>9} | {:>9} {:>8} {:>4} | ({} {}/{}/{}){}",
             row.name,
             row.nonterminals,
             row.productions,
@@ -107,6 +113,9 @@ fn main() {
             row.timeouts,
             total,
             avg,
+            row.explored,
+            row.deduped,
+            row.memo_hits,
             p.conflicts,
             p.unifying,
             p.nonunifying,
@@ -117,7 +126,7 @@ fn main() {
     }
 
     // §7.3 summary.
-    println!("{}", "-".repeat(110));
+    println!("{}", "-".repeat(136));
     let finished: Vec<&Row> = rows
         .iter()
         .filter(|r| r.unifying + r.nonunifying > 0)

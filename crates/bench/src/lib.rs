@@ -11,6 +11,8 @@
 //! * `ppg_compare` — the §7.2 comparison against PPG's lookahead-blind
 //!   counterexamples.
 
+pub mod micro;
+
 use std::time::Duration;
 
 use lalrcex_baselines::amber::Budget;
@@ -37,8 +39,16 @@ pub struct Row {
     pub nonunifying: usize,
     /// Conflicts that timed out or were skipped (nonunifying example).
     pub timeouts: usize,
-    /// Total counterexample time.
+    /// Total counterexample wall-clock time.
     pub total: Duration,
+    /// Product-parser configurations explored across all conflicts.
+    pub explored: u64,
+    /// Configurations dropped by the visited-core dedup.
+    pub deduped: u64,
+    /// Spine-memo hits (conflicts that reused another conflict's §4 path).
+    pub memo_hits: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
     /// Baseline (grammar-filtered bounded search) time, if run.
     pub baseline: Option<(Duration, bool)>,
 }
@@ -67,6 +77,10 @@ pub fn run_entry(entry: &CorpusEntry, cfg: &CexConfig) -> Row {
         nonunifying: report.exhausted_count(),
         timeouts: report.timeout_count(),
         total: report.total_time,
+        explored: report.stats.search.explored,
+        deduped: report.stats.search.deduped,
+        memo_hits: report.stats.spine_memo_hits,
+        workers: report.stats.workers,
         baseline: None,
     }
 }
@@ -99,6 +113,7 @@ pub fn paper_config() -> CexConfig {
             ..Default::default()
         },
         cumulative_limit: Duration::from_secs(120),
+        ..CexConfig::default()
     }
 }
 
@@ -149,10 +164,13 @@ mod tests {
     #[test]
     fn baseline_on_sql1_finds_ambiguity() {
         let entry = lalrcex_corpus::by_name("SQL.1").unwrap();
+        // The minimal ambiguous sentence of SQL.1's `cond` is
+        // `ID = ID OR ID = ID OR ID = ID` — 11 tokens, so the length bound
+        // must be at least 11 for the bounded search to see it.
         let (elapsed, found) = run_baseline(
             &entry,
             &Budget {
-                max_len: 10,
+                max_len: 12,
                 time_limit: Duration::from_secs(20),
                 max_steps: 20_000_000,
             },

@@ -1,0 +1,145 @@
+//! A minimal `std::time::Instant`-based micro-benchmark harness.
+//!
+//! Stand-in for criterion in hermetic builds (no registry access): each
+//! benchmark is warmed up, then timed over a fixed number of batches, and
+//! the per-iteration mean / median / min are printed in a compact table.
+//! Run with `cargo bench` (the bench target sets `harness = false`) or
+//! filter by name: `cargo bench -- lssi`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `black_box` inputs like with criterion.
+pub use std::hint::black_box as bb;
+
+/// Harness options.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroConfig {
+    /// Number of timed batches (samples).
+    pub samples: usize,
+    /// Minimum wall-clock time to spend per benchmark (drives the
+    /// iterations-per-batch calibration).
+    pub min_time: Duration,
+    /// Warm-up time before calibration.
+    pub warmup: Duration,
+}
+
+impl Default for MicroConfig {
+    fn default() -> MicroConfig {
+        MicroConfig {
+            samples: 20,
+            min_time: Duration::from_millis(300),
+            warmup: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A named group of benchmarks, printed as a table.
+pub struct Group<'a> {
+    name: &'a str,
+    cfg: MicroConfig,
+    filter: Option<String>,
+    printed_header: bool,
+}
+
+impl<'a> Group<'a> {
+    /// Creates a group; `filter` (usually the first CLI argument) restricts
+    /// which benchmarks run by substring match on `group/name`.
+    pub fn new(name: &'a str, cfg: MicroConfig, filter: Option<String>) -> Group<'a> {
+        Group {
+            name,
+            cfg,
+            filter,
+            printed_header: false,
+        }
+    }
+
+    /// Times `f` (whose return value is black-boxed) under `name`.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        let full = format!("{}/{name}", self.name);
+        if let Some(flt) = &self.filter {
+            if !full.contains(flt.as_str()) {
+                return;
+            }
+        }
+        if !self.printed_header {
+            println!("\n== {} ==", self.name);
+            println!(
+                "{:<28} {:>12} {:>12} {:>12} {:>8}",
+                "benchmark", "mean", "median", "min", "iters"
+            );
+            self.printed_header = true;
+        }
+
+        // Warm up and calibrate iterations per batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let target_batch = self.cfg.min_time / self.cfg.samples as u32;
+        let iters_per_batch = if per_iter.is_zero() {
+            1000
+        } else {
+            (target_batch.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.cfg.samples);
+        for _ in 0..self.cfg.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / iters_per_batch as u32);
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{:<28} {:>12} {:>12} {:>12} {:>8}",
+            name,
+            fmt(mean),
+            fmt(median),
+            fmt(min),
+            iters_per_batch * self.cfg.samples as u64,
+        );
+    }
+}
+
+/// Formats a duration with an adaptive unit.
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_respects_filter() {
+        let cfg = MicroConfig {
+            samples: 3,
+            min_time: Duration::from_millis(3),
+            warmup: Duration::from_millis(1),
+        };
+        let mut ran = 0;
+        let mut g = Group::new("g", cfg, Some("match".into()));
+        g.bench("match_me", || ran += 1);
+        assert!(ran > 0, "filtered-in benchmark must run");
+        let before = ran;
+        g.bench("skipped", || ran += 1);
+        assert_eq!(ran, before, "filtered-out benchmark must not run");
+    }
+}

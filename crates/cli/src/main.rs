@@ -10,6 +10,10 @@
 //!   --extended           full unifying search (no shortest-path pruning)
 //!   --time-limit SECS    per-conflict unifying search budget (default 5)
 //!   --total-limit SECS   cumulative unifying budget (default 120)
+//!   --workers N          worker threads for the conflict fan-out
+//!                        (default 0 = one per CPU)
+//!   --stats              print per-conflict and grammar-wide search
+//!                        counters (explored configs, spine memo, times)
 //!   --dump-states        print the full parser state machine
 //!   --path               print the shortest lookahead-sensitive path
 //!   --summary            one line per conflict instead of full reports
@@ -21,7 +25,9 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use lalrcex_core::{format_report, Analyzer, CexConfig, ExampleKind};
+use lalrcex_core::{
+    format_conflict_stats, format_grammar_stats, format_report, Analyzer, CexConfig, ExampleKind,
+};
 use lalrcex_grammar::Grammar;
 use lalrcex_lr::Automaton;
 
@@ -33,12 +39,14 @@ struct Options {
     dump_states: bool,
     show_path: bool,
     summary: bool,
+    stats: bool,
+    workers: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lalrcex [--extended] [--time-limit SECS] [--total-limit SECS] \
-         [--dump-states] [--path] [--summary] GRAMMAR.y"
+         [--workers N] [--stats] [--dump-states] [--path] [--summary] GRAMMAR.y"
     );
     std::process::exit(2);
 }
@@ -52,6 +60,8 @@ fn parse_args() -> Options {
         dump_states: false,
         show_path: false,
         summary: false,
+        stats: false,
+        workers: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,6 +81,13 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage());
                 opts.total_limit = Duration::from_secs(secs);
             }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--stats" => opts.stats = true,
             "--dump-states" => opts.dump_states = true,
             "--path" => opts.show_path = true,
             "--summary" => opts.summary = true,
@@ -144,9 +161,11 @@ fn main() -> ExitCode {
             ..Default::default()
         },
         cumulative_limit: opts.total_limit,
+        workers: opts.workers,
     };
 
-    for c in &conflicts {
+    let grammar_report = analyzer.analyze_all(&cfg);
+    for (c, report) in conflicts.iter().zip(&grammar_report.reports) {
         if opts.show_path {
             if let Some(path) = analyzer.shortest_path(c) {
                 println!(
@@ -155,7 +174,6 @@ fn main() -> ExitCode {
                 );
             }
         }
-        let report = analyzer.analyze_conflict(c, &cfg);
         if opts.summary {
             let kind = match report.kind {
                 ExampleKind::Unifying => "unifying",
@@ -180,8 +198,17 @@ fn main() -> ExitCode {
                 g.display_name(c.terminal)
             );
         } else {
-            println!("{}", format_report(&g, &report));
+            println!("{}", format_report(&g, report));
         }
+        if opts.stats {
+            println!("Stats : {}", format_conflict_stats(&report.stats));
+        }
+    }
+    if opts.stats {
+        println!(
+            "{}",
+            format_grammar_stats(&grammar_report.stats, grammar_report.total_time)
+        );
     }
     ExitCode::from(1)
 }

@@ -1,0 +1,385 @@
+//! The parallel shared-precomputation conflict engine.
+//!
+//! Everything conflict-*independent* is built exactly once per grammar —
+//! the LALR automaton, the resolved parse tables, the state-item graph
+//! with its reverse edges (§6 "Data structures") — and shared read-only
+//! across all conflicts. On top of that sits a memo of §4 shortest
+//! lookahead-sensitive spines keyed by `(reduce state-item, conflict
+//! terminal)`: conflicts that share a reduce item under the same lookahead
+//! (common in reduce/reduce clusters and the conflict storms of Java.2)
+//! reuse one spine search for both the unifying-search pruning set and the
+//! nonunifying construction.
+//!
+//! Per-conflict work — the product-parser unifying search (§5) and the
+//! nonunifying construction — fans out across a [`std::thread::scope`]
+//! worker pool. A deadline-aware scheduler enforces both limits of §6:
+//! each conflict's search runs under `min(time_limit, remaining grammar
+//! budget)`, and once the grammar-wide `cumulative_limit` is exhausted the
+//! remaining conflicts skip the expensive search but still receive their
+//! cheap nonunifying counterexamples. Reports are collected in conflict
+//! table order, so for runs where no limit fires the output is
+//! byte-identical whatever the worker count.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lalrcex_grammar::Grammar;
+use lalrcex_lr::{Automaton, Conflict, StateId, Tables};
+
+use crate::lssi::{self, LsNode};
+use crate::nonunifying::nonunifying_example;
+use crate::report::{CexConfig, ConflictReport, ExampleKind, GrammarReport};
+use crate::search::{unifying_search_metered, SearchConfig, SearchOutcome};
+use crate::state_graph::{StateGraph, StateItemId};
+use crate::stats::{GrammarStats, SearchStats};
+
+/// A memoized §4 spine: the shortest lookahead-sensitive path to a
+/// conflict's reduce item, plus the derived state set that prunes the
+/// unifying search (§6).
+pub struct Spine {
+    /// The path (`None` when no lookahead-sensitive path exists, which for
+    /// genuine LALR conflicts does not happen).
+    pub path: Option<Vec<LsNode>>,
+    /// The automaton states visited by the path, sorted and deduplicated.
+    pub states: Vec<StateId>,
+    /// Lookahead-sensitive nodes expanded to find the path.
+    pub nodes_expanded: u64,
+}
+
+/// The per-grammar engine: conflict-independent state built once, then
+/// shared read-only by every per-conflict search (and every worker).
+pub struct Engine<'g> {
+    g: &'g Grammar,
+    auto: Automaton,
+    tables: Tables,
+    graph: StateGraph,
+    precompute: Duration,
+    memo: Mutex<HashMap<(StateItemId, usize), Arc<Spine>>>,
+}
+
+/// Resolves a configured worker count: `0` means one worker per available
+/// CPU; the result is clamped to `[1, conflicts]`.
+pub fn resolve_workers(configured: usize, conflicts: usize) -> usize {
+    let hw = if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    };
+    hw.clamp(1, conflicts.max(1))
+}
+
+impl<'g> Engine<'g> {
+    /// Builds all conflict-independent state for `g`: automaton, tables,
+    /// state-item graph (with reverse edges), and an empty spine memo.
+    pub fn new(g: &'g Grammar) -> Engine<'g> {
+        let t0 = Instant::now();
+        let auto = Automaton::build(g);
+        let tables = auto.tables(g);
+        let graph = StateGraph::build(g, &auto);
+        Engine {
+            g,
+            auto,
+            tables,
+            graph,
+            precompute: t0.elapsed(),
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The grammar this engine was built for.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.g
+    }
+
+    /// The LALR automaton.
+    pub fn automaton(&self) -> &Automaton {
+        &self.auto
+    }
+
+    /// The resolved parse tables (with the conflict list).
+    pub fn tables(&self) -> &Tables {
+        &self.tables
+    }
+
+    /// The state-item graph.
+    pub fn graph(&self) -> &StateGraph {
+        &self.graph
+    }
+
+    /// Time spent building the conflict-independent state.
+    pub fn precompute_time(&self) -> Duration {
+        self.precompute
+    }
+
+    /// The spine for a conflict, served from the per-grammar memo when a
+    /// previous conflict shared the same `(reduce state-item, terminal)`
+    /// key. Returns the spine and whether it was a memo hit.
+    pub fn spine(&self, conflict: &Conflict) -> (Arc<Spine>, bool) {
+        let key = (
+            self.graph
+                .node(conflict.state, conflict.reduce_item(self.g)),
+            self.g.tindex(conflict.terminal),
+        );
+        if let Some(s) = self.memo.lock().expect("spine memo poisoned").get(&key) {
+            return (Arc::clone(s), true);
+        }
+        // Compute outside the lock: a racing worker may duplicate the work,
+        // but the search is deterministic, so whichever insert wins the
+        // entry is identical and nothing blocks behind a long search.
+        let (path, nodes_expanded) =
+            lssi::shortest_path_metered(self.g, &self.auto, &self.graph, key.0, key.1);
+        let states = path
+            .as_deref()
+            .map(|p| lssi::states_of_path(&self.graph, p))
+            .unwrap_or_default();
+        let spine = Arc::new(Spine {
+            path,
+            states,
+            nodes_expanded,
+        });
+        let entry = Arc::clone(
+            self.memo
+                .lock()
+                .expect("spine memo poisoned")
+                .entry(key)
+                .or_insert(spine),
+        );
+        (entry, false)
+    }
+
+    /// Diagnoses one conflict under a grammar-wide deadline: the unifying
+    /// search gets `min(per-conflict time_limit, time until deadline)`; a
+    /// deadline already in the past skips the search entirely but still
+    /// constructs the cheap nonunifying counterexample.
+    pub fn analyze_conflict_with_deadline(
+        &self,
+        conflict: &Conflict,
+        cfg: &CexConfig,
+        deadline: Instant,
+    ) -> ConflictReport {
+        let started = Instant::now();
+        let mut stats = SearchStats::default();
+
+        let t0 = Instant::now();
+        let (spine, memo_hit) = self.spine(conflict);
+        stats.spine_memo_hit = memo_hit;
+        if !memo_hit {
+            stats.spine_nodes = spine.nodes_expanded;
+        }
+        stats.time_spine = t0.elapsed();
+
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let (kind, unifying) = if remaining.is_zero() {
+            (ExampleKind::NonunifyingSkipped, None)
+        } else {
+            let effective = SearchConfig {
+                time_limit: cfg.search.time_limit.min(remaining),
+                ..cfg.search
+            };
+            let t1 = Instant::now();
+            let outcome = unifying_search_metered(
+                self.g,
+                &self.auto,
+                &self.graph,
+                conflict,
+                &spine.states,
+                &effective,
+                &mut stats.search,
+            );
+            stats.time_unifying = t1.elapsed();
+            match outcome {
+                SearchOutcome::Unifying(ex) => (ExampleKind::Unifying, Some(*ex)),
+                SearchOutcome::Exhausted => (ExampleKind::NonunifyingExhausted, None),
+                SearchOutcome::TimedOut => (ExampleKind::NonunifyingTimeout, None),
+            }
+        };
+
+        let t2 = Instant::now();
+        let nonunifying = spine
+            .path
+            .as_deref()
+            .and_then(|p| nonunifying_example(self.g, &self.auto, &self.graph, conflict, p));
+        stats.time_nonunifying = t2.elapsed();
+
+        ConflictReport {
+            conflict: *conflict,
+            kind,
+            unifying,
+            nonunifying,
+            elapsed: started.elapsed(),
+            stats,
+        }
+    }
+
+    /// Analyzes every conflict with the full `cumulative_limit` budget.
+    pub fn analyze_all(&self, cfg: &CexConfig) -> GrammarReport {
+        self.analyze_all_budgeted(cfg, cfg.cumulative_limit)
+    }
+
+    /// [`Engine::analyze_all`] with an explicit remaining grammar budget
+    /// (the [`crate::Analyzer`] wrapper passes what is left of its
+    /// cumulative accounting).
+    pub fn analyze_all_budgeted(&self, cfg: &CexConfig, budget: Duration) -> GrammarReport {
+        let started = Instant::now();
+        let conflicts: Vec<Conflict> = self.tables.conflicts().to_vec();
+        let n = conflicts.len();
+        let deadline = started + budget;
+        let workers = resolve_workers(cfg.workers, n);
+
+        let reports: Vec<ConflictReport> = if workers <= 1 || n <= 1 {
+            conflicts
+                .iter()
+                .map(|c| self.analyze_conflict_with_deadline(c, cfg, deadline))
+                .collect()
+        } else {
+            // Work-stealing by atomic index: cheap, and conflict order is
+            // restored by slot index on collection, so the report order is
+            // deterministic regardless of scheduling.
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, ConflictReport)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let conflicts = &conflicts;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let report =
+                            self.analyze_conflict_with_deadline(&conflicts[i], cfg, deadline);
+                        if tx.send((i, report)).is_err() {
+                            break;
+                        }
+                    });
+                }
+            });
+            drop(tx);
+            let mut slots: Vec<Option<ConflictReport>> = (0..n).map(|_| None).collect();
+            for (i, report) in rx {
+                slots[i] = Some(report);
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every conflict produces a report"))
+                .collect()
+        };
+
+        let mut stats = GrammarStats {
+            precompute: self.precompute,
+            workers,
+            ..GrammarStats::default()
+        };
+        for r in &reports {
+            stats.absorb(&r.stats);
+        }
+        GrammarReport {
+            reports,
+            total_time: started.elapsed(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::format_report;
+
+    fn figure1() -> Grammar {
+        Grammar::parse(
+            "%start stmt
+             %%
+             stmt : 'if' expr 'then' stmt 'else' stmt
+                  | 'if' expr 'then' stmt
+                  | expr '?' stmt stmt
+                  | 'arr' '[' expr ']' ':=' expr
+                  ;
+             expr : num | expr '+' expr ;
+             num  : digit | num digit ;",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn resolve_workers_clamps() {
+        assert_eq!(resolve_workers(4, 2), 2);
+        assert_eq!(resolve_workers(1, 100), 1);
+        assert_eq!(resolve_workers(8, 0), 1, "no conflicts still needs 1");
+        assert!(resolve_workers(0, 100) >= 1, "auto resolves to >= 1");
+    }
+
+    #[test]
+    fn spine_memo_hits_on_repeat() {
+        let g = figure1();
+        let engine = Engine::new(&g);
+        let c = engine.tables().conflicts()[0];
+        let (first, hit1) = engine.spine(&c);
+        assert!(!hit1, "first lookup computes");
+        assert!(first.nodes_expanded > 0);
+        let (second, hit2) = engine.spine(&c);
+        assert!(hit2, "second lookup is memoized");
+        assert!(Arc::ptr_eq(&first, &second), "same spine shared");
+    }
+
+    #[test]
+    fn parallel_reports_match_sequential() {
+        let g = figure1();
+        let engine = Engine::new(&g);
+        let seq_cfg = CexConfig {
+            workers: 1,
+            ..CexConfig::default()
+        };
+        let par_cfg = CexConfig {
+            workers: 3,
+            ..CexConfig::default()
+        };
+        let seq = engine.analyze_all(&seq_cfg);
+        let par = engine.analyze_all(&par_cfg);
+        assert_eq!(seq.reports.len(), par.reports.len());
+        for (a, b) in seq.reports.iter().zip(&par.reports) {
+            assert_eq!(format_report(&g, a), format_report(&g, b));
+        }
+        assert_eq!(par.stats.workers, 3);
+        assert!(par.stats.search.explored > 0);
+    }
+
+    #[test]
+    fn exhausted_budget_still_builds_nonunifying() {
+        let g = figure1();
+        let engine = Engine::new(&g);
+        let cfg = CexConfig {
+            cumulative_limit: Duration::ZERO,
+            workers: 2,
+            ..CexConfig::default()
+        };
+        let report = engine.analyze_all(&cfg);
+        assert_eq!(report.reports.len(), 3);
+        for r in &report.reports {
+            assert_eq!(r.kind, ExampleKind::NonunifyingSkipped);
+            assert!(
+                r.nonunifying.is_some(),
+                "cheap nonunifying path must still run"
+            );
+        }
+        assert_eq!(report.stats.search.explored, 0, "no search was run");
+    }
+
+    #[test]
+    fn stats_are_populated_on_normal_runs() {
+        let g = figure1();
+        let engine = Engine::new(&g);
+        let report = engine.analyze_all(&CexConfig::default());
+        assert_eq!(report.stats.conflicts, 3);
+        assert!(report.stats.search.explored > 0);
+        assert!(report.stats.search.enqueued >= report.stats.search.explored);
+        assert!(report.stats.spine_nodes > 0);
+        assert_eq!(
+            report.stats.spine_memo_hits + report.stats.spine_memo_misses,
+            3
+        );
+    }
+}

@@ -36,19 +36,27 @@
 //! parser search ([`unifying_search`]), and nonunifying construction
 //! ([`nonunifying_example`]).
 
+pub mod engine;
 pub mod lssi;
 mod nonunifying;
 mod report;
 mod search;
 mod state_graph;
+pub mod stats;
 pub mod validate;
 
+pub use engine::{resolve_workers, Engine, Spine};
 pub use nonunifying::{nonunifying_example, NonunifyingExample};
 pub use report::{
     analyze, format_report, Analyzer, CexConfig, ConflictReport, ExampleKind, GrammarReport,
 };
-pub use search::{unifying_search, SearchConfig, SearchOutcome, UnifyingExample};
-pub use state_graph::{StateGraph, StateItemId};
+pub use search::{
+    unifying_search, unifying_search_metered, SearchConfig, SearchOutcome, UnifyingExample,
+};
+pub use state_graph::{NodeSet, StateGraph, StateItemId};
+pub use stats::{
+    format_conflict_stats, format_grammar_stats, GrammarStats, SearchMetrics, SearchStats,
+};
 
 /// Test-only hook exposing the Figure 5(b) backward search candidates.
 #[doc(hidden)]

@@ -59,10 +59,23 @@ pub fn shortest_path(
     target: StateItemId,
     conflict_term: usize,
 ) -> Option<Vec<LsNode>> {
+    shortest_path_metered(g, auto, graph, target, conflict_term).0
+}
+
+/// [`shortest_path`] with observability: also returns the number of
+/// lookahead-sensitive nodes expanded by the breadth-first search.
+pub fn shortest_path_metered(
+    g: &Grammar,
+    auto: &Automaton,
+    graph: &StateGraph,
+    target: StateItemId,
+    conflict_term: usize,
+) -> (Option<Vec<LsNode>>, u64) {
+    let mut expanded: u64 = 0;
     let reach = graph.reaching_set(target);
     let start_si = graph.node(StateId::START, Item::start(g.accept_prod()));
-    if !reach[start_si.index()] {
-        return None;
+    if !reach.contains(start_si.index()) {
+        return (None, expanded);
     }
 
     struct Entry {
@@ -85,6 +98,7 @@ pub fn shortest_path(
     queue.push_back(0);
 
     while let Some(idx) = queue.pop_front() {
+        expanded += 1;
         let (si, la) = (arena[idx].si, arena[idx].la.clone());
         if si == target && la.contains(conflict_term) {
             // Reconstruct.
@@ -99,11 +113,11 @@ pub fn shortest_path(
                 cur = arena[cur].parent;
             }
             path.reverse();
-            return Some(path);
+            return (Some(path), expanded);
         }
         // Transition successor: same lookahead.
         if let Some(next) = graph.transition(si) {
-            if reach[next.index()] && visited.insert((next, la.clone())) {
+            if reach.contains(next.index()) && visited.insert((next, la.clone())) {
                 let sym = graph
                     .item(si)
                     .next_symbol(g)
@@ -122,7 +136,7 @@ pub fn shortest_path(
         if !steps.is_empty() {
             let follow = follow_l(g, auto, graph.item(si), &la);
             for &next in steps {
-                if reach[next.index()] && visited.insert((next, follow.clone())) {
+                if reach.contains(next.index()) && visited.insert((next, follow.clone())) {
                     arena.push(Entry {
                         si: next,
                         la: follow.clone(),
@@ -134,7 +148,7 @@ pub fn shortest_path(
             }
         }
     }
-    None
+    (None, expanded)
 }
 
 /// The set of automaton states visited by a path (used to restrict reverse
@@ -203,10 +217,7 @@ mod tests {
             .iter()
             .find(|c| g.display_name(c.terminal) == "else")
             .expect("dangling else conflict");
-        (
-            graph.node(c.state, c.reduce_item(g)),
-            g.tindex(c.terminal),
-        )
+        (graph.node(c.state, c.reduce_item(g)), g.tindex(c.terminal))
     }
 
     #[test]

@@ -63,12 +63,7 @@ fn build_frames(g: &Grammar, graph: &StateGraph, nodes: &[(StateItemId, EdgeKind
 /// top frame's current position and arranging for the conflict terminal `t`
 /// to appear immediately after it (§4: "since the conflict terminal is a
 /// vital part of counterexamples, this terminal must immediately follow ·").
-fn complete(
-    g: &Grammar,
-    a: &Analysis,
-    mut frames: Vec<Frame>,
-    t: SymbolId,
-) -> Option<Derivation> {
+fn complete(g: &Grammar, a: &Analysis, mut frames: Vec<Frame>, t: SymbolId) -> Option<Derivation> {
     let mut need_t = true;
     frames.last_mut()?.children.push(Derivation::Dot);
     loop {
@@ -206,6 +201,7 @@ fn other_item_paths(
     // derivation.
     splice_points.sort_by_key(|&(k, _)| k);
 
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn dfs(
         fwd: &HashMap<(StateItemId, usize), Vec<((StateItemId, usize), EdgeKind)>>,
         goal: (StateItemId, usize),
@@ -272,8 +268,7 @@ pub fn nonunifying_example(
     let a = auto.analysis();
     let t = conflict.terminal;
 
-    let reduce_nodes: Vec<(StateItemId, EdgeKind)> =
-        path.iter().map(|n| (n.si, n.edge)).collect();
+    let reduce_nodes: Vec<(StateItemId, EdgeKind)> = path.iter().map(|n| (n.si, n.edge)).collect();
     let reduce_derivation = complete(g, a, build_frames(g, graph, &reduce_nodes), t)?;
     let reduce_leaves = reduce_derivation.leaves();
 
@@ -294,6 +289,17 @@ pub fn nonunifying_example(
         reduce_derivation,
         other_derivation,
     })
+}
+
+/// Test-only wrapper for [`other_item_paths`].
+#[doc(hidden)]
+pub fn debug_other_item_paths(
+    g: &Grammar,
+    graph: &StateGraph,
+    path: &[LsNode],
+    other: StateItemId,
+) -> Vec<Vec<(StateItemId, EdgeKind)>> {
+    other_item_paths(g, graph, path, other)
 }
 
 #[cfg(test)]
@@ -351,7 +357,10 @@ mod tests {
         // §4: "if expr then if expr then stmt · else stmt" (plus $ from the
         // augmented production).
         assert_eq!(s, "if expr then if expr then stmt \u{2022} else stmt $");
-        let o = flat(&setup.g, ex.other_derivation.as_ref().expect("shift derivation"));
+        let o = flat(
+            &setup.g,
+            ex.other_derivation.as_ref().expect("shift derivation"),
+        );
         assert_eq!(o, "if expr then if expr then stmt \u{2022} else stmt $");
     }
 
@@ -363,10 +372,7 @@ mod tests {
         assert_ne!(ex.reduce_derivation, other);
         // Both must derive the same string — that they do while differing
         // structurally is what makes the pair a counterexample.
-        assert_eq!(
-            ex.reduce_derivation.leaves(),
-            other.leaves()
-        );
+        assert_eq!(ex.reduce_derivation.leaves(), other.leaves());
     }
 
     #[test]
@@ -375,10 +381,7 @@ mod tests {
         let ex = example_for(&setup, "digit");
         let s = flat(&setup.g, &ex.reduce_derivation);
         // §4: "expr ? arr [ expr ] := num · digit ? stmt stmt".
-        assert_eq!(
-            s,
-            "expr ? arr [ expr ] := num \u{2022} digit ? stmt stmt $"
-        );
+        assert_eq!(s, "expr ? arr [ expr ] := num \u{2022} digit ? stmt stmt $");
         let o = flat(&setup.g, ex.other_derivation.as_ref().unwrap());
         // §3.2 shows the shift variant: `... num · digit stmt`.
         assert_eq!(o, "expr ? arr [ expr ] := num \u{2022} digit stmt $");
@@ -402,8 +405,7 @@ mod tests {
 
     #[test]
     fn figure3_unambiguous_conflict_gets_example() {
-        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;")
-            .unwrap();
+        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;").unwrap();
         let auto = Automaton::build(&g);
         let graph = StateGraph::build(&g, &auto);
         let tables = auto.tables(&g);
@@ -434,15 +436,4 @@ mod tests {
         assert_eq!(ex.reduce_derivation.flat(&g), "T \u{2022} X $");
         assert_eq!(ex.other_derivation.unwrap().flat(&g), "T \u{2022} X $");
     }
-}
-
-/// Test-only wrapper for [`other_item_paths`].
-#[doc(hidden)]
-pub fn debug_other_item_paths(
-    g: &Grammar,
-    graph: &StateGraph,
-    path: &[LsNode],
-    other: StateItemId,
-) -> Vec<Vec<(StateItemId, EdgeKind)>> {
-    other_item_paths(g, graph, path, other)
 }

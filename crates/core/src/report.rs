@@ -6,10 +6,12 @@ use std::time::{Duration, Instant};
 use lalrcex_grammar::{Derivation, Grammar};
 use lalrcex_lr::{Automaton, Conflict, ConflictKind, Item, Tables};
 
-use crate::lssi::{self, LsNode};
-use crate::nonunifying::{nonunifying_example, NonunifyingExample};
-use crate::search::{unifying_search, SearchConfig, SearchOutcome, UnifyingExample};
+use crate::engine::Engine;
+use crate::lssi::LsNode;
+use crate::nonunifying::NonunifyingExample;
+use crate::search::{SearchConfig, UnifyingExample};
 use crate::state_graph::StateGraph;
+use crate::stats::{GrammarStats, SearchStats};
 
 /// Configuration for the whole counterexample run.
 #[derive(Clone, Copy, Debug)]
@@ -20,6 +22,10 @@ pub struct CexConfig {
     /// grammar; once exceeded, only nonunifying counterexamples are built
     /// (§6: two minutes in the paper's implementation).
     pub cumulative_limit: Duration,
+    /// Worker threads for [`Analyzer::analyze_all`] / [`Engine::analyze_all`].
+    /// `0` (the default) resolves to one worker per available CPU; the
+    /// effective count is clamped to the number of conflicts.
+    pub workers: usize,
 }
 
 impl Default for CexConfig {
@@ -27,6 +33,7 @@ impl Default for CexConfig {
         CexConfig {
             search: SearchConfig::default(),
             cumulative_limit: Duration::from_secs(120),
+            workers: 0,
         }
     }
 }
@@ -60,6 +67,8 @@ pub struct ConflictReport {
     pub nonunifying: Option<NonunifyingExample>,
     /// Time spent on this conflict.
     pub elapsed: Duration,
+    /// Observability counters for every phase of this conflict's diagnosis.
+    pub stats: SearchStats,
 }
 
 /// A full grammar analysis.
@@ -67,8 +76,10 @@ pub struct ConflictReport {
 pub struct GrammarReport {
     /// One report per conflict, in table order.
     pub reports: Vec<ConflictReport>,
-    /// Total time across all conflicts.
+    /// Total wall-clock time across all conflicts.
     pub total_time: Duration,
+    /// Grammar-wide aggregate counters (feeds `--stats` and Table 1).
+    pub stats: GrammarStats,
 }
 
 impl GrammarReport {
@@ -102,112 +113,68 @@ impl GrammarReport {
     }
 }
 
-/// Reusable per-grammar analysis state: automaton, tables, state-item
-/// graph, and the cumulative time budget (§6).
+/// Reusable per-grammar analysis state: a thin stateful wrapper over
+/// [`Engine`] that tracks the cumulative time budget (§6) across repeated
+/// `analyze_conflict` calls.
 pub struct Analyzer<'g> {
-    g: &'g Grammar,
-    auto: Automaton,
-    tables: Tables,
-    graph: StateGraph,
+    engine: Engine<'g>,
     spent: Duration,
 }
 
 impl<'g> Analyzer<'g> {
     /// Builds the automaton, tables, and lookup tables for `g`.
     pub fn new(g: &'g Grammar) -> Analyzer<'g> {
-        let auto = Automaton::build(g);
-        let tables = auto.tables(g);
-        let graph = StateGraph::build(g, &auto);
         Analyzer {
-            g,
-            auto,
-            tables,
-            graph,
+            engine: Engine::new(g),
             spent: Duration::ZERO,
         }
     }
 
+    /// The underlying conflict-independent engine.
+    pub fn engine(&self) -> &Engine<'g> {
+        &self.engine
+    }
+
     /// The LALR automaton.
     pub fn automaton(&self) -> &Automaton {
-        &self.auto
+        self.engine.automaton()
     }
 
     /// The resolved parse tables (with the conflict list).
     pub fn tables(&self) -> &Tables {
-        &self.tables
+        self.engine.tables()
     }
 
     /// The state-item graph.
     pub fn graph(&self) -> &StateGraph {
-        &self.graph
+        self.engine.graph()
     }
 
     /// The shortest lookahead-sensitive path for a conflict (also exposed
-    /// for the Figure 5 reproduction).
+    /// for the Figure 5 reproduction). Served from the engine's spine memo.
     pub fn shortest_path(&self, conflict: &Conflict) -> Option<Vec<LsNode>> {
-        let target = self.graph.node(conflict.state, conflict.reduce_item(self.g));
-        lssi::shortest_path(
-            self.g,
-            &self.auto,
-            &self.graph,
-            target,
-            self.g.tindex(conflict.terminal),
-        )
+        self.engine.spine(conflict).0.path.clone()
     }
 
-    /// Produces the counterexample report for one conflict.
+    /// Produces the counterexample report for one conflict, charging the
+    /// time spent against the cumulative budget.
     pub fn analyze_conflict(&mut self, conflict: &Conflict, cfg: &CexConfig) -> ConflictReport {
-        let started = Instant::now();
-        let path = self.shortest_path(conflict);
-
-        let (kind, unifying) = if self.spent >= cfg.cumulative_limit {
-            (ExampleKind::NonunifyingSkipped, None)
-        } else {
-            let slsp_states = path
-                .as_deref()
-                .map(|p| lssi::states_of_path(&self.graph, p))
-                .unwrap_or_default();
-            match unifying_search(
-                self.g,
-                &self.auto,
-                &self.graph,
-                conflict,
-                &slsp_states,
-                &cfg.search,
-            ) {
-                SearchOutcome::Unifying(ex) => (ExampleKind::Unifying, Some(*ex)),
-                SearchOutcome::Exhausted => (ExampleKind::NonunifyingExhausted, None),
-                SearchOutcome::TimedOut => (ExampleKind::NonunifyingTimeout, None),
-            }
-        };
-
-        let nonunifying = path
-            .as_deref()
-            .and_then(|p| nonunifying_example(self.g, &self.auto, &self.graph, conflict, p));
-
-        let elapsed = started.elapsed();
-        self.spent += elapsed;
-        ConflictReport {
-            conflict: *conflict,
-            kind,
-            unifying,
-            nonunifying,
-            elapsed,
-        }
+        let remaining = cfg.cumulative_limit.saturating_sub(self.spent);
+        let deadline = Instant::now() + remaining;
+        let r = self
+            .engine
+            .analyze_conflict_with_deadline(conflict, cfg, deadline);
+        self.spent += r.elapsed;
+        r
     }
 
-    /// Analyzes every conflict of the grammar.
+    /// Analyzes every conflict of the grammar, fanning the per-conflict
+    /// searches across `cfg.workers` threads (see [`Engine::analyze_all`]).
     pub fn analyze_all(&mut self, cfg: &CexConfig) -> GrammarReport {
-        let started = Instant::now();
-        let conflicts: Vec<Conflict> = self.tables.conflicts().to_vec();
-        let reports = conflicts
-            .iter()
-            .map(|c| self.analyze_conflict(c, cfg))
-            .collect();
-        GrammarReport {
-            reports,
-            total_time: started.elapsed(),
-        }
+        let budget = cfg.cumulative_limit.saturating_sub(self.spent);
+        let report = self.engine.analyze_all_budgeted(cfg, budget);
+        self.spent += report.reports.iter().map(|r| r.elapsed).sum::<Duration>();
+        report
     }
 }
 
@@ -269,9 +236,10 @@ fn flat_top(g: &Grammar, d: &Derivation) -> String {
 pub fn format_report(g: &Grammar, r: &ConflictReport) -> String {
     let c = &r.conflict;
     let (what, action2) = match c.kind {
-        ConflictKind::ShiftReduce { shift_item } => {
-            ("Shift/Reduce", format!("shift on {}", display_item_cup(g, shift_item)))
-        }
+        ConflictKind::ShiftReduce { shift_item } => (
+            "Shift/Reduce",
+            format!("shift on {}", display_item_cup(g, shift_item)),
+        ),
         ConflictKind::ReduceReduce { other_prod } => (
             "Reduce/Reduce",
             format!(
@@ -314,7 +282,9 @@ pub fn format_report(g: &Grammar, r: &ConflictReport) -> String {
                 }
                 _ => "The unifying search was skipped (cumulative time budget spent)",
             };
-            out.push_str(&format!("{reason}; reporting a nonunifying counterexample\n"));
+            out.push_str(&format!(
+                "{reason}; reporting a nonunifying counterexample\n"
+            ));
             out.push_str(&format!(
                 "Example using reduction: {}\nDerivation:\n  {}\n",
                 flat_top(g, &n.reduce_derivation),

@@ -19,6 +19,7 @@ use lalrcex_grammar::{Derivation, Grammar, SymbolId, SymbolKind, TerminalSet};
 use lalrcex_lr::{Automaton, Conflict, ConflictKind, StateId};
 
 use crate::state_graph::{StateGraph, StateItemId};
+use crate::stats::SearchMetrics;
 
 /// Cost of a joint transition.
 const TRANSITION_COST: u32 = 1;
@@ -126,11 +127,13 @@ impl Search<'_> {
 
     fn successors(&self, c: &Config, out: &mut Vec<Config>) {
         let red = [
-            self.item(*c.core.items[0].last().expect("nonempty")).is_reduce(self.g),
-            self.item(*c.core.items[1].last().expect("nonempty")).is_reduce(self.g),
+            self.item(*c.core.items[0].last().expect("nonempty"))
+                .is_reduce(self.g),
+            self.item(*c.core.items[1].last().expect("nonempty"))
+                .is_reduce(self.g),
         ];
-        for p in 0..2 {
-            if red[p] {
+        for (p, &is_red) in red.iter().enumerate() {
+            if is_red {
                 self.reduce_or_prep(c, p, out);
             }
         }
@@ -370,12 +373,12 @@ impl Search<'_> {
             return None;
         }
         let mut nts = [None, None];
-        for p in 0..2 {
+        for (p, nt) in nts.iter_mut().enumerate() {
             let head = c.core.items[p][0];
             if self.graph.transition(head) != Some(c.core.items[p][1]) {
                 return None;
             }
-            nts[p] = self.item(head).next_symbol(self.g);
+            *nt = self.item(head).next_symbol(self.g);
         }
         let a = nts[0]?;
         if nts[1] != Some(a) || self.g.kind(a) != SymbolKind::Nonterminal {
@@ -422,6 +425,24 @@ pub fn unifying_search(
     slsp_states: &[StateId],
     cfg: &SearchConfig,
 ) -> SearchOutcome {
+    let mut metrics = SearchMetrics::default();
+    unifying_search_metered(g, auto, graph, conflict, slsp_states, cfg, &mut metrics)
+}
+
+/// [`unifying_search`] with observability: fills `metrics` with the
+/// explored/enqueued/deduped configuration counts and the frontier
+/// high-water mark. The counters are deterministic for a given conflict
+/// and configuration (the search itself is sequential and ordered).
+#[allow(clippy::too_many_arguments)]
+pub fn unifying_search_metered(
+    g: &Grammar,
+    auto: &Automaton,
+    graph: &StateGraph,
+    conflict: &Conflict,
+    slsp_states: &[StateId],
+    cfg: &SearchConfig,
+    metrics: &mut SearchMetrics,
+) -> SearchOutcome {
     let rr = matches!(conflict.kind, ConflictKind::ReduceReduce { .. });
     let t = conflict.terminal;
     let search = Search {
@@ -458,11 +479,13 @@ pub fn unifying_search(
     arena.push(init);
     heap.push(Reverse((0, 0)));
 
+    metrics.enqueued += 1;
     let mut scratch = Vec::new();
     let mut pops: u32 = 0;
     while let Some(Reverse((_, idx))) = heap.pop() {
         pops += 1;
-        if pops % 256 == 0 && Instant::now() > deadline {
+        metrics.explored += 1;
+        if pops.is_multiple_of(256) && Instant::now() > deadline {
             return SearchOutcome::TimedOut;
         }
         if arena.len() > cfg.max_configs {
@@ -479,8 +502,12 @@ pub fn unifying_search(
                 let key = (n.cost, arena.len() as u64);
                 arena.push(n);
                 heap.push(Reverse(key));
+                metrics.enqueued += 1;
+            } else {
+                metrics.deduped += 1;
             }
         }
+        metrics.frontier_peak = metrics.frontier_peak.max(heap.len() as u64);
     }
     SearchOutcome::Exhausted
 }
@@ -489,8 +516,8 @@ pub fn unifying_search(
 mod tests {
     use super::*;
     use crate::lssi;
-    use crate::report::{analyze, Analyzer, CexConfig};
     use crate::report::ExampleKind;
+    use crate::report::{analyze, Analyzer, CexConfig};
     use crate::state_graph::StateGraph;
     use crate::validate::unifying_consistent;
 
@@ -575,8 +602,7 @@ mod tests {
     fn figure3_search_exhausts() {
         // Figure 3 is unambiguous (LR(2)); the search must terminate with
         // no unifying counterexample.
-        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;")
-            .unwrap();
+        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;").unwrap();
         let out = run_conflict(&g, "a", &SearchConfig::default());
         assert!(matches!(out, SearchOutcome::Exhausted), "{out:?}");
     }

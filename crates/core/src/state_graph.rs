@@ -25,6 +25,52 @@ impl std::fmt::Debug for StateItemId {
     }
 }
 
+/// A dense bitset over the nodes of a [`StateGraph`] (64× smaller than the
+/// former `Vec<bool>` — reachability sets for the big Table 1 grammars
+/// cover thousands of state-items and are built once per conflict spine).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// An empty set sized for `n` nodes.
+    pub fn new(n: usize) -> NodeSet {
+        NodeSet {
+            bits: vec![0; n.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Inserts `i`; returns `true` if it was not already present.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        if self.bits[w] & b == 0 {
+            self.bits[w] |= b;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// The (state, item) graph over an LALR automaton.
 ///
 /// Lookup tables are built once per grammar (the paper's §6 "Data
@@ -153,18 +199,16 @@ impl StateGraph {
     /// Set of nodes that can reach `target` through reverse transitions and
     /// reverse production steps (the §6 pruning for the shortest
     /// lookahead-sensitive path search).
-    pub fn reaching_set(&self, target: StateItemId) -> Vec<bool> {
-        let mut seen = vec![false; self.nodes.len()];
+    pub fn reaching_set(&self, target: StateItemId) -> NodeSet {
+        let mut seen = NodeSet::new(self.nodes.len());
         let mut stack = vec![target];
-        seen[target.index()] = true;
+        seen.insert(target.index());
         while let Some(id) = stack.pop() {
-            for &p in self
-                .rev_trans[id.index()]
+            for &p in self.rev_trans[id.index()]
                 .iter()
                 .chain(self.rev_prods[id.index()].iter())
             {
-                if !seen[p.index()] {
-                    seen[p.index()] = true;
+                if seen.insert(p.index()) {
                     stack.push(p);
                 }
             }
@@ -201,7 +245,10 @@ mod tests {
     fn node_count_is_total_items() {
         let (g, auto) = setup("%% s : A s | B ;");
         let graph = StateGraph::build(&g, &auto);
-        let total: usize = auto.state_ids().map(|id| auto.state(id).items().len()).sum();
+        let total: usize = auto
+            .state_ids()
+            .map(|id| auto.state(id).items().len())
+            .sum();
         assert_eq!(graph.node_count(), total);
     }
 
@@ -256,8 +303,22 @@ mod tests {
         let target = target.expect("reduce item exists somewhere");
         let reach = graph.reaching_set(target);
         let start = graph.node(StateId::START, Item::start(g.accept_prod()));
-        assert!(reach[start.index()], "start node reaches the conflict");
-        assert!(reach.iter().filter(|&&b| b).count() < graph.node_count());
+        assert!(
+            reach.contains(start.index()),
+            "start node reaches the conflict"
+        );
+        assert!(reach.len() < graph.node_count());
+    }
+
+    #[test]
+    fn node_set_basics() {
+        let mut s = NodeSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "double insert reports already-present");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

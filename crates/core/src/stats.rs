@@ -1,0 +1,184 @@
+//! Observability counters for the counterexample engine.
+//!
+//! Every phase of a conflict's diagnosis is metered: the shortest
+//! lookahead-sensitive spine search (§4), the product-parser unifying
+//! search (§5), and the nonunifying construction. The per-conflict
+//! [`SearchStats`] ride on [`crate::ConflictReport`]; the grammar-wide
+//! [`GrammarStats`] aggregate rides on [`crate::GrammarReport`] and feeds
+//! the `--stats` output of the CLI and the explored-state columns of the
+//! Table 1 harness.
+//!
+//! Counters are exact and deterministic for a given conflict; wall-clock
+//! durations and memo hit/miss splits depend on scheduling and are
+//! explicitly *excluded* from the engine's determinism guarantee.
+
+use std::time::Duration;
+
+/// Counters from one product-parser search (§5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchMetrics {
+    /// Configurations popped from the priority queue and expanded.
+    pub explored: u64,
+    /// Successor configurations accepted into the frontier.
+    pub enqueued: u64,
+    /// Successor configurations dropped because their core was already
+    /// visited (the §5.2 dedup).
+    pub deduped: u64,
+    /// High-water mark of the frontier (priority-queue length).
+    pub frontier_peak: u64,
+}
+
+impl SearchMetrics {
+    /// Accumulates another search's counters into this one (peak is a max,
+    /// everything else a sum).
+    pub fn merge(&mut self, other: &SearchMetrics) {
+        self.explored += other.explored;
+        self.enqueued += other.enqueued;
+        self.deduped += other.deduped;
+        self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
+    }
+}
+
+/// Everything metered while diagnosing one conflict.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Product-parser search counters.
+    pub search: SearchMetrics,
+    /// Nodes expanded by the shortest lookahead-sensitive path search
+    /// (zero when the spine came from the per-grammar memo).
+    pub spine_nodes: u64,
+    /// Whether the spine was served from the per-grammar memo.
+    pub spine_memo_hit: bool,
+    /// Time locating (or fetching) the spine.
+    pub time_spine: Duration,
+    /// Time in the unifying search.
+    pub time_unifying: Duration,
+    /// Time constructing the nonunifying example.
+    pub time_nonunifying: Duration,
+}
+
+/// Grammar-wide aggregate over all conflicts of a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GrammarStats {
+    /// Time building the conflict-independent state shared by every
+    /// conflict: LALR automaton, parse tables, state-item graph.
+    pub precompute: Duration,
+    /// Worker threads used by `analyze_all`.
+    pub workers: usize,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Spine-memo hits across all conflicts.
+    pub spine_memo_hits: u64,
+    /// Spine-memo misses (spines actually computed).
+    pub spine_memo_misses: u64,
+    /// Aggregate product-parser search counters.
+    pub search: SearchMetrics,
+    /// Aggregate LSSI nodes expanded (misses only).
+    pub spine_nodes: u64,
+    /// CPU time summed across conflicts (≥ wall time when parallel).
+    pub cpu_time: Duration,
+}
+
+impl GrammarStats {
+    /// Folds one conflict's stats into the aggregate.
+    pub fn absorb(&mut self, s: &SearchStats) {
+        self.conflicts += 1;
+        if s.spine_memo_hit {
+            self.spine_memo_hits += 1;
+        } else {
+            self.spine_memo_misses += 1;
+        }
+        self.search.merge(&s.search);
+        self.spine_nodes += s.spine_nodes;
+        self.cpu_time += s.time_spine + s.time_unifying + s.time_nonunifying;
+    }
+}
+
+/// One-line rendering of a conflict's counters for `--stats` output.
+pub fn format_conflict_stats(s: &SearchStats) -> String {
+    format!(
+        "explored={} enqueued={} deduped={} frontier-peak={} spine={} spine-nodes={} t-spine={:.1}ms t-search={:.1}ms t-nonunif={:.1}ms",
+        s.search.explored,
+        s.search.enqueued,
+        s.search.deduped,
+        s.search.frontier_peak,
+        if s.spine_memo_hit { "memo" } else { "computed" },
+        s.spine_nodes,
+        s.time_spine.as_secs_f64() * 1e3,
+        s.time_unifying.as_secs_f64() * 1e3,
+        s.time_nonunifying.as_secs_f64() * 1e3,
+    )
+}
+
+/// Multi-line rendering of the grammar aggregate for `--stats` output.
+pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
+    format!(
+        "grammar stats: {} conflicts, {} workers, precompute {:.1}ms\n\
+         \u{20} spine memo: {} hits / {} misses ({} LSSI nodes expanded)\n\
+         \u{20} unifying search: {} explored, {} enqueued, {} deduped, frontier peak {}\n\
+         \u{20} time: {:.1}ms wall, {:.1}ms cpu across conflicts",
+        stats.conflicts,
+        stats.workers,
+        stats.precompute.as_secs_f64() * 1e3,
+        stats.spine_memo_hits,
+        stats.spine_memo_misses,
+        stats.spine_nodes,
+        stats.search.explored,
+        stats.search.enqueued,
+        stats.search.deduped,
+        stats.search.frontier_peak,
+        wall.as_secs_f64() * 1e3,
+        stats.cpu_time.as_secs_f64() * 1e3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = SearchMetrics {
+            explored: 1,
+            enqueued: 2,
+            deduped: 3,
+            frontier_peak: 10,
+        };
+        let b = SearchMetrics {
+            explored: 10,
+            enqueued: 20,
+            deduped: 30,
+            frontier_peak: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.explored, 11);
+        assert_eq!(a.enqueued, 22);
+        assert_eq!(a.deduped, 33);
+        assert_eq!(a.frontier_peak, 10);
+    }
+
+    #[test]
+    fn absorb_counts_memo_hits() {
+        let mut g = GrammarStats::default();
+        let mut s = SearchStats {
+            spine_memo_hit: true,
+            ..SearchStats::default()
+        };
+        g.absorb(&s);
+        s.spine_memo_hit = false;
+        g.absorb(&s);
+        assert_eq!(g.conflicts, 2);
+        assert_eq!(g.spine_memo_hits, 1);
+        assert_eq!(g.spine_memo_misses, 1);
+    }
+
+    #[test]
+    fn renderings_mention_key_counters() {
+        let s = SearchStats::default();
+        assert!(format_conflict_stats(&s).contains("explored=0"));
+        let g = GrammarStats::default();
+        let out = format_grammar_stats(&g, Duration::ZERO);
+        assert!(out.contains("spine memo"));
+        assert!(out.contains("unifying search"));
+    }
+}

@@ -30,11 +30,21 @@ fn main() {
     let xi2 = xi.replace("| '-' expr", "| '-' expr %prec UMINUS");
     detail("xi+prec(no !=)", &format!("{xi_prec}{xi2}"));
 
-    println!("se1 v6 {}", count("%start S\n%%\nS : 'a' S 'b' S | 'b' S 'a' S | %empty ;"));
-    println!("se1 v7 {}", count("%start S\n%%\nS : 'a' S 'b' S | 'b' S 'a' S | 'a' 'b' | 'b' 'a' | %empty ;"));
+    println!(
+        "se1 v6 {}",
+        count("%start S\n%%\nS : 'a' S 'b' S | 'b' S 'a' S | %empty ;")
+    );
+    println!(
+        "se1 v7 {}",
+        count("%start S\n%%\nS : 'a' S 'b' S | 'b' S 'a' S | 'a' 'b' | 'b' 'a' | %empty ;")
+    );
     println!("so8 pad {}", count("%start s\n%%\ns : 'a' s 'a' | 'b' s 'b' | 'a' | 'b' | 'x' | 'z' t ;\nt : 'p' t 'p' | 'q' | t 'q' ;"));
     let sql_small = "%start query\n%%\nquery : 'SELECT' select 'FROM' tables where ;\nselect : '*' | cols | 'DISTINCT' cols ;\ncols : col | cols ',' col ;\ncol : ID | ID '.' ID ;\ntables : ID | tables ',' ID | tables ',' ID ID ;\nwhere : %empty | 'WHERE' cond ;\ncond : cond 'OR' cond | ID '=' val | ID '<' val | ID '>' val | '(' cond ')' | ID 'BETWEEN' val 'AND' val ;\nval : ID | NUM | STRING | '-' val ;\n";
     println!("sqlsmall {}", count(sql_small));
     let g = lalrcex_grammar::Grammar::parse(sql_small).unwrap();
-    println!("sqlsmall nt={} prods={}", g.nonterminal_count()-1, g.prod_count());
+    println!(
+        "sqlsmall nt={} prods={}",
+        g.nonterminal_count() - 1,
+        g.prod_count()
+    );
 }

@@ -194,19 +194,54 @@ pub fn all() -> Vec<CorpusEntry> {
     };
 
     // --- Our grammars ---------------------------------------------------
-    push("figure1", Ours, row(3, 9, 24, 3, true, 3, 0, 0), Source::Text(FIGURE1));
-    push("figure3", Ours, row(4, 7, 10, 1, false, 0, 1, 0), Source::Text(FIGURE3));
-    push("figure7", Ours, row(4, 10, 16, 2, true, 2, 0, 0), Source::Text(FIGURE7));
+    push(
+        "figure1",
+        Ours,
+        row(3, 9, 24, 3, true, 3, 0, 0),
+        Source::Text(FIGURE1),
+    );
+    push(
+        "figure3",
+        Ours,
+        row(4, 7, 10, 1, false, 0, 1, 0),
+        Source::Text(FIGURE3),
+    );
+    push(
+        "figure7",
+        Ours,
+        row(4, 10, 16, 2, true, 2, 0, 0),
+        Source::Text(FIGURE7),
+    );
     push(
         "ambfailed01",
         Ours,
         row(6, 10, 17, 1, true, 0, 1, 0),
         Source::Text(AMBFAILED01),
     );
-    push("abcd", Ours, row(5, 11, 22, 3, true, 3, 0, 0), Source::Text(ABCD));
-    push("simp2", Ours, row(10, 41, 70, 1, true, 1, 0, 0), Source::Text(SIMP2));
-    push("xi", Ours, row(16, 41, 82, 6, true, 6, 0, 0), Source::Text(XI));
-    push("eqn", Ours, row(14, 67, 133, 1, true, 1, 0, 0), Source::Text(EQN));
+    push(
+        "abcd",
+        Ours,
+        row(5, 11, 22, 3, true, 3, 0, 0),
+        Source::Text(ABCD),
+    );
+    push(
+        "simp2",
+        Ours,
+        row(10, 41, 70, 1, true, 1, 0, 0),
+        Source::Text(SIMP2),
+    );
+    push(
+        "xi",
+        Ours,
+        row(16, 41, 82, 6, true, 6, 0, 0),
+        Source::Text(XI),
+    );
+    push(
+        "eqn",
+        Ours,
+        row(14, 67, 133, 1, true, 1, 0, 0),
+        Source::Text(EQN),
+    );
     push(
         "java-ext1",
         Ours,

@@ -171,7 +171,11 @@ mod tests {
     fn balanced_parens() {
         let g = Grammar::parse("%% s : '(' s ')' s | ;").unwrap();
         let s = g.symbol_named("s").unwrap();
-        assert!(recognizes(&g, s, &syms(&g, &["(", ")", "(", "(", ")", ")"])));
+        assert!(recognizes(
+            &g,
+            s,
+            &syms(&g, &["(", ")", "(", "(", ")", ")"])
+        ));
         assert!(recognizes(&g, s, &[]));
         assert!(!recognizes(&g, s, &syms(&g, &["(", "(", ")"])));
     }

@@ -104,9 +104,9 @@ fn seq_covers(g: &Grammar, t: &SpanTable, seq: &[SymbolId], i: usize, j: usize) 
             if !ok {
                 continue;
             }
-            for m2 in m..=j {
+            for (m2, slot) in next.iter_mut().enumerate().skip(m) {
                 if t.get(y, m, m2) {
-                    next[m2] = true;
+                    *slot = true;
                 }
             }
         }
@@ -166,6 +166,7 @@ impl Enumerator<'_> {
 
     /// Enumerates ways `seq` derives `input[i..j]`, collecting the child
     /// derivation vectors into `acc`.
+    #[allow(clippy::too_many_arguments)]
     fn expand_seq(
         &mut self,
         seq: &[SymbolId],
@@ -239,9 +240,7 @@ pub fn parses(g: &Grammar, start: SymbolId, input: &[SymbolId], limits: Limits) 
             }
         }
         spent += e.steps;
-        if out.len() >= limits.max_parses
-            || depth >= limits.max_depth
-            || spent >= limits.max_steps
+        if out.len() >= limits.max_parses || depth >= limits.max_depth || spent >= limits.max_steps
         {
             break;
         }
@@ -291,8 +290,15 @@ mod tests {
     fn classic_ambiguous_expression() {
         let g = Grammar::parse("%% e : e '+' e | N ;").unwrap();
         let e = g.symbol_named("e").unwrap();
-        assert_eq!(count_parses(&g, e, &syms(&g, &["N", "+", "N", "+", "N"]), 10), 2);
-        assert!(is_ambiguous_form(&g, e, &syms(&g, &["N", "+", "N", "+", "N"])));
+        assert_eq!(
+            count_parses(&g, e, &syms(&g, &["N", "+", "N", "+", "N"]), 10),
+            2
+        );
+        assert!(is_ambiguous_form(
+            &g,
+            e,
+            &syms(&g, &["N", "+", "N", "+", "N"])
+        ));
         assert!(!is_ambiguous_form(&g, e, &syms(&g, &["N", "+", "N"])));
     }
 
@@ -311,10 +317,8 @@ mod tests {
 
     #[test]
     fn dangling_else_two_trees() {
-        let g = Grammar::parse(
-            "%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;",
-        )
-        .unwrap();
+        let g = Grammar::parse("%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;")
+            .unwrap();
         let s = g.symbol_named("s").unwrap();
         let e = g.symbol_named("e").unwrap();
         let input = vec![

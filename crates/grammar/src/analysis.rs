@@ -304,8 +304,13 @@ mod tests {
         assert!(a.first(num).contains(digit));
         assert_eq!(a.first(num).len(), 1);
         let stmt = g.symbol_named("stmt").unwrap();
-        assert!(a.first(stmt).contains(g.tindex(g.symbol_named("if").unwrap())));
-        assert!(!a.first(stmt).contains(digit), "stmt cannot start with digit here");
+        assert!(a
+            .first(stmt)
+            .contains(g.tindex(g.symbol_named("if").unwrap())));
+        assert!(
+            !a.first(stmt).contains(digit),
+            "stmt cannot start with digit here"
+        );
     }
 
     #[test]
@@ -393,6 +398,9 @@ mod tests {
         assert!(f.contains(g.tindex(x)));
         assert!(!f.contains(g.tindex(SymbolId::EOF)), "X not nullable");
         let f2 = a.first_of_seq(&g, &[opt], &tail);
-        assert!(f2.contains(g.tindex(SymbolId::EOF)), "nullable seq exposes tail");
+        assert!(
+            f2.contains(g.tindex(SymbolId::EOF)),
+            "nullable seq exposes tail"
+        );
     }
 }

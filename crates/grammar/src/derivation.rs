@@ -296,7 +296,10 @@ mod tests {
     fn eps_derivation_of_non_nullable_is_none() {
         let g = stmt_grammar();
         let a = Analysis::new(&g);
-        assert_eq!(eps_derivation(&g, &a, g.symbol_named("stmt").unwrap()), None);
+        assert_eq!(
+            eps_derivation(&g, &a, g.symbol_named("stmt").unwrap()),
+            None
+        );
     }
 
     #[test]

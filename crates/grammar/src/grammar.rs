@@ -114,10 +114,16 @@ impl fmt::Display for GrammarError {
                 write!(f, "start symbol `{s}` has no productions")
             }
             GrammarError::TokenOnLhs(s) => {
-                write!(f, "declared token `{s}` appears on the left-hand side of a rule")
+                write!(
+                    f,
+                    "declared token `{s}` appears on the left-hand side of a rule"
+                )
             }
             GrammarError::BadPrecSymbol(s) => {
-                write!(f, "`%prec {s}` does not name a terminal with declared precedence")
+                write!(
+                    f,
+                    "`%prec {s}` does not name a terminal with declared precedence"
+                )
             }
             GrammarError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             GrammarError::DuplicateDecl(s) => write!(f, "symbol `{s}` declared twice"),
@@ -290,7 +296,11 @@ impl Grammar {
         if p.rhs.is_empty() {
             format!("{} -> <empty>", self.display_name(p.lhs))
         } else {
-            format!("{} -> {}", self.display_name(p.lhs), self.format_symbols(&p.rhs))
+            format!(
+                "{} -> {}",
+                self.display_name(p.lhs),
+                self.format_symbols(&p.rhs)
+            )
         }
     }
 }
@@ -447,12 +457,12 @@ impl GrammarBuilder {
         let mut nonterminals: Vec<SymbolId> = Vec::new();
 
         let intern = |name: &str,
-                          kind: SymbolKind,
-                          prec: Option<Precedence>,
-                          symbols: &mut Vec<SymbolInfo>,
-                          by_name: &mut HashMap<String, SymbolId>,
-                          terminals: &mut Vec<SymbolId>,
-                          nonterminals: &mut Vec<SymbolId>|
+                      kind: SymbolKind,
+                      prec: Option<Precedence>,
+                      symbols: &mut Vec<SymbolInfo>,
+                      by_name: &mut HashMap<String, SymbolId>,
+                      terminals: &mut Vec<SymbolId>,
+                      nonterminals: &mut Vec<SymbolId>|
          -> SymbolId {
             if let Some(&id) = by_name.get(name) {
                 return id;

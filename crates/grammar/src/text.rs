@@ -374,9 +374,7 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
             match p.bump() {
                 Some(Tok::Pipe) => continue,
                 Some(Tok::Semi) => break,
-                other => {
-                    return Err(p.err(format!("expected `|` or `;` in rule, found {other:?}")))
-                }
+                other => return Err(p.err(format!("expected `|` or `;` in rule, found {other:?}"))),
             }
         }
     }

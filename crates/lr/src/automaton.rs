@@ -280,8 +280,12 @@ impl Automaton {
             let n = proto.items.len();
             let mut las: Vec<TerminalSet> = vec![TerminalSet::empty(nterm); n];
             las[..proto.kernel_len].clone_from_slice(&kernel_la[s]);
-            let pos: HashMap<Item, usize> =
-                proto.items.iter().enumerate().map(|(i, &it)| (it, i)).collect();
+            let pos: HashMap<Item, usize> = proto
+                .items
+                .iter()
+                .enumerate()
+                .map(|(i, &it)| (it, i))
+                .collect();
             loop {
                 let mut changed = false;
                 for i in 0..n {
@@ -293,8 +297,7 @@ impl Automaton {
                         continue;
                     }
                     let beta = &it.tail(g)[1..];
-                    let mut add =
-                        analysis.first_of_seq(g, beta, &TerminalSet::empty(nterm));
+                    let mut add = analysis.first_of_seq(g, beta, &TerminalSet::empty(nterm));
                     if analysis.seq_nullable(g, beta) {
                         let snap = las[i].clone();
                         add.union_with(&snap);
@@ -360,7 +363,11 @@ impl Automaton {
             out.push_str(&format!("  {}  {{{}}}\n", it.display(g), la.join(", ")));
         }
         for &(sym, target) in st.transitions() {
-            out.push_str(&format!("  {} => State {}\n", g.display_name(sym), target.0));
+            out.push_str(&format!(
+                "  {} => State {}\n",
+                g.display_name(sym),
+                target.0
+            ));
         }
         out
     }
@@ -433,7 +440,11 @@ mod tests {
             for (i, &it) in st.items().iter().enumerate() {
                 if it.prod() == short_if && it.is_reduce(&g) {
                     found = true;
-                    assert!(st.lookahead(i).contains(else_t), "{}", auto.dump_state(&g, id));
+                    assert!(
+                        st.lookahead(i).contains(else_t),
+                        "{}",
+                        auto.dump_state(&g, id)
+                    );
                     assert!(st.lookahead(i).contains(eof));
                     // That same state must also contain the long-if shift item.
                     let long_if = g.prods_of(stmt)[0];

@@ -116,7 +116,11 @@ impl Search<'_> {
 
     /// Sound pruning: a reduction can only be part of a successful parse if
     /// the upcoming symbol can begin something in the item's lookahead set.
-    fn lookahead_compatible(&self, la: &lalrcex_grammar::TerminalSet, look: Option<SymbolId>) -> bool {
+    fn lookahead_compatible(
+        &self,
+        la: &lalrcex_grammar::TerminalSet,
+        look: Option<SymbolId>,
+    ) -> bool {
         match look {
             None => la.contains(self.g.tindex(SymbolId::EOF)),
             Some(sym) => match self.g.kind(sym) {
@@ -132,7 +136,12 @@ impl Search<'_> {
 
 /// Enumerates distinct parse trees of `input` (a sentential form) as
 /// derivations of the start symbol, up to the given limits.
-pub fn parses(g: &Grammar, auto: &Automaton, input: &[SymbolId], limits: Limits) -> Vec<Derivation> {
+pub fn parses(
+    g: &Grammar,
+    auto: &Automaton,
+    input: &[SymbolId],
+    limits: Limits,
+) -> Vec<Derivation> {
     let mut search = Search {
         g,
         auto,
@@ -161,7 +170,7 @@ pub fn is_ambiguous_sentence(g: &Grammar, auto: &Automaton, input: &[SymbolId]) 
         },
     )
     .len()
-    >= 2
+        >= 2
 }
 
 #[cfg(test)]
@@ -194,7 +203,11 @@ mod tests {
         let p = parses(&g, &auto, &input, Limits::default());
         assert_eq!(p.len(), 2, "{p:#?}");
         assert!(is_ambiguous_sentence(&g, &auto, &input));
-        assert!(!is_ambiguous_sentence(&g, &auto, &syms(&g, &["N", "+", "N"])));
+        assert!(!is_ambiguous_sentence(
+            &g,
+            &auto,
+            &syms(&g, &["N", "+", "N"])
+        ));
     }
 
     #[test]
@@ -211,9 +224,7 @@ mod tests {
 
     #[test]
     fn dangling_else_counterexample_is_ambiguous() {
-        let (g, auto) = setup(
-            "%% s : 'if' E 'then' s 'else' s | 'if' E 'then' s | X ; E : Y ;",
-        );
+        let (g, auto) = setup("%% s : 'if' E 'then' s 'else' s | 'if' E 'then' s | X ; E : Y ;");
         let input = syms(
             &g,
             &["if", "E", "then", "if", "E", "then", "s", "else", "s"],

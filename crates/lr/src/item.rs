@@ -53,7 +53,7 @@ impl Item {
     }
 
     /// The symbols after the dot.
-    pub fn tail<'g>(self, g: &'g Grammar) -> &'g [SymbolId] {
+    pub fn tail(self, g: &Grammar) -> &[SymbolId] {
         &g.prod(self.prod).rhs()[self.dot()..]
     }
 

@@ -36,7 +36,11 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::UnexpectedToken { pos, state, .. } => {
-                write!(f, "unexpected token at position {pos} in state {}", state.index())
+                write!(
+                    f,
+                    "unexpected token at position {pos} in state {}",
+                    state.index()
+                )
             }
             ParseError::UnexpectedEof { state } => {
                 write!(f, "unexpected end of input in state {}", state.index())
@@ -178,11 +182,12 @@ mod tests {
 
     #[test]
     fn dangling_else_default_binds_tight() {
-        let (g, auto, t) = setup(
-            "%% s : 'if' E 'then' s 'else' s | 'if' E 'then' s | X ; E : Y ;",
-        );
+        let (g, auto, t) = setup("%% s : 'if' E 'then' s 'else' s | 'if' E 'then' s | X ; E : Y ;");
         // Default (shift) attaches else to the inner if.
-        let input = toks(&g, &["if", "Y", "then", "if", "Y", "then", "X", "else", "X"]);
+        let input = toks(
+            &g,
+            &["if", "Y", "then", "if", "Y", "then", "X", "else", "X"],
+        );
         let tree = parse(&g, &auto, &t, &input).unwrap();
         let Derivation::Node(_, children) = &tree else {
             panic!()

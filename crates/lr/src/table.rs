@@ -233,10 +233,8 @@ mod tests {
 
     #[test]
     fn dangling_else_is_one_shift_reduce_conflict() {
-        let g = Grammar::parse(
-            "%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;",
-        )
-        .unwrap();
+        let g = Grammar::parse("%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | X ; e : Y ;")
+            .unwrap();
         let auto = Automaton::build(&g);
         let t = auto.tables(&g);
         assert_eq!(t.conflicts().len(), 1);
@@ -325,10 +323,7 @@ mod tests {
     #[test]
     fn figure3_grammar_conflict_is_shift_reduce() {
         // Paper Figure 3: unambiguous but not LALR — 1 conflict.
-        let g = Grammar::parse(
-            "%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;",
-        )
-        .unwrap();
+        let g = Grammar::parse("%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;").unwrap();
         let auto = Automaton::build(&g);
         assert_eq!(auto.state_count(), 10, "Table 1 row figure3: 10 states");
         let t = auto.tables(&g);
@@ -336,6 +331,6 @@ mod tests {
         let c = &t.conflicts()[0];
         assert_eq!(g.display_name(c.terminal), "a");
         assert!(matches!(c.kind, ConflictKind::ShiftReduce { .. }));
-        assert_eq!(c.describe(&g).contains("Shift/Reduce"), true);
+        assert!(c.describe(&g).contains("Shift/Reduce"));
     }
 }

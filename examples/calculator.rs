@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    assert!(report.unifying_count() > 0, "the naive grammar is ambiguous");
+    assert!(
+        report.unifying_count() > 0,
+        "the naive grammar is ambiguous"
+    );
 
     // Step 2: declare precedence, conflicts disappear.
     let fixed = Grammar::parse(

@@ -58,10 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And the once-ambiguous sentence now has exactly one parse.
     let fixed_auto = Automaton::build(&fixed);
-    let sentence: Vec<_> = ["if", "ID", "then", "if", "ID", "then", "print", "ID", "else", "print", "ID"]
-        .iter()
-        .map(|n| fixed.symbol_named(n).unwrap())
-        .collect();
+    let sentence: Vec<_> = [
+        "if", "ID", "then", "if", "ID", "then", "print", "ID", "else", "print", "ID",
+    ]
+    .iter()
+    .map(|n| fixed.symbol_named(n).unwrap())
+    .collect();
     let parses = glr::parses(&fixed, &fixed_auto, &sentence, glr::Limits::default());
     assert_eq!(parses.len(), 1);
     println!("the fixed grammar parses the ambiguous sentence uniquely");

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 test suite.
+#
+#   scripts/check.sh           # everything
+#   scripts/check.sh --quick   # skip the release build
+#
+# All steps run offline against the committed Cargo.lock.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$quick" -eq 0 ]]; then
+  echo "==> tier-1: cargo build --release"
+  cargo build --release
+fi
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "OK"

@@ -3,6 +3,8 @@
 //! See the individual crates for details:
 //! [`grammar`], [`lr`], [`earley`], [`core`], [`baselines`], [`corpus`].
 
+pub mod prng;
+
 pub use lalrcex_baselines as baselines;
 pub use lalrcex_core as core;
 pub use lalrcex_corpus as corpus;

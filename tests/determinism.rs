@@ -1,0 +1,138 @@
+//! Determinism of the parallel conflict engine, and graceful degradation
+//! of the grammar-wide cumulative budget.
+//!
+//! The engine's guarantee: for runs where no time limit fires (budgets far
+//! larger than the work) or where the budget is already exhausted (zero),
+//! `analyze_all` produces byte-identical formatted reports regardless of
+//! the worker count. Wall-clock fields and the memo hit/miss split are
+//! explicitly outside the guarantee and are not compared.
+
+use std::time::Duration;
+
+use lalrcex::core::{format_report, Analyzer, CexConfig, ExampleKind, GrammarReport, SearchConfig};
+use lalrcex::grammar::Grammar;
+
+fn load(name: &str) -> Grammar {
+    lalrcex::corpus::by_name(name)
+        .expect("corpus entry")
+        .load()
+        .expect("corpus grammar parses")
+}
+
+fn generous(workers: usize) -> CexConfig {
+    CexConfig {
+        search: SearchConfig {
+            time_limit: Duration::from_secs(30),
+            ..Default::default()
+        },
+        cumulative_limit: Duration::from_secs(600),
+        workers,
+    }
+}
+
+fn run(g: &Grammar, cfg: &CexConfig) -> GrammarReport {
+    Analyzer::new(g).analyze_all(cfg)
+}
+
+/// Asserts the determinism contract between two runs of the same grammar.
+fn assert_identical(g: &Grammar, a: &GrammarReport, b: &GrammarReport) {
+    assert_eq!(a.reports.len(), b.reports.len(), "same conflict count");
+    for (x, y) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(x.conflict.state, y.conflict.state, "conflict order");
+        assert_eq!(x.conflict.terminal, y.conflict.terminal, "conflict order");
+        assert_eq!(x.kind, y.kind, "same example kind");
+        assert_eq!(
+            format_report(g, x),
+            format_report(g, y),
+            "byte-identical report"
+        );
+    }
+    // Deterministic search counters (wall-clock and memo splits excluded).
+    assert_eq!(a.stats.search.explored, b.stats.search.explored);
+    assert_eq!(a.stats.search.enqueued, b.stats.search.enqueued);
+    assert_eq!(a.stats.search.deduped, b.stats.search.deduped);
+}
+
+#[test]
+fn figure1_parallel_matches_sequential() {
+    let g = load("figure1");
+    let seq = run(&g, &generous(1));
+    let par = run(&g, &generous(4));
+    assert_eq!(seq.reports.len(), 3, "figure1 has three conflicts");
+    assert_identical(&g, &seq, &par);
+}
+
+#[test]
+fn eqn_parallel_matches_sequential() {
+    let g = load("eqn");
+    let seq = run(&g, &generous(1));
+    let par = run(&g, &generous(4));
+    assert_identical(&g, &seq, &par);
+}
+
+#[test]
+fn pascal_parallel_matches_sequential() {
+    let g = load("Pascal.2");
+    let seq = run(&g, &generous(1));
+    let par = run(&g, &generous(4));
+    assert!(!seq.reports.is_empty(), "Pascal.2 has conflicts");
+    assert_identical(&g, &seq, &par);
+}
+
+/// §6 degradation: a spent cumulative budget must not cost the user the
+/// cheap nonunifying counterexamples — every conflict still gets one, and
+/// the skip decision is deterministic across worker counts.
+#[test]
+fn exhausted_budget_degrades_gracefully_on_c89() {
+    let g = load("C.3");
+    let tiny = |workers| CexConfig {
+        cumulative_limit: Duration::ZERO,
+        workers,
+        ..CexConfig::default()
+    };
+    let seq = run(&g, &tiny(1));
+    let par = run(&g, &tiny(2));
+    assert!(!seq.reports.is_empty(), "C.3 has conflicts");
+    for r in &seq.reports {
+        assert_eq!(r.kind, ExampleKind::NonunifyingSkipped);
+        assert!(
+            r.nonunifying.is_some(),
+            "nonunifying example survives budget exhaustion"
+        );
+        assert!(r.unifying.is_none());
+        assert_eq!(r.stats.search.explored, 0, "search really skipped");
+    }
+    assert_identical(&g, &seq, &par);
+    assert_eq!(seq.stats.search.explored, 0);
+}
+
+/// A mid-run budget (big enough for some conflicts, too small for all) may
+/// split kinds differently run to run, but must never lose the nonunifying
+/// fallback and must keep conflict order.
+#[test]
+fn partial_budget_never_loses_nonunifying() {
+    let g = load("C.3");
+    let cfg = CexConfig {
+        search: SearchConfig {
+            time_limit: Duration::from_millis(50),
+            ..Default::default()
+        },
+        cumulative_limit: Duration::from_millis(100),
+        workers: 2,
+    };
+    let report = run(&g, &cfg);
+    // Report order must match the conflict table even when workers race.
+    let analyzer = Analyzer::new(&g);
+    let table: Vec<_> = analyzer.tables().conflicts().to_vec();
+    assert_eq!(report.reports.len(), table.len());
+    for (r, c) in report.reports.iter().zip(&table) {
+        assert_eq!(r.conflict.state, c.state);
+        assert_eq!(r.conflict.terminal, c.terminal);
+    }
+    for r in &report.reports {
+        assert!(
+            r.nonunifying.is_some(),
+            "every conflict keeps a nonunifying example under a tiny budget"
+        );
+    }
+}

@@ -16,6 +16,7 @@ fn cfg() -> CexConfig {
             ..Default::default()
         },
         cumulative_limit: Duration::from_secs(120),
+        ..CexConfig::default()
     }
 }
 
@@ -105,7 +106,13 @@ fn ambfailed01_restricted_search_misses_extended_finds() {
 
 #[test]
 fn unambiguous_stack_overflow_grammars_get_nonunifying_examples() {
-    for name in ["stackovf01", "stackovf04", "stackovf06", "stackovf08", "stackexc02"] {
+    for name in [
+        "stackovf01",
+        "stackovf04",
+        "stackovf06",
+        "stackovf08",
+        "stackexc02",
+    ] {
         let (_, rows) = run(name);
         assert!(!rows.is_empty(), "{name} has conflicts");
         for (kind, _) in rows {
@@ -122,14 +129,24 @@ fn unambiguous_stack_overflow_grammars_get_nonunifying_examples() {
 
 #[test]
 fn ambiguous_stack_overflow_grammars_get_unifying_examples() {
-    for name in ["stackovf02", "stackovf03", "stackovf05", "stackovf07", "stackovf10", "stackexc01"] {
+    for name in [
+        "stackovf02",
+        "stackovf03",
+        "stackovf05",
+        "stackovf07",
+        "stackovf10",
+        "stackexc01",
+    ] {
         let (_, rows) = run(name);
         assert!(!rows.is_empty(), "{name} has conflicts");
         let unifying = rows
             .iter()
             .filter(|(k, _)| *k == ExampleKind::Unifying)
             .count();
-        assert!(unifying > 0, "{name}: expected at least one unifying example");
+        assert!(
+            unifying > 0,
+            "{name}: expected at least one unifying example"
+        );
         for (kind, oracle) in rows {
             if kind == ExampleKind::Unifying {
                 assert!(oracle, "{name}: oracle must confirm");

@@ -2,22 +2,25 @@
 //! counterexample engine must never claim an ambiguity the independent
 //! Earley oracle cannot confirm, and the parsing engines must agree on
 //! membership, whatever the grammar looks like.
+//!
+//! The random grammars come from a hand-rolled generator driven by the
+//! in-repo deterministic [`XorShift`] PRNG (no external registry access),
+//! so every failure is reproducible from the printed seed.
 
 use std::time::Duration;
-
-use proptest::prelude::*;
 
 use lalrcex::core::{validate, Analyzer, CexConfig, SearchConfig};
 use lalrcex::earley::{chart, forest};
 use lalrcex::grammar::{Grammar, GrammarBuilder, SymbolId};
 use lalrcex::lr::{glr, Automaton};
+use lalrcex::prng::XorShift;
 
 /// A compact description of a random grammar: for each nonterminal, a few
 /// productions over a mixed alphabet.
 #[derive(Clone, Debug)]
 struct GrammarSpec {
     /// prods[i] = productions of nonterminal `ni`; each production is a
-    /// sequence of symbol codes (0..3 = terminals a..d, 4..7 = n0..n3).
+    /// sequence of symbol codes (0..3 = terminals t0..t3, 4..6 = n0..n2).
     prods: Vec<Vec<Vec<u8>>>,
 }
 
@@ -29,15 +32,35 @@ fn nt_name(i: usize) -> String {
 
 fn sym_name(code: u8) -> String {
     match code {
-        0..=3 => format!("t{}", code),
+        0..=3 => format!("t{code}"),
         other => nt_name((other - 4) as usize % NT_COUNT),
     }
 }
 
-fn arb_spec() -> impl Strategy<Value = GrammarSpec> {
-    let prod = prop::collection::vec(0u8..7, 0..4);
-    let prods_of_one = prop::collection::vec(prod, 1..4);
-    prop::collection::vec(prods_of_one, NT_COUNT).prop_map(|prods| GrammarSpec { prods })
+/// Hand-rolled replacement for the former proptest strategy: for each of
+/// the three nonterminals, 1–3 productions of 0–3 symbols each, codes
+/// uniform over 4 terminals + 3 nonterminals.
+fn gen_spec(rng: &mut XorShift) -> GrammarSpec {
+    let prods = (0..NT_COUNT)
+        .map(|_| {
+            let nprods = 1 + rng.gen_range(3);
+            (0..nprods)
+                .map(|_| {
+                    let len = rng.gen_range(4);
+                    (0..len).map(|_| rng.gen_range(7) as u8).collect()
+                })
+                .collect()
+        })
+        .collect();
+    GrammarSpec { prods }
+}
+
+/// A random word over the terminal alphabet, length 0–5.
+fn gen_word(rng: &mut XorShift, g: &Grammar) -> Vec<SymbolId> {
+    let len = rng.gen_range(6);
+    (0..len)
+        .filter_map(|_| g.symbol_named(&sym_name(rng.gen_range(4) as u8)))
+        .collect()
 }
 
 fn build(spec: &GrammarSpec) -> Grammar {
@@ -51,9 +74,6 @@ fn build(spec: &GrammarSpec) -> Grammar {
             b.rule(&lhs, &refs);
         }
     }
-    // Guarantee every nonterminal has at least one terminal production so
-    // most random grammars are productive (unproductive ones are still
-    // legal — the engine must not crash on them either way).
     b.build().expect("random grammars are structurally valid")
 }
 
@@ -65,101 +85,135 @@ fn quick_cfg() -> CexConfig {
             ..Default::default()
         },
         cumulative_limit: Duration::from_secs(5),
+        ..CexConfig::default()
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
+const CASES: u64 = 48;
 
-    /// Soundness: every claimed unifying counterexample is a genuine
-    /// ambiguity (confirmed by the Earley forest oracle), and every
-    /// produced derivation applies real productions of the grammar.
-    #[test]
-    fn unifying_claims_are_sound(spec in arb_spec()) {
+/// Soundness: every claimed unifying counterexample is a genuine
+/// ambiguity (confirmed by the Earley forest oracle), and every
+/// produced derivation applies real productions of the grammar.
+#[test]
+fn unifying_claims_are_sound() {
+    for seed in 0..CASES {
+        let mut rng = XorShift::new(0xA11CE + seed);
+        let spec = gen_spec(&mut rng);
         let g = build(&spec);
         let mut analyzer = Analyzer::new(&g);
         let report = analyzer.analyze_all(&quick_cfg());
         for r in &report.reports {
             if let Some(u) = &r.unifying {
-                prop_assert!(validate::unifying_consistent(&g, u));
-                prop_assert!(
+                assert!(
+                    validate::unifying_consistent(&g, u),
+                    "seed {seed}: {spec:?}"
+                );
+                assert!(
                     forest::is_ambiguous_form(&g, u.nonterminal, &u.sentential_form()),
-                    "claimed ambiguity not confirmed: {} for {:?}",
-                    u.derivation1.flat(&g), spec
+                    "seed {seed}: claimed ambiguity not confirmed: {} for {:?}",
+                    u.derivation1.flat(&g),
+                    spec
                 );
             }
             if let Some(n) = &r.nonunifying {
-                prop_assert!(validate::nonunifying_consistent(&g, n));
+                assert!(
+                    validate::nonunifying_consistent(&g, n),
+                    "seed {seed}: {spec:?}"
+                );
             }
         }
     }
+}
 
-    /// GLR and Earley agree on membership of random short strings.
-    #[test]
-    fn engines_agree_on_membership(spec in arb_spec(), words in prop::collection::vec(0u8..4, 0..6)) {
+/// GLR and Earley agree on membership of random short strings.
+#[test]
+fn engines_agree_on_membership() {
+    for seed in 0..CASES {
+        let mut rng = XorShift::new(0xB0B + seed);
+        let spec = gen_spec(&mut rng);
         let g = build(&spec);
         let auto = Automaton::build(&g);
-        let input: Vec<SymbolId> = words
-            .iter()
-            .filter_map(|&c| g.symbol_named(&sym_name(c)))
-            .collect();
-        let glr_accepts = !glr::parses(
-            &g,
-            &auto,
-            &input,
-            glr::Limits { max_parses: 1, max_steps: 100_000, max_depth: 256 },
-        )
-        .is_empty();
-        let earley_accepts = chart::recognizes(&g, g.start(), &input);
-        prop_assert_eq!(glr_accepts, earley_accepts,
-            "membership disagreement on {:?} for {:?}", g.format_symbols(&input), spec);
+        for _ in 0..4 {
+            let input = gen_word(&mut rng, &g);
+            let glr_accepts = !glr::parses(
+                &g,
+                &auto,
+                &input,
+                glr::Limits {
+                    max_parses: 1,
+                    max_steps: 100_000,
+                    max_depth: 256,
+                },
+            )
+            .is_empty();
+            let earley_accepts = chart::recognizes(&g, g.start(), &input);
+            assert_eq!(
+                glr_accepts,
+                earley_accepts,
+                "seed {seed}: membership disagreement on {:?} for {:?}",
+                g.format_symbols(&input),
+                spec
+            );
+        }
     }
+}
 
-    /// Structural automaton invariants hold for every grammar.
-    #[test]
-    fn automaton_invariants(spec in arb_spec()) {
+/// Structural automaton invariants hold for every grammar.
+#[test]
+fn automaton_invariants() {
+    for seed in 0..CASES {
+        let mut rng = XorShift::new(0xCAFE + seed);
+        let spec = gen_spec(&mut rng);
         let g = build(&spec);
         let auto = Automaton::build(&g);
         for id in auto.state_ids() {
             let st = auto.state(id);
-            prop_assert!(st.kernel_len() >= 1 || id == lalrcex::lr::StateId::START);
+            assert!(st.kernel_len() >= 1 || id == lalrcex::lr::StateId::START);
             for &(sym, target) in st.transitions() {
-                prop_assert_eq!(auto.state(target).accessing_symbol(), Some(sym));
+                assert_eq!(auto.state(target).accessing_symbol(), Some(sym));
             }
             // Every item's successor state contains the advanced item.
             for &it in st.items() {
                 if let Some(next) = it.next_symbol(&g) {
                     let target = st.transition(next).expect("transition for item");
-                    prop_assert!(auto.state(target).item_index(it.advance(&g)).is_some());
+                    assert!(
+                        auto.state(target).item_index(it.advance(&g)).is_some(),
+                        "seed {seed}: {spec:?}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// The deterministic parser accepts exactly the GLR language when the
-    /// grammar has no conflicts.
-    #[test]
-    fn lr_equals_glr_without_conflicts(spec in arb_spec(), words in prop::collection::vec(0u8..4, 0..6)) {
+/// The deterministic parser accepts exactly the GLR language when the
+/// grammar has no conflicts.
+#[test]
+fn lr_equals_glr_without_conflicts() {
+    for seed in 0..CASES * 2 {
+        let mut rng = XorShift::new(0xD00D + seed);
+        let spec = gen_spec(&mut rng);
         let g = build(&spec);
         let auto = Automaton::build(&g);
         let tables = auto.tables(&g);
-        prop_assume!(tables.conflicts().is_empty());
-        let input: Vec<SymbolId> = words
-            .iter()
-            .filter_map(|&c| g.symbol_named(&sym_name(c)))
-            .collect();
-        let lr = lalrcex::lr::parser::parse(&g, &auto, &tables, &input).is_ok();
-        let glr_accepts = !glr::parses(
-            &g,
-            &auto,
-            &input,
-            glr::Limits { max_parses: 1, max_steps: 100_000, max_depth: 256 },
-        )
-        .is_empty();
-        prop_assert_eq!(lr, glr_accepts);
+        if !tables.conflicts().is_empty() {
+            continue; // the property only applies to conflict-free tables
+        }
+        for _ in 0..4 {
+            let input = gen_word(&mut rng, &g);
+            let lr = lalrcex::lr::parser::parse(&g, &auto, &tables, &input).is_ok();
+            let glr_accepts = !glr::parses(
+                &g,
+                &auto,
+                &input,
+                glr::Limits {
+                    max_parses: 1,
+                    max_steps: 100_000,
+                    max_depth: 256,
+                },
+            )
+            .is_empty();
+            assert_eq!(lr, glr_accepts, "seed {seed}: {spec:?}");
+        }
     }
 }
