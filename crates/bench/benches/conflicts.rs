@@ -10,6 +10,8 @@
 //!   quantity reported in Table 1's "Average" column.
 //! * `baseline` — the grammar-filtered bounded search on the same
 //!   conflict, the paper's comparison point (parenthesised column).
+//! * `lint` — the static-analysis passes: cold (engine built per run)
+//!   vs shared-facts (engine reused), quantifying the fact-sharing seam.
 //!
 //! Filter with `cargo bench -- NAME` (substring match on `group/bench`).
 
@@ -94,6 +96,25 @@ fn baseline(cfg: MicroConfig, filter: Option<String>) {
     }
 }
 
+/// The lint engine, cold vs shared-facts: `cold` builds the `Engine`
+/// (automaton, tables, state-item graph) inside the timed region — the
+/// cost a standalone linter would pay; `shared` reuses an engine built
+/// once outside it — the cost when lint rides on a conflict analysis
+/// that already precomputed everything. The gap is the fact-sharing win.
+fn lint_passes(cfg: MicroConfig, filter: Option<String>) {
+    use lalrcex_core::Engine;
+    use lalrcex_lint::Linter;
+
+    let mut group = Group::new("lint", cfg, filter);
+    for name in ["figure1", "simp2", "SQL.1", "C.1"] {
+        let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
+        let linter = Linter::new();
+        group.bench(&format!("{name}/cold"), || linter.run_grammar(&g).len());
+        let engine = Engine::new(&g);
+        group.bench(&format!("{name}/shared"), || linter.run(&engine).len());
+    }
+}
+
 fn main() {
     // `cargo bench -- FILTER` puts the filter in argv; `cargo bench` also
     // passes `--bench`, which we ignore.
@@ -108,5 +129,6 @@ fn main() {
     lssi_search(cfg, filter.clone());
     unifying(slow, filter.clone());
     full_conflict(slow, filter.clone());
-    baseline(slow, filter);
+    baseline(slow, filter.clone());
+    lint_passes(slow, filter);
 }

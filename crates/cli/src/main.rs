@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! USAGE: lalrcex [OPTIONS] GRAMMAR.y
+//!        lalrcex lint [--format text|json] [--deny-warnings] [--list] GRAMMAR.y
 //!
 //!   --extended           full unifying search (no shortest-path pruning)
 //!   --time-limit SECS    per-conflict unifying search budget (default 5)
@@ -17,10 +18,21 @@
 //!   --dump-states        print the full parser state machine
 //!   --path               print the shortest lookahead-sensitive path
 //!   --summary            one line per conflict instead of full reports
+//!
+//! lint mode:
+//!   --format text|json   diagnostic output format (default text)
+//!   --deny-warnings      warnings also make the exit code nonzero
+//!   --list               list the registered passes and exit
 //! ```
 //!
-//! Exit status: 0 when the grammar is conflict-free, 1 when conflicts were
-//! reported, 2 on usage or parse errors.
+//! Exit status (conflict mode): 0 when the grammar is conflict-free, 1 when
+//! conflicts were reported, 2 on usage or parse errors.
+//!
+//! Exit status (lint mode): 0 when no diagnostic at error severity was
+//! reported (warnings and infos are printed but don't fail the run unless
+//! `--deny-warnings`), 1 when an error-severity diagnostic (or, with
+//! `--deny-warnings`, any warning) was reported, 2 on usage or parse
+//! errors.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -46,7 +58,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: lalrcex [--extended] [--time-limit SECS] [--total-limit SECS] \
-         [--workers N] [--stats] [--dump-states] [--path] [--summary] GRAMMAR.y"
+         [--workers N] [--stats] [--dump-states] [--path] [--summary] GRAMMAR.y\n\
+         \x20      lalrcex lint [--format text|json] [--deny-warnings] [--list] GRAMMAR.y"
     );
     std::process::exit(2);
 }
@@ -104,7 +117,111 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Options for `lalrcex lint`.
+struct LintOptions {
+    grammar: String,
+    json: bool,
+    deny_warnings: bool,
+    list: bool,
+}
+
+fn lint_usage() -> ! {
+    eprintln!("usage: lalrcex lint [--format text|json] [--deny-warnings] [--list] GRAMMAR.y");
+    std::process::exit(2);
+}
+
+fn parse_lint_args(args: impl Iterator<Item = String>) -> LintOptions {
+    let mut opts = LintOptions {
+        grammar: String::new(),
+        json: false,
+        deny_warnings: false,
+        list: false,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                _ => lint_usage(),
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => lint_usage(),
+            other if !other.starts_with('-') && opts.grammar.is_empty() => {
+                opts.grammar = other.to_owned();
+            }
+            _ => lint_usage(),
+        }
+    }
+    if opts.grammar.is_empty() && !opts.list {
+        lint_usage();
+    }
+    opts
+}
+
+/// The `lalrcex lint` subcommand: run every static-analysis pass over the
+/// grammar and print spanned diagnostics.
+fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
+    use lalrcex_lint::{render_json, render_text, worst_severity, Linter, Severity};
+
+    let opts = parse_lint_args(args);
+    let linter = Linter::new();
+    if opts.list {
+        for pass in linter.passes() {
+            println!(
+                "{} {:<28} {}",
+                pass.code().id,
+                pass.code().name,
+                pass.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let text = match std::fs::read_to_string(&opts.grammar) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lalrcex: cannot read {}: {e}", opts.grammar);
+            return ExitCode::from(2);
+        }
+    };
+    let g = match Grammar::parse(&text) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("lalrcex: {}: {e}", opts.grammar);
+            return ExitCode::from(2);
+        }
+    };
+    let diags = linter.run_grammar(&g);
+    if opts.json {
+        print!("{}", render_json(&opts.grammar, &diags));
+    } else {
+        print!("{}", render_text(&opts.grammar, &diags));
+        if diags.is_empty() {
+            eprintln!("{}: no lint findings", opts.grammar);
+        }
+    }
+    let gate = if opts.deny_warnings {
+        Severity::Warning
+    } else {
+        Severity::Error
+    };
+    match worst_severity(&diags) {
+        Some(s) if s >= gate => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    }
+}
+
 fn main() -> ExitCode {
+    // `lalrcex lint ...` dispatches to the lint subcommand; anything else
+    // is the legacy conflict-analysis mode.
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("lint") {
+        raw.next();
+        return run_lint(raw);
+    }
+    drop(raw);
+
     let opts = parse_args();
     let text = match std::fs::read_to_string(&opts.grammar) {
         Ok(t) => t,

@@ -25,13 +25,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use lalrcex_grammar::Grammar;
-use lalrcex_lr::{Automaton, Conflict, StateId, Tables};
+use lalrcex_grammar::{Analysis, Grammar};
+use lalrcex_lr::{Automaton, Conflict, ConflictKind, Resolution, StateId, Tables};
 
 use crate::lssi::{self, LsNode};
 use crate::nonunifying::nonunifying_example;
 use crate::report::{CexConfig, ConflictReport, ExampleKind, GrammarReport};
-use crate::search::{unifying_search_metered, SearchConfig, SearchOutcome};
+use crate::search::{unifying_search_metered, SearchConfig, SearchOutcome, UnifyingExample};
 use crate::state_graph::{StateGraph, StateItemId};
 use crate::stats::{GrammarStats, SearchStats};
 
@@ -57,6 +57,41 @@ pub struct Engine<'g> {
     graph: StateGraph,
     precompute: Duration,
     memo: Mutex<HashMap<(StateItemId, usize), Arc<Spine>>>,
+}
+
+/// A read-only view of every conflict-independent fact the engine built for
+/// a grammar — the *fact-sharing seam* between the conflict search and
+/// other workloads (the `lalrcex-lint` static-analysis passes consume this
+/// so nullable/FIRST/reachability/automaton are computed exactly once).
+#[derive(Clone, Copy)]
+pub struct Facts<'e> {
+    /// The grammar the facts describe.
+    pub grammar: &'e Grammar,
+    /// Nullable / FIRST / FOLLOW / reachability / productivity tables.
+    pub analysis: &'e Analysis,
+    /// The LALR automaton with per-item lookahead sets.
+    pub automaton: &'e Automaton,
+    /// Resolved parse tables, surviving conflicts, precedence resolutions.
+    pub tables: &'e Tables,
+    /// The state-item graph with reverse edges.
+    pub graph: &'e StateGraph,
+}
+
+/// The outcome of replaying a precedence-resolved conflict through the
+/// unifying search (see [`Engine::probe_resolution`]).
+#[derive(Debug)]
+pub enum ResolutionProbe {
+    /// The silenced conflict is a genuine ambiguity: here is the proof.
+    Ambiguous(Box<UnifyingExample>),
+    /// The bounded search exhausted its space without finding ambiguity —
+    /// the precedence resolution was (as far as the search can tell) a
+    /// harmless tie-break.
+    NotProven,
+    /// The deterministic node budget ran out before a verdict.
+    BudgetExhausted,
+    /// The resolution has no reconstructible conflict item pair (e.g. an
+    /// accept-state edge case); nothing to probe.
+    NotProbed,
 }
 
 /// Resolves a configured worker count: `0` means one worker per available
@@ -108,9 +143,93 @@ impl<'g> Engine<'g> {
         &self.graph
     }
 
+    /// The grammar analyses (nullable / FIRST / FOLLOW / reachability /
+    /// productivity), computed once as part of automaton construction.
+    pub fn analysis(&self) -> &Analysis {
+        self.auto.analysis()
+    }
+
+    /// Every conflict-independent fact in one read-only bundle — the
+    /// sharing seam consumed by the lint passes (and any future workload
+    /// that wants the precomputation without re-running it).
+    pub fn facts(&self) -> Facts<'_> {
+        Facts {
+            grammar: self.g,
+            analysis: self.auto.analysis(),
+            automaton: &self.auto,
+            tables: &self.tables,
+            graph: &self.graph,
+        }
+    }
+
     /// Time spent building the conflict-independent state.
     pub fn precompute_time(&self) -> Duration {
         self.precompute
+    }
+
+    /// Reconstructs the conflict a precedence [`Resolution`] silenced, when
+    /// the conflict items still exist in the state (they always do for
+    /// shift/reduce resolutions).
+    pub fn resolved_conflict(&self, res: &Resolution) -> Option<Conflict> {
+        let shift_item = self
+            .auto
+            .state(res.state)
+            .items()
+            .iter()
+            .copied()
+            .find(|it| it.next_symbol(self.g) == Some(res.terminal))?;
+        Some(Conflict {
+            state: res.state,
+            terminal: res.terminal,
+            reduce_prod: res.reduce_prod,
+            kind: ConflictKind::ShiftReduce { shift_item },
+        })
+    }
+
+    /// Replays a precedence-resolved conflict through the §5 unifying
+    /// search under a *deterministic* node budget (`max_configs`; no time
+    /// limit, so two runs give byte-identical answers on any machine).
+    ///
+    /// The spine comes from the same memo the real conflict searches use,
+    /// so probing the resolutions of a grammar whose surviving conflicts
+    /// were already analyzed is nearly free of precomputation.
+    ///
+    /// This powers the lint engine's *conflict-masking* pass: a resolution
+    /// whose probe returns [`ResolutionProbe::Ambiguous`] silenced a
+    /// conflict that a counterexample search proves genuinely ambiguous.
+    pub fn probe_resolution(&self, res: &Resolution, max_configs: usize) -> ResolutionProbe {
+        let Some(conflict) = self.resolved_conflict(res) else {
+            return ResolutionProbe::NotProbed;
+        };
+        let (spine, _) = self.spine(&conflict);
+        let cfg = SearchConfig {
+            // Effectively infinite (a bounded search never gets anywhere
+            // near this): determinism comes from the node budgets alone.
+            time_limit: Duration::from_secs(3600),
+            extended: false,
+            max_configs,
+            // Bounds derivation depth, and with it the per-configuration
+            // clone cost: without it, an adversarial unambiguous grammar
+            // can drive the search into configurations whose derivations
+            // grow with every step (quadratic total work and stack-deep
+            // recursive clones). Genuine masked ambiguities are found at
+            // tiny costs; 512 leaves ample headroom.
+            max_cost: 512,
+        };
+        let mut metrics = crate::stats::SearchMetrics::default();
+        match unifying_search_metered(
+            self.g,
+            &self.auto,
+            &self.graph,
+            &conflict,
+            &spine.states,
+            &cfg,
+            &mut metrics,
+        ) {
+            SearchOutcome::Unifying(ex) => ResolutionProbe::Ambiguous(ex),
+            SearchOutcome::Exhausted => ResolutionProbe::NotProven,
+            SearchOutcome::TimedOut => ResolutionProbe::BudgetExhausted,
+        }
     }
 
     /// The spine for a conflict, served from the per-grammar memo when a
@@ -366,6 +485,55 @@ mod tests {
             );
         }
         assert_eq!(report.stats.search.explored, 0, "no search was run");
+    }
+
+    #[test]
+    fn probe_resolution_flags_masked_ambiguity() {
+        // `%left '+'` silences the classic `e + e · + e` ambiguity — the
+        // probe must prove it is genuine.
+        let g = Grammar::parse("%left '+' %% e : e '+' e | NUM ;").unwrap();
+        let engine = Engine::new(&g);
+        assert!(engine.tables().conflicts().is_empty());
+        let res: Vec<_> = engine.tables().resolutions().to_vec();
+        assert!(!res.is_empty());
+        let probe = engine.probe_resolution(&res[0], 1 << 16);
+        match probe {
+            ResolutionProbe::Ambiguous(ex) => {
+                assert_eq!(g.display_name(ex.nonterminal), "e");
+            }
+            other => panic!("expected Ambiguous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_resolution_budget_is_deterministic() {
+        let g = Grammar::parse("%left '+' %% e : e '+' e | NUM ;").unwrap();
+        let engine = Engine::new(&g);
+        let res = engine.tables().resolutions()[0];
+        // A tiny budget exhausts identically on every run.
+        let a = format!("{:?}", engine.probe_resolution(&res, 2));
+        let b = format!("{:?}", engine.probe_resolution(&res, 2));
+        assert_eq!(a, b);
+        assert!(
+            matches!(
+                engine.probe_resolution(&res, 2),
+                ResolutionProbe::BudgetExhausted
+            ),
+            "2 configs cannot complete the search"
+        );
+    }
+
+    #[test]
+    fn facts_share_engine_precomputation() {
+        let g = figure1();
+        let engine = Engine::new(&g);
+        let facts = engine.facts();
+        assert!(std::ptr::eq(facts.grammar, engine.grammar()));
+        assert!(std::ptr::eq(facts.analysis, engine.analysis()));
+        assert!(std::ptr::eq(facts.tables, engine.tables()));
+        assert!(std::ptr::eq(facts.automaton, engine.automaton()));
+        let s = g.symbol_named("stmt").unwrap();
+        assert!(facts.analysis.reachable(s));
     }
 
     #[test]

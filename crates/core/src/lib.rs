@@ -45,7 +45,7 @@ mod state_graph;
 pub mod stats;
 pub mod validate;
 
-pub use engine::{resolve_workers, Engine, Spine};
+pub use engine::{resolve_workers, Engine, Facts, ResolutionProbe, Spine};
 pub use nonunifying::{nonunifying_example, NonunifyingExample};
 pub use report::{
     analyze, format_report, Analyzer, CexConfig, ConflictReport, ExampleKind, GrammarReport,

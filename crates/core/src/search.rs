@@ -46,6 +46,14 @@ pub struct SearchConfig {
     pub extended: bool,
     /// Hard cap on explored configurations (memory guard).
     pub max_configs: usize,
+    /// Hard cap on a configuration's accumulated cost. Every search step
+    /// costs at least 1, so this also bounds the depth and size of the
+    /// derivations a configuration carries — successors beyond the cap are
+    /// pruned, turning runaway searches on pathological grammars into a
+    /// deterministic [`SearchOutcome::TimedOut`]. The default (`u32::MAX`)
+    /// disables the cap; clock-free callers (the lint masking probe) set
+    /// it so their worst case is bounded without consulting the clock.
+    pub max_cost: u32,
 }
 
 impl Default for SearchConfig {
@@ -54,6 +62,7 @@ impl Default for SearchConfig {
             time_limit: Duration::from_secs(5),
             extended: false,
             max_configs: 1 << 21,
+            max_cost: u32::MAX,
         }
     }
 }
@@ -482,6 +491,7 @@ pub fn unifying_search_metered(
     metrics.enqueued += 1;
     let mut scratch = Vec::new();
     let mut pops: u32 = 0;
+    let mut cost_pruned = false;
     while let Some(Reverse((_, idx))) = heap.pop() {
         pops += 1;
         metrics.explored += 1;
@@ -498,6 +508,10 @@ pub fn unifying_search_metered(
         scratch.clear();
         search.successors(&c, &mut scratch);
         for n in scratch.drain(..) {
+            if n.cost > cfg.max_cost {
+                cost_pruned = true;
+                continue;
+            }
             if visited.insert(n.core.clone()) {
                 let key = (n.cost, arena.len() as u64);
                 arena.push(n);
@@ -509,7 +523,12 @@ pub fn unifying_search_metered(
         }
         metrics.frontier_peak = metrics.frontier_peak.max(heap.len() as u64);
     }
-    SearchOutcome::Exhausted
+    // A drained queue only proves exhaustion if nothing was cost-pruned.
+    if cost_pruned {
+        SearchOutcome::TimedOut
+    } else {
+        SearchOutcome::Exhausted
+    }
 }
 
 #[cfg(test)]

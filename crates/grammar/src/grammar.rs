@@ -60,6 +60,9 @@ pub struct Production {
     pub(crate) lhs: SymbolId,
     pub(crate) rhs: Vec<SymbolId>,
     pub(crate) prec: Option<Precedence>,
+    /// Source line of the alternative in the grammar DSL (`0` = unknown,
+    /// e.g. a builder-constructed grammar without location info).
+    pub(crate) line: u32,
 }
 
 impl Production {
@@ -78,6 +81,14 @@ impl Production {
     pub fn precedence(&self) -> Option<Precedence> {
         self.prec
     }
+
+    /// The source line of this production in the grammar DSL, when known.
+    ///
+    /// Populated by [`Grammar::parse`] (and [`GrammarBuilder::rule_at`]);
+    /// `None` for rules added without location info.
+    pub fn line(&self) -> Option<u32> {
+        (self.line != 0).then_some(self.line)
+    }
 }
 
 struct SymbolInfo {
@@ -86,6 +97,9 @@ struct SymbolInfo {
     /// Terminal index or nonterminal index, depending on `kind`.
     dense: u32,
     prec: Option<Precedence>,
+    /// Line of the symbol's declaration (`%token` / `%left` / … for
+    /// terminals, first producing rule for nonterminals); `0` = unknown.
+    decl_line: u32,
 }
 
 /// Errors from building or parsing a grammar.
@@ -282,6 +296,15 @@ impl Grammar {
         self.symbols[sym.index()].prec
     }
 
+    /// Source line of the symbol's declaration, when known: the
+    /// `%token`/`%left`/`%right`/`%nonassoc` line for declared terminals,
+    /// the first producing rule for nonterminals, or the first use
+    /// otherwise.
+    pub fn decl_line(&self, sym: SymbolId) -> Option<u32> {
+        let l = self.symbols[sym.index()].decl_line;
+        (l != 0).then_some(l)
+    }
+
     /// Formats a sequence of symbols as a space-separated string.
     pub fn format_symbols(&self, syms: &[SymbolId]) -> String {
         syms.iter()
@@ -330,6 +353,16 @@ struct RuleDraft {
     lhs: String,
     rhs: Vec<String>,
     prec_sym: Option<String>,
+    /// Source line of the alternative (`0` = unknown).
+    line: u32,
+}
+
+#[derive(Clone)]
+struct TokenDraft {
+    name: String,
+    prec: Option<Precedence>,
+    /// Line of the declaration (`0` = unknown).
+    line: u32,
 }
 
 /// Incrementally builds a [`Grammar`].
@@ -355,7 +388,7 @@ struct RuleDraft {
 /// ```
 #[derive(Default)]
 pub struct GrammarBuilder {
-    tokens: Vec<(String, Option<Precedence>)>,
+    tokens: Vec<TokenDraft>,
     rules: Vec<RuleDraft>,
     start: Option<String>,
     next_level: u16,
@@ -372,8 +405,21 @@ impl GrammarBuilder {
 
     /// Declares a token (terminal). Optional unless precedence matters.
     pub fn token(&mut self, name: &str) -> &mut Self {
-        if !self.tokens.iter().any(|(n, _)| n == name) {
-            self.tokens.push((name.to_owned(), None));
+        self.token_at(name, 0)
+    }
+
+    /// [`GrammarBuilder::token`] with a source line for diagnostics.
+    pub fn token_at(&mut self, name: &str, line: u32) -> &mut Self {
+        if let Some(entry) = self.tokens.iter_mut().find(|t| t.name == name) {
+            if entry.line == 0 {
+                entry.line = line;
+            }
+        } else {
+            self.tokens.push(TokenDraft {
+                name: name.to_owned(),
+                prec: None,
+                line,
+            });
         }
         self
     }
@@ -381,14 +427,26 @@ impl GrammarBuilder {
     /// Declares a precedence level for `names`, like a yacc
     /// `%left`/`%right`/`%nonassoc` line. Later calls bind tighter.
     pub fn prec_level(&mut self, assoc: Assoc, names: &[&str]) -> &mut Self {
+        self.prec_level_at(assoc, names, 0)
+    }
+
+    /// [`GrammarBuilder::prec_level`] with a source line for diagnostics.
+    pub fn prec_level_at(&mut self, assoc: Assoc, names: &[&str], line: u32) -> &mut Self {
         let level = self.next_level;
         self.next_level += 1;
         for &name in names {
             let prec = Some(Precedence { level, assoc });
-            if let Some(entry) = self.tokens.iter_mut().find(|(n, _)| n == name) {
-                entry.1 = prec;
+            if let Some(entry) = self.tokens.iter_mut().find(|t| t.name == name) {
+                entry.prec = prec;
+                if line != 0 {
+                    entry.line = line;
+                }
             } else {
-                self.tokens.push((name.to_owned(), prec));
+                self.tokens.push(TokenDraft {
+                    name: name.to_owned(),
+                    prec,
+                    line,
+                });
             }
         }
         self
@@ -402,20 +460,38 @@ impl GrammarBuilder {
 
     /// Adds a production `lhs -> rhs`.
     pub fn rule(&mut self, lhs: &str, rhs: &[&str]) -> &mut Self {
+        self.rule_at(lhs, rhs, 0)
+    }
+
+    /// [`GrammarBuilder::rule`] with a source line for diagnostics.
+    pub fn rule_at(&mut self, lhs: &str, rhs: &[&str], line: u32) -> &mut Self {
         self.rules.push(RuleDraft {
             lhs: lhs.to_owned(),
             rhs: rhs.iter().map(|s| (*s).to_owned()).collect(),
             prec_sym: None,
+            line,
         });
         self
     }
 
     /// Adds a production with an explicit `%prec` terminal.
     pub fn rule_prec(&mut self, lhs: &str, rhs: &[&str], prec_sym: &str) -> &mut Self {
+        self.rule_prec_at(lhs, rhs, prec_sym, 0)
+    }
+
+    /// [`GrammarBuilder::rule_prec`] with a source line for diagnostics.
+    pub fn rule_prec_at(
+        &mut self,
+        lhs: &str,
+        rhs: &[&str],
+        prec_sym: &str,
+        line: u32,
+    ) -> &mut Self {
         self.rules.push(RuleDraft {
             lhs: lhs.to_owned(),
             rhs: rhs.iter().map(|s| (*s).to_owned()).collect(),
             prec_sym: Some(prec_sym.to_owned()),
+            line,
         });
         self
     }
@@ -442,9 +518,9 @@ impl GrammarBuilder {
         for r in &self.rules {
             is_lhs.insert(&r.lhs, true);
         }
-        for (name, _) in &self.tokens {
-            if is_lhs.contains_key(name.as_str()) {
-                return Err(GrammarError::TokenOnLhs(name.clone()));
+        for t in &self.tokens {
+            if is_lhs.contains_key(t.name.as_str()) {
+                return Err(GrammarError::TokenOnLhs(t.name.clone()));
             }
         }
         if !is_lhs.contains_key(start_name.as_str()) {
@@ -459,12 +535,17 @@ impl GrammarBuilder {
         let intern = |name: &str,
                       kind: SymbolKind,
                       prec: Option<Precedence>,
+                      decl_line: u32,
                       symbols: &mut Vec<SymbolInfo>,
                       by_name: &mut HashMap<String, SymbolId>,
                       terminals: &mut Vec<SymbolId>,
                       nonterminals: &mut Vec<SymbolId>|
          -> SymbolId {
             if let Some(&id) = by_name.get(name) {
+                // Keep the earliest known location.
+                if symbols[id.index()].decl_line == 0 {
+                    symbols[id.index()].decl_line = decl_line;
+                }
                 return id;
             }
             let id = SymbolId(symbols.len() as u32);
@@ -483,6 +564,7 @@ impl GrammarBuilder {
                 kind,
                 dense,
                 prec,
+                decl_line,
             });
             by_name.insert(name.to_owned(), id);
             id
@@ -493,6 +575,7 @@ impl GrammarBuilder {
             "$end",
             SymbolKind::Terminal,
             None,
+            0,
             &mut symbols,
             &mut by_name,
             &mut terminals,
@@ -502,6 +585,7 @@ impl GrammarBuilder {
             "$accept",
             SymbolKind::Nonterminal,
             None,
+            0,
             &mut symbols,
             &mut by_name,
             &mut terminals,
@@ -510,11 +594,12 @@ impl GrammarBuilder {
 
         // Declared tokens first (stable terminal numbering), then symbols in
         // order of appearance.
-        for (name, prec) in &self.tokens {
+        for t in &self.tokens {
             intern(
-                name,
+                &t.name,
                 SymbolKind::Terminal,
-                *prec,
+                t.prec,
+                t.line,
                 &mut symbols,
                 &mut by_name,
                 &mut terminals,
@@ -533,6 +618,7 @@ impl GrammarBuilder {
                 &r.lhs,
                 SymbolKind::Nonterminal,
                 None,
+                r.line,
                 &mut symbols,
                 &mut by_name,
                 &mut terminals,
@@ -543,6 +629,7 @@ impl GrammarBuilder {
                     s,
                     kind_of(s, &is_lhs),
                     None,
+                    r.line,
                     &mut symbols,
                     &mut by_name,
                     &mut terminals,
@@ -560,6 +647,7 @@ impl GrammarBuilder {
             lhs: accept,
             rhs: vec![start, SymbolId::EOF],
             prec: None,
+            line: 0,
         }];
         for r in &self.rules {
             let lhs = by_name[&r.lhs];
@@ -584,7 +672,12 @@ impl GrammarBuilder {
                     .find(|&&s| symbols[s.index()].kind == SymbolKind::Terminal)
                     .and_then(|&s| symbols[s.index()].prec),
             };
-            productions.push(Production { lhs, rhs, prec });
+            productions.push(Production {
+                lhs,
+                rhs,
+                prec,
+                line: r.line,
+            });
         }
 
         let mut prods_of = vec![Vec::new(); nonterminals.len()];

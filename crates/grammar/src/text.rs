@@ -226,6 +226,11 @@ impl Parser {
         self.toks.get(self.pos).map(|(t, _)| t)
     }
 
+    /// Line of the *next* token (clamped to the last token at EOF).
+    fn peek_line(&self) -> u32 {
+        self.line()
+    }
+
     fn line(&self) -> u32 {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
@@ -274,17 +279,19 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
                 break;
             }
             Some(Tok::Directive(_)) => {
+                let decl_line = p.peek_line();
                 let Some(Tok::Directive(d)) = p.bump() else {
                     unreachable!()
                 };
                 match d.as_str() {
                     "token" | "term" => {
                         while matches!(p.peek(), Some(Tok::Ident(_) | Tok::Quoted(_))) {
+                            let name_line = p.peek_line();
                             let (Some(Tok::Ident(name)) | Some(Tok::Quoted(name))) = p.bump()
                             else {
                                 unreachable!()
                             };
-                            b.token(&name);
+                            b.token_at(&name, name_line);
                         }
                     }
                     "left" | "right" | "nonassoc" => {
@@ -302,7 +309,7 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
                             names.push(name);
                         }
                         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                        b.prec_level(assoc, &refs);
+                        b.prec_level_at(assoc, &refs, decl_line);
                     }
                     "start" => {
                         let name = p.expect_ident("start symbol")?;
@@ -320,6 +327,7 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
 
     // Rules.
     while let Some(tok) = p.peek() {
+        let lhs_line = p.peek_line();
         let Tok::Ident(_) = tok else {
             return Err(p.err(format!("expected rule name, found {tok:?}")));
         };
@@ -330,8 +338,13 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
             Some(Tok::Colon) => {}
             other => return Err(p.err(format!("expected `:` after rule name, found {other:?}"))),
         }
+        let mut first_alt = true;
         loop {
-            // One alternative.
+            // One alternative. Its span is the line of its first token (the
+            // rule head for the first alternative, so that `x : A | B ;`
+            // written on one line points at the rule).
+            let alt_line = if first_alt { lhs_line } else { p.peek_line() };
+            first_alt = false;
             let mut rhs: Vec<String> = Vec::new();
             let mut prec: Option<String> = None;
             loop {
@@ -343,13 +356,14 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
                         rhs.push(s);
                     }
                     Some(Tok::Quoted(_)) => {
+                        let quoted_line = p.peek_line();
                         let Some(Tok::Quoted(s)) = p.bump() else {
                             unreachable!()
                         };
                         // Quoted literals are always terminals; declaring
                         // them surfaces accidental collisions with
                         // nonterminal names as TokenOnLhs errors.
-                        b.token(&s);
+                        b.token_at(&s, quoted_line);
                         rhs.push(s);
                     }
                     Some(Tok::Directive(d)) if d == "empty" => {
@@ -365,10 +379,10 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
             let refs: Vec<&str> = rhs.iter().map(String::as_str).collect();
             match prec {
                 Some(ps) => {
-                    b.rule_prec(&lhs, &refs, &ps);
+                    b.rule_prec_at(&lhs, &refs, &ps, alt_line);
                 }
                 None => {
-                    b.rule(&lhs, &refs);
+                    b.rule_at(&lhs, &refs, alt_line);
                 }
             }
             match p.bump() {
@@ -502,6 +516,51 @@ mod tests {
             GrammarError::Parse { line, .. } => assert!(line >= 3, "line was {line}"),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn productions_carry_source_lines() {
+        let g = Grammar::parse(
+            "%token A B\n\
+             %left '+'\n\
+             %start s\n\
+             %%\n\
+             s : A s\n\
+               | B\n\
+               | %empty\n\
+               ;\n\
+             t : '+' ;\n",
+        )
+        .unwrap();
+        let s = g.symbol_named("s").unwrap();
+        let lines: Vec<Option<u32>> = g
+            .prods_of(s)
+            .iter()
+            .map(|&pid| g.prod(pid).line())
+            .collect();
+        assert_eq!(lines, vec![Some(5), Some(6), Some(7)]);
+        let t = g.symbol_named("t").unwrap();
+        assert_eq!(g.prod(g.prods_of(t)[0]).line(), Some(9));
+        // The augmented production has no source location.
+        assert_eq!(g.prod(g.accept_prod()).line(), None);
+    }
+
+    #[test]
+    fn declarations_carry_source_lines() {
+        let g = Grammar::parse(
+            "%token A B\n\
+             %left '+' '-'\n\
+             %%\n\
+             s : A '+' s | B ;\n",
+        )
+        .unwrap();
+        assert_eq!(g.decl_line(g.symbol_named("A").unwrap()), Some(1));
+        assert_eq!(g.decl_line(g.symbol_named("B").unwrap()), Some(1));
+        assert_eq!(g.decl_line(g.symbol_named("+").unwrap()), Some(2));
+        assert_eq!(g.decl_line(g.symbol_named("-").unwrap()), Some(2));
+        // Nonterminals point at their first producing rule.
+        assert_eq!(g.decl_line(g.symbol_named("s").unwrap()), Some(4));
+        assert_eq!(g.decl_line(crate::SymbolId::EOF), None);
     }
 
     #[test]

@@ -1,0 +1,5 @@
+// L005: a <=> b is a derivation cycle (a => b => a with no terminals).
+%%
+s : a 'x' ;
+a : b ;
+b : a | 'y' ;

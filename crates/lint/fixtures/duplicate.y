@@ -1,0 +1,6 @@
+// L004: the second `s : 'a' 'b'` duplicates the first verbatim.
+%%
+s : 'a' 'b'
+  | 'c'
+  | 'a' 'b'
+  ;

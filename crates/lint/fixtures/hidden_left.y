@@ -1,0 +1,7 @@
+// L006: `e : opt e '+'` is left-recursive once the nullable `opt`
+// vanishes -- hidden left recursion that surprises LL-style reasoning
+// and produces tricky LALR conflicts.
+%%
+s : e ;
+e : opt e '+' | 'n' ;
+opt : 'o' | %empty ;

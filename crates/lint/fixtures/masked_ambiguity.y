@@ -1,0 +1,7 @@
+// L009: %left '+' silences the shift/reduce conflict of `e : e '+' e`,
+// but the grammar is genuinely ambiguous -- the counterexample search
+// proves `NUM + NUM + NUM` has two parses. The resolution picks an
+// association; it does not remove the ambiguity.
+%left '+'
+%%
+e : e '+' e | NUM ;

@@ -1,0 +1,5 @@
+// L007: `seq : seq seq` over a nullable `seq` -- the classic
+// nullable-repetition pattern, ambiguous for every derivable string.
+%%
+s : seq 'x' ;
+seq : seq seq | 'a' | %empty ;

@@ -1,0 +1,4 @@
+// L002: `loop` derives no terminal string (every production recurses).
+%%
+s : 'x' | loop ;
+loop : loop 'y' ;

@@ -1,0 +1,4 @@
+// L001: `dead` is never reachable from the start symbol.
+%%
+s : 'x' ;
+dead : 'y' ;

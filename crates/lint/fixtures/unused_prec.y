@@ -1,0 +1,5 @@
+// L008: the precedence level for UNUSED_OP never tie-breaks anything
+// (the grammar has no conflict involving it).
+%left UNUSED_OP
+%%
+s : 'a' s 'b' | 'c' ;

@@ -1,0 +1,4 @@
+// L003: GHOST is declared but appears in no production.
+%token GHOST USED
+%%
+s : USED ;

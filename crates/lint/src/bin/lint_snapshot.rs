@@ -1,0 +1,91 @@
+//! Corpus lint snapshot tool, wired into `scripts/check.sh`.
+//!
+//! ```text
+//! lint-snapshot --check    # diff a fresh run against the committed file (exit 1 on drift)
+//! lint-snapshot --update   # rewrite the committed file
+//! lint-snapshot --table    # print the per-grammar diagnostic-count markdown table
+//! ```
+
+use lalrcex_lint::snapshot::{corpus_counts, corpus_snapshot, snapshot_path};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "--check".into());
+    match mode.as_str() {
+        "--check" => {
+            let fresh = corpus_snapshot();
+            let path = snapshot_path();
+            let committed = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("lint-snapshot: cannot read {}: {e}", path.display());
+                    eprintln!("lint-snapshot: run with --update to create it");
+                    return ExitCode::from(1);
+                }
+            };
+            if committed == fresh {
+                println!("lint-snapshot: {} is current", path.display());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("lint-snapshot: {} is stale", path.display());
+                for (i, (a, b)) in committed.lines().zip(fresh.lines()).enumerate() {
+                    if a != b {
+                        eprintln!("  first diff at line {}:", i + 1);
+                        eprintln!("  - {a}");
+                        eprintln!("  + {b}");
+                        break;
+                    }
+                }
+                let (nc, nf) = (committed.lines().count(), fresh.lines().count());
+                if nc != nf {
+                    eprintln!("  line counts differ: committed {nc}, fresh {nf}");
+                }
+                eprintln!("lint-snapshot: regenerate with --update and review the diff");
+                ExitCode::from(1)
+            }
+        }
+        "--update" => {
+            let fresh = corpus_snapshot();
+            let path = snapshot_path();
+            if let Err(e) = std::fs::write(&path, &fresh) {
+                eprintln!("lint-snapshot: cannot write {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+            println!("lint-snapshot: wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        "--table" => {
+            // Markdown table for EXPERIMENTS.md: one row per Table 1
+            // grammar, one column per diagnostic code that fires anywhere.
+            let counts = corpus_counts();
+            let mut codes: Vec<&str> = counts.iter().flat_map(|(_, m)| m.keys().copied()).collect();
+            codes.sort_unstable();
+            codes.dedup();
+            print!("| grammar |");
+            for c in &codes {
+                print!(" {c} |");
+            }
+            println!(" total |");
+            print!("|---|");
+            for _ in &codes {
+                print!("---|");
+            }
+            println!("---|");
+            for (name, m) in &counts {
+                print!("| {name} |");
+                let mut total = 0;
+                for c in &codes {
+                    let n = m.get(c).copied().unwrap_or(0);
+                    total += n;
+                    print!(" {n} |");
+                }
+                println!(" {total} |");
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("lint-snapshot: unknown mode {other:?} (use --check, --update or --table)");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Multi-pass grammar static analysis with spanned diagnostics.
+//!
+//! The conflict engine fires only *after* table construction finds a
+//! conflict, but many grammar defects that cause (or silently mask)
+//! conflicts are detectable by pure static analysis: unreachable and
+//! unproductive symbols, duplicate productions, derivation cycles, hidden
+//! left recursion behind nullable prefixes, nullable-repetition ambiguity
+//! patterns, and precedence declarations that never tie-break — or worse,
+//! that silenced a conflict the counterexample search can prove genuinely
+//! ambiguous.
+//!
+//! Every pass runs over [`lalrcex_core::Facts`], the read-only bundle of
+//! conflict-independent state the [`Engine`] builds exactly once per
+//! grammar (nullable/FIRST/reachability, the LALR automaton, resolved
+//! tables, the state-item graph). Linting a grammar whose conflicts were
+//! already analyzed therefore costs no extra precomputation, and the
+//! *conflict-masking* pass reuses the engine's memoized §4 spines when it
+//! replays precedence-resolved conflicts through the §5 unifying search.
+//!
+//! Determinism: no pass consults the clock. The masking probe runs under a
+//! node-count budget, so two lint runs of the same grammar are
+//! byte-identical — a requirement for the committed corpus snapshots.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lalrcex_grammar::Grammar;
+//! use lalrcex_lint::{lint, Severity};
+//!
+//! let g = Grammar::parse("%% s : 'x' ; dead : 'y' ;")?;
+//! let diags = lint(&g);
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].code.name, "unreachable-nonterminal");
+//! assert_eq!(diags[0].severity, Severity::Warning);
+//! assert!(diags[0].span.is_some(), "diagnostics carry source lines");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use lalrcex_core::Engine;
+use lalrcex_grammar::Grammar;
+
+mod passes;
+mod render;
+pub mod snapshot;
+
+pub use render::{render_json, render_text};
+
+/// How bad a [`Diagnostic`] is. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational — surfaced, never affects the exit code.
+    Info,
+    /// Suspicious pattern; exit code only with `--deny-warnings`.
+    Warning,
+    /// A defect (e.g. an unproductive nonterminal): nonzero exit code.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by both the text and JSON renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A stable identifier for a lint pass: a short numeric id (`L00x`) plus a
+/// kebab-case name, both printed in reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LintCode {
+    /// Stable short id, e.g. `"L001"`.
+    pub id: &'static str,
+    /// Human-readable kebab-case name, e.g. `"unreachable-nonterminal"`.
+    pub name: &'static str,
+}
+
+/// A source location in the grammar DSL (1-based line).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A secondary location attached to a [`Diagnostic`] (e.g. "first defined
+/// here" for a duplicate production).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Related {
+    /// What this location contributes.
+    pub message: String,
+    /// Where, when known.
+    pub span: Option<Span>,
+}
+
+/// One finding of a lint pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Which pass produced it.
+    pub code: LintCode,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Primary source location, when the grammar carries line info.
+    pub span: Option<Span>,
+    /// Secondary locations.
+    pub related: Vec<Related>,
+}
+
+/// Tunables for the lint run.
+#[derive(Clone, Copy, Debug)]
+pub struct LintConfig {
+    /// Deterministic node budget for each conflict-masking probe (the §5
+    /// search is bounded by explored configurations, *not* wall clock, so
+    /// lint output is byte-identical across runs and machines).
+    ///
+    /// The probe deliberately has no wall-clock limit; its worst case is
+    /// bounded by this together with the engine's per-configuration cost
+    /// cap, which keeps derivations shallow on adversarial grammars. The
+    /// default finds every masked ambiguity in the Table 1 corpus with
+    /// plenty of headroom.
+    pub masking_max_configs: usize,
+    /// Cap on masking probes per grammar (one representative resolution is
+    /// probed per silenced reduce production; this bounds the worst case).
+    pub masking_max_probes: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            masking_max_configs: 1 << 16,
+            masking_max_probes: 256,
+        }
+    }
+}
+
+/// Everything a pass may look at: the engine's shared facts plus the
+/// engine itself (for the masking pass's spine-memoized probes) and the
+/// lint configuration.
+pub struct LintContext<'e> {
+    /// The conflict-independent facts (grammar, analysis, automaton,
+    /// tables, state-item graph), built once by the engine.
+    pub facts: lalrcex_core::Facts<'e>,
+    /// The engine, for passes that replay searches.
+    pub engine: &'e Engine<'e>,
+    /// Tunables.
+    pub cfg: &'e LintConfig,
+}
+
+/// A single analysis pass over the grammar facts.
+pub trait LintPass {
+    /// The stable code of this pass.
+    fn code(&self) -> LintCode;
+    /// One-line description (shown by `lalrcex lint --list`).
+    fn description(&self) -> &'static str;
+    /// Appends this pass's findings to `out`.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The pass registry: an ordered set of [`LintPass`]es plus a
+/// [`LintConfig`].
+pub struct Linter {
+    passes: Vec<Box<dyn LintPass>>,
+    cfg: LintConfig,
+}
+
+impl Default for Linter {
+    fn default() -> Linter {
+        Linter::new()
+    }
+}
+
+impl Linter {
+    /// A linter with every built-in pass registered, in code order.
+    pub fn new() -> Linter {
+        Linter::with_config(LintConfig::default())
+    }
+
+    /// [`Linter::new`] with explicit tunables.
+    pub fn with_config(cfg: LintConfig) -> Linter {
+        Linter {
+            passes: passes::all_passes(),
+            cfg,
+        }
+    }
+
+    /// An empty registry (for tools that hand-pick passes).
+    pub fn empty(cfg: LintConfig) -> Linter {
+        Linter {
+            passes: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Registers an additional pass.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The registered passes.
+    pub fn passes(&self) -> impl Iterator<Item = &dyn LintPass> {
+        self.passes.iter().map(|p| p.as_ref())
+    }
+
+    /// Runs every pass over an existing engine's facts (the cheap path
+    /// when conflict analysis already built one). Diagnostics are sorted
+    /// by (line, code, message) for deterministic output.
+    pub fn run(&self, engine: &Engine<'_>) -> Vec<Diagnostic> {
+        let ctx = LintContext {
+            facts: engine.facts(),
+            engine,
+            cfg: &self.cfg,
+        };
+        let mut out = Vec::new();
+        for pass in &self.passes {
+            pass.run(&ctx, &mut out);
+        }
+        out.sort_by(|a, b| {
+            let ka = (a.span.map_or(0, |s| s.line), a.code.id, &a.message);
+            let kb = (b.span.map_or(0, |s| s.line), b.code.id, &b.message);
+            ka.cmp(&kb)
+        });
+        out
+    }
+
+    /// Builds an engine for `g` and runs every pass (the cold path).
+    pub fn run_grammar(&self, g: &Grammar) -> Vec<Diagnostic> {
+        self.run(&Engine::new(g))
+    }
+}
+
+/// One-call convenience: lint `g` with every pass and default tunables.
+pub fn lint(g: &Grammar) -> Vec<Diagnostic> {
+    Linter::new().run_grammar(g)
+}
+
+/// The highest severity present, if any — drives CLI exit codes.
+pub fn worst_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_reports_nine_codes() {
+        let l = Linter::new();
+        let codes: Vec<&str> = l.passes().map(|p| p.code().id).collect();
+        assert_eq!(codes.len(), 9);
+        let mut dedup = codes.clone();
+        dedup.dedup();
+        assert_eq!(codes, dedup, "codes are unique and ordered");
+        assert!(codes.len() >= 8, "ISSUE acceptance: >= 8 distinct codes");
+    }
+
+    #[test]
+    fn clean_grammar_is_clean() {
+        let g = Grammar::parse("%% s : s 'a' | 'a' ;").unwrap();
+        assert!(lint(&g).is_empty());
+    }
+
+    #[test]
+    fn worst_severity_orders() {
+        let g = Grammar::parse("%% s : 'x' ; dead : loopy ; loopy : loopy 'y' ;").unwrap();
+        let diags = lint(&g);
+        assert_eq!(worst_severity(&diags), Some(Severity::Error));
+        assert!(worst_severity(&[]).is_none());
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_deterministic() {
+        let g =
+            Grammar::parse("%token UNUSED1 UNUSED2\n%% s : 'x' ;\ndead1 : 'a' ;\ndead2 : 'b' ;\n")
+                .unwrap();
+        let a = lint(&g);
+        let b = lint(&g);
+        assert_eq!(a, b);
+        let lines: Vec<u32> = a.iter().filter_map(|d| d.span.map(|s| s.line)).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,0 +1,725 @@
+//! The built-in lint passes.
+//!
+//! Each pass is a small pure function over [`lalrcex_core::Facts`]; the
+//! only exception is the conflict-masking pass, which replays silenced
+//! conflicts through the engine's deterministic, node-budgeted unifying
+//! search (reusing its memoized spines).
+
+use std::collections::{HashMap, HashSet};
+
+use lalrcex_core::ResolutionProbe;
+use lalrcex_grammar::{Grammar, ProdId, SymbolId};
+
+use crate::{Diagnostic, LintCode, LintContext, LintPass, Related, Severity, Span};
+
+/// Every built-in pass, in code order.
+pub(crate) fn all_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(Unreachable),
+        Box::new(Unproductive),
+        Box::new(UnusedTerminal),
+        Box::new(DuplicateProduction),
+        Box::new(CyclicNonterminal),
+        Box::new(HiddenLeftRecursion),
+        Box::new(NullableRepetition),
+        Box::new(UnusedPrecedence),
+        Box::new(ConflictMasking),
+    ]
+}
+
+fn sym_span(g: &Grammar, sym: SymbolId) -> Option<Span> {
+    g.decl_line(sym).map(|line| Span { line })
+}
+
+fn prod_span(g: &Grammar, pid: ProdId) -> Option<Span> {
+    g.prod(pid).line().map(|line| Span { line })
+}
+
+/// `L001` — nonterminals no sentential form of the start symbol contains.
+struct Unreachable;
+
+impl LintPass for Unreachable {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L001",
+            name: "unreachable-nonterminal",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "nonterminal unreachable from the start symbol"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        for i in 0..g.nonterminal_count() {
+            let nt = g.nonterminal(i);
+            if nt == g.accept() || ctx.facts.analysis.reachable(nt) {
+                continue;
+            }
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Warning,
+                message: format!(
+                    "nonterminal `{}` is unreachable from the start symbol `{}`",
+                    g.display_name(nt),
+                    g.display_name(g.start()),
+                ),
+                span: sym_span(g, nt),
+                related: Vec::new(),
+            });
+        }
+    }
+}
+
+/// `L002` — nonterminals that derive no terminal string at all.
+struct Unproductive;
+
+impl LintPass for Unproductive {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L002",
+            name: "unproductive-nonterminal",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "nonterminal cannot derive any terminal string"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        for i in 0..g.nonterminal_count() {
+            let nt = g.nonterminal(i);
+            if nt == g.accept() || ctx.facts.analysis.productive(nt) {
+                continue;
+            }
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Error,
+                message: format!(
+                    "nonterminal `{}` cannot derive any terminal string (every production loops)",
+                    g.display_name(nt),
+                ),
+                span: sym_span(g, nt),
+                related: Vec::new(),
+            });
+        }
+    }
+}
+
+/// `L003` — declared terminals that appear in no right-hand side.
+struct UnusedTerminal;
+
+impl LintPass for UnusedTerminal {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L003",
+            name: "unused-terminal",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "declared terminal never used in any production"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let mut used = vec![false; g.terminal_count()];
+        for p in g.productions() {
+            for &s in p.rhs() {
+                if g.is_terminal(s) {
+                    used[g.tindex(s)] = true;
+                }
+            }
+        }
+        for (t, &u) in used.iter().enumerate() {
+            let sym = g.terminal(t);
+            if u || sym == SymbolId::EOF {
+                continue;
+            }
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Warning,
+                message: format!(
+                    "terminal `{}` is declared but never used in any production",
+                    g.display_name(sym),
+                ),
+                span: sym_span(g, sym),
+                related: Vec::new(),
+            });
+        }
+    }
+}
+
+/// `L004` — textually identical productions (a guaranteed reduce/reduce
+/// conflict wherever the rule is reducible).
+struct DuplicateProduction;
+
+impl LintPass for DuplicateProduction {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L004",
+            name: "duplicate-production",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "identical production appears more than once"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let mut first: HashMap<(SymbolId, &[SymbolId]), ProdId> = HashMap::new();
+        for pid in g.prod_ids().skip(1) {
+            let p = g.prod(pid);
+            match first.entry((p.lhs(), p.rhs())) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(pid);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let orig = *e.get();
+                    out.push(Diagnostic {
+                        code: self.code(),
+                        severity: Severity::Warning,
+                        message: format!(
+                            "duplicate production `{}` (guaranteed reduce/reduce ambiguity)",
+                            g.format_prod(pid),
+                        ),
+                        span: prod_span(g, pid),
+                        related: vec![Related {
+                            message: "first defined here".to_owned(),
+                            span: prod_span(g, orig),
+                        }],
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One reachability row (`Vec<bool>`) per nonterminal.
+type ReachRows = Vec<Vec<bool>>;
+/// Witness production per direct `A ⇒ B` edge, keyed by (from, to).
+type EdgeWitness = HashMap<(usize, usize), ProdId>;
+
+/// The ε-stepping nonterminal relation: `A ⇒ B` when some production
+/// `A -> α B β` has every symbol of `α β` nullable. Returned as one
+/// reachability bitset (Vec<bool> row) per nonterminal, with a witness
+/// production per direct edge.
+fn derives_closure(ctx: &LintContext<'_>) -> (ReachRows, EdgeWitness) {
+    let g = ctx.facts.grammar;
+    let a = ctx.facts.analysis;
+    let n = g.nonterminal_count();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut witness: HashMap<(usize, usize), ProdId> = HashMap::new();
+    for pid in g.prod_ids().skip(1) {
+        let p = g.prod(pid);
+        let lhs = g.ntindex(p.lhs());
+        for (i, &s) in p.rhs().iter().enumerate() {
+            if !g.is_nonterminal(s) {
+                continue;
+            }
+            let others_nullable = p
+                .rhs()
+                .iter()
+                .enumerate()
+                .all(|(j, &r)| j == i || a.nullable(r));
+            if others_nullable {
+                let to = g.ntindex(s);
+                witness.entry((lhs, to)).or_insert(pid);
+                edges[lhs].push(to);
+            }
+        }
+    }
+    // BFS from every nonterminal (n is at most a few hundred).
+    let mut reach = vec![vec![false; n]; n];
+    for start in 0..n {
+        let mut stack: Vec<usize> = edges[start].clone();
+        while let Some(x) = stack.pop() {
+            if reach[start][x] {
+                continue;
+            }
+            reach[start][x] = true;
+            stack.extend_from_slice(&edges[x]);
+        }
+    }
+    (reach, witness)
+}
+
+/// `L005` — `A ⇒+ A`: the nonterminal derives itself, so every sentence it
+/// yields has unboundedly many parse trees (when reachable and productive).
+struct CyclicNonterminal;
+
+impl LintPass for CyclicNonterminal {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L005",
+            name: "cyclic-nonterminal",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "nonterminal derives itself (A =>+ A)"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let a = ctx.facts.analysis;
+        let (reach, witness) = derives_closure(ctx);
+        for (i, row) in reach.iter().enumerate() {
+            if !row[i] {
+                continue;
+            }
+            let nt = g.nonterminal(i);
+            let live = a.reachable(nt) && a.productive(nt);
+            let related = witness
+                .iter()
+                .filter(|((from, to), _)| *from == i && (reach[*to][i] || *to == i))
+                .map(|(_, &pid)| pid)
+                .min() // deterministic witness
+                .map(|pid| Related {
+                    message: format!("cycle steps through `{}`", g.format_prod(pid)),
+                    span: prod_span(g, pid),
+                })
+                .into_iter()
+                .collect();
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: if live {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                },
+                message: format!(
+                    "nonterminal `{nt}` derives itself ({nt} =>+ {nt}){}",
+                    if live {
+                        ": every sentence it yields has infinitely many parses"
+                    } else {
+                        ""
+                    },
+                    nt = g.display_name(nt),
+                ),
+                span: sym_span(g, nt),
+                related,
+            });
+        }
+    }
+}
+
+/// The nullable-left-corner relation: `X ⇒ δ Y …` with `δ ⇒* ε`.
+fn left_corner_closure(ctx: &LintContext<'_>) -> Vec<Vec<bool>> {
+    let g = ctx.facts.grammar;
+    let a = ctx.facts.analysis;
+    let n = g.nonterminal_count();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for pid in g.prod_ids().skip(1) {
+        let p = g.prod(pid);
+        let lhs = g.ntindex(p.lhs());
+        for &s in p.rhs() {
+            if g.is_nonterminal(s) {
+                edges[lhs].push(g.ntindex(s));
+            }
+            if !a.nullable(s) {
+                break;
+            }
+        }
+    }
+    let mut reach = vec![vec![false; n]; n];
+    for start in 0..n {
+        let mut stack: Vec<usize> = edges[start].clone();
+        while let Some(x) = stack.pop() {
+            if reach[start][x] {
+                continue;
+            }
+            reach[start][x] = true;
+            stack.extend_from_slice(&edges[x]);
+        }
+    }
+    reach
+}
+
+/// `L006` — left recursion hiding behind a nonempty nullable prefix:
+/// `A -> ν X β` with `ν ⇒* ε`, `ν` nonempty, and `X ⇒*lc A`.
+struct HiddenLeftRecursion;
+
+impl LintPass for HiddenLeftRecursion {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L006",
+            name: "hidden-left-recursion",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "left recursion behind a nullable prefix"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let a = ctx.facts.analysis;
+        let lc = left_corner_closure(ctx);
+        for pid in g.prod_ids().skip(1) {
+            let p = g.prod(pid);
+            let lhs = g.ntindex(p.lhs());
+            for (i, &s) in p.rhs().iter().enumerate() {
+                if i >= 1 && g.is_nonterminal(s) {
+                    let x = g.ntindex(s);
+                    if x == lhs || lc[x][lhs] {
+                        out.push(Diagnostic {
+                            code: self.code(),
+                            severity: Severity::Warning,
+                            message: format!(
+                                "hidden left recursion: in `{}`, the nullable prefix before \
+                                 `{}` lets `{}` recurse at its own left edge",
+                                g.format_prod(pid),
+                                g.display_name(s),
+                                g.display_name(p.lhs()),
+                            ),
+                            span: prod_span(g, pid),
+                            related: Vec::new(),
+                        });
+                        break;
+                    }
+                }
+                if !a.nullable(s) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// `L007` — two occurrences of a nullable nonterminal separated only by
+/// nullable symbols (the `X -> ε | X X` shape): any string one occurrence
+/// derives can equally be derived by the other, with everything else ε.
+struct NullableRepetition;
+
+impl LintPass for NullableRepetition {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L007",
+            name: "nullable-repetition",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "repeated nullable symbol makes derivations interchangeable"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let a = ctx.facts.analysis;
+        'prods: for pid in g.prod_ids().skip(1) {
+            let p = g.prod(pid);
+            let rhs = p.rhs();
+            for i in 0..rhs.len() {
+                let b = rhs[i];
+                if !g.is_nonterminal(b) || !a.nullable(b) || a.first(b).is_empty() {
+                    continue;
+                }
+                for (gap, &other) in rhs.iter().enumerate().skip(i + 1) {
+                    if other == b {
+                        out.push(Diagnostic {
+                            code: self.code(),
+                            severity: Severity::Warning,
+                            message: format!(
+                                "nullable repetition in `{}`: `{}` occurs twice with only \
+                                 nullable symbols between — a string it derives can sit at \
+                                 either occurrence (ambiguous)",
+                                g.format_prod(pid),
+                                g.display_name(b),
+                            ),
+                            span: prod_span(g, pid),
+                            related: Vec::new(),
+                        });
+                        continue 'prods;
+                    }
+                    if !a.nullable(rhs[gap]) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `L008` — precedence/associativity declarations that never tie-break a
+/// conflict (bison's "useless precedence" warning).
+struct UnusedPrecedence;
+
+impl LintPass for UnusedPrecedence {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L008",
+            name: "unused-precedence",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "declared precedence never resolves a conflict"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let mut used = vec![false; g.terminal_count()];
+        for r in ctx.facts.tables.resolutions() {
+            used[g.tindex(r.terminal)] = true;
+            // Credit the terminal the reduce production inherited its
+            // precedence from (the last terminal of its right-hand side);
+            // for explicit `%prec` rules the source terminal is not stored,
+            // so every terminal sharing the exact level/assoc is credited —
+            // over-approximating "used" avoids false positives.
+            let p = g.prod(r.reduce_prod);
+            let Some(pp) = p.precedence() else { continue };
+            let last_term = p.rhs().iter().rev().copied().find(|&s| g.is_terminal(s));
+            match last_term {
+                Some(t) if g.terminal_prec(t) == Some(pp) => used[g.tindex(t)] = true,
+                _ => {
+                    for (ti, slot) in used.iter_mut().enumerate() {
+                        if g.terminal_prec(g.terminal(ti)) == Some(pp) {
+                            *slot = true;
+                        }
+                    }
+                }
+            }
+        }
+        for (ti, &was_used) in used.iter().enumerate() {
+            let sym = g.terminal(ti);
+            if g.terminal_prec(sym).is_none() || was_used {
+                continue;
+            }
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Warning,
+                message: format!(
+                    "precedence/associativity declared for `{}` never resolves a conflict",
+                    g.display_name(sym),
+                ),
+                span: sym_span(g, sym),
+                related: Vec::new(),
+            });
+        }
+    }
+}
+
+/// `L009` — precedence resolutions that silenced a conflict whose
+/// counterexample search proves genuine ambiguity. One representative
+/// resolution is probed per silenced reduce production, through the
+/// engine's spine memo and a deterministic node budget.
+struct ConflictMasking;
+
+impl LintPass for ConflictMasking {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L009",
+            name: "conflict-masking-resolution",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "precedence resolution silences a provable ambiguity"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let mut seen: HashSet<ProdId> = HashSet::new();
+        let mut probes = 0usize;
+        for r in ctx.facts.tables.resolutions() {
+            if !seen.insert(r.reduce_prod) {
+                continue;
+            }
+            if probes >= ctx.cfg.masking_max_probes {
+                break;
+            }
+            probes += 1;
+            let ResolutionProbe::Ambiguous(ex) =
+                ctx.engine.probe_resolution(r, ctx.cfg.masking_max_configs)
+            else {
+                continue;
+            };
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Warning,
+                message: format!(
+                    "precedence resolution (state #{}, shift/reduce on `{}`) silences a \
+                     genuine ambiguity of `{}`: `{}` has two parses",
+                    r.state.index(),
+                    g.display_name(r.terminal),
+                    g.display_name(ex.nonterminal),
+                    ex.derivation1.flat(g),
+                ),
+                span: prod_span(g, r.reduce_prod),
+                related: vec![Related {
+                    message: format!(
+                        "precedence of `{}` declared here",
+                        g.display_name(r.terminal)
+                    ),
+                    span: sym_span(g, r.terminal),
+                }],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint;
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = diags.iter().map(|d| d.code.name).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn unreachable_and_unproductive() {
+        let g = Grammar::parse("%% s : 'x' ;\ndead : 'd' ;\nloopy : loopy 'l' ;").unwrap();
+        let d = lint(&g);
+        assert!(codes_of(&d).contains(&"unreachable-nonterminal"));
+        assert!(codes_of(&d).contains(&"unproductive-nonterminal"));
+        let dead = d
+            .iter()
+            .find(|x| x.message.contains("`dead`"))
+            .expect("dead diagnosed");
+        assert_eq!(dead.span, Some(Span { line: 2 }));
+        // `loopy` is both unreachable and unproductive.
+        assert_eq!(
+            d.iter().filter(|x| x.message.contains("`loopy`")).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn reachable_unproductive_is_error() {
+        let g = Grammar::parse("%% s : loopy ; loopy : loopy 'l' ;").unwrap();
+        let d = lint(&g);
+        assert!(d
+            .iter()
+            .any(|x| x.code.name == "unproductive-nonterminal" && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn unused_terminal_has_decl_span() {
+        let g = Grammar::parse("%token GHOST\n%% s : 'x' ;").unwrap();
+        let d = lint(&g);
+        let ghost = d
+            .iter()
+            .find(|x| x.code.name == "unused-terminal")
+            .expect("ghost flagged");
+        assert!(ghost.message.contains("GHOST"));
+        assert_eq!(ghost.span, Some(Span { line: 1 }));
+    }
+
+    #[test]
+    fn duplicate_production_links_first_definition() {
+        let g = Grammar::parse("%%\ns : a\n  | a\n  ;\na : 'x' ;").unwrap();
+        let d = lint(&g);
+        let dup = d
+            .iter()
+            .find(|x| x.code.name == "duplicate-production")
+            .expect("duplicate flagged");
+        assert_eq!(dup.span, Some(Span { line: 3 }));
+        assert_eq!(dup.related.len(), 1);
+        assert_eq!(dup.related[0].span, Some(Span { line: 2 }));
+    }
+
+    #[test]
+    fn unit_cycle_is_error_when_live() {
+        let g = Grammar::parse("%% s : a ; a : b | 'x' ; b : a ;").unwrap();
+        let d = lint(&g);
+        let cyc: Vec<_> = d
+            .iter()
+            .filter(|x| x.code.name == "cyclic-nonterminal")
+            .collect();
+        assert_eq!(cyc.len(), 2, "both a and b cycle: {d:?}");
+        assert!(cyc.iter().all(|x| x.severity == Severity::Error));
+        assert!(cyc[0].related[0].message.contains("cycle steps through"));
+    }
+
+    #[test]
+    fn hidden_left_recursion_through_nullable_prefix() {
+        let g = Grammar::parse("%% s : h ; opt : %empty | 'o' ; h : opt h 'z' | 'w' ;").unwrap();
+        let d = lint(&g);
+        assert!(
+            d.iter().any(|x| x.code.name == "hidden-left-recursion"),
+            "{d:?}"
+        );
+        // Plain left recursion must NOT be flagged.
+        let g2 = Grammar::parse("%% s : s 'a' | 'a' ;").unwrap();
+        assert!(lint(&g2)
+            .iter()
+            .all(|x| x.code.name != "hidden-left-recursion"));
+    }
+
+    #[test]
+    fn hidden_left_recursion_indirect() {
+        // h -> opt k …, k -> h … : recursion reaches h through k's left corner.
+        let g = Grammar::parse("%% s : h ; opt : %empty | 'o' ; h : opt k 'z' | 'w' ; k : h 'q' ;")
+            .unwrap();
+        let d = lint(&g);
+        assert!(
+            d.iter().any(|x| x.code.name == "hidden-left-recursion"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn nullable_repetition_xx() {
+        let g = Grammar::parse("%% x : %empty | x x | 'a' ;").unwrap();
+        let d = lint(&g);
+        assert!(
+            d.iter().any(|x| x.code.name == "nullable-repetition"),
+            "{d:?}"
+        );
+        // A non-nullable repetition is fine.
+        let g2 = Grammar::parse("%% s : a a ; a : 'x' ;").unwrap();
+        assert!(lint(&g2)
+            .iter()
+            .all(|x| x.code.name != "nullable-repetition"));
+    }
+
+    #[test]
+    fn unused_precedence_flagged_used_precedence_not() {
+        let g = Grammar::parse("%left '+'\n%left NEVER\n%% e : e '+' e | NUM 'n' NEVER ;").unwrap();
+        let d = lint(&g);
+        let unused: Vec<_> = d
+            .iter()
+            .filter(|x| x.code.name == "unused-precedence")
+            .collect();
+        assert_eq!(unused.len(), 1, "{d:?}");
+        assert!(unused[0].message.contains("NEVER"));
+        assert_eq!(unused[0].span, Some(Span { line: 2 }));
+    }
+
+    #[test]
+    fn conflict_masking_flags_expression_grammar() {
+        let g = Grammar::parse("%left '+'\n%%\ne : e '+' e | NUM ;").unwrap();
+        let d = lint(&g);
+        let mask = d
+            .iter()
+            .find(|x| x.code.name == "conflict-masking-resolution")
+            .expect("masking flagged");
+        assert!(mask.message.contains("two parses"), "{}", mask.message);
+        assert_eq!(mask.span, Some(Span { line: 3 }), "points at e : e '+' e");
+        assert_eq!(mask.related[0].span, Some(Span { line: 1 }));
+    }
+
+    #[test]
+    fn conflict_masking_silent_on_harmless_tiebreak() {
+        // Figure 3 is unambiguous; resolving its conflict by (artificial)
+        // precedence is a harmless tie-break — no masking diagnostic.
+        let g = Grammar::parse(
+            "%left 'a'\n%% S : T | S T ; T : X | Y ; X : 'a' %prec 'a' ; Y : 'a' 'a' 'b' ;",
+        )
+        .unwrap();
+        let d = lint(&g);
+        assert!(
+            d.iter()
+                .all(|x| x.code.name != "conflict-masking-resolution"),
+            "{d:?}"
+        );
+    }
+}

@@ -28,4 +28,7 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> corpus lint snapshot"
+cargo run -q --release -p lalrcex-lint --bin lint-snapshot -- --check
+
 echo "OK"

@@ -1,7 +1,8 @@
 //! Umbrella crate re-exporting the `lalrcex` toolkit.
 //!
 //! See the individual crates for details:
-//! [`grammar`], [`lr`], [`earley`], [`core`], [`baselines`], [`corpus`].
+//! [`grammar`], [`lr`], [`earley`], [`core`], [`baselines`], [`corpus`],
+//! [`lint`].
 
 pub mod prng;
 
@@ -10,4 +11,5 @@ pub use lalrcex_core as core;
 pub use lalrcex_corpus as corpus;
 pub use lalrcex_earley as earley;
 pub use lalrcex_grammar as grammar;
+pub use lalrcex_lint as lint;
 pub use lalrcex_lr as lr;
