@@ -75,7 +75,7 @@ fn full_conflict(cfg: MicroConfig, filter: Option<String>) {
             let conflict = analyzer.tables().conflicts()[0];
             analyzer
                 .analyze_conflict(&conflict, &CexConfig::default())
-                .kind
+                .kind()
         });
     }
 }
@@ -93,6 +93,68 @@ fn baseline(cfg: MicroConfig, filter: Option<String>) {
             max_steps: 50_000_000,
         };
         group.bench(name, || filtered::search(&g, &conflict, &budget));
+    }
+}
+
+/// Cancellation-poll overhead (ISSUE 3): `stride1` re-checks the cancel
+/// token, the wall clock, and the memory-governor lease on *every*
+/// configuration pop — what a naive per-node `Instant::now()`
+/// implementation pays — while `stride256` (the default) amortizes the
+/// poll across 256 pops. The node budget caps the search so both variants
+/// expand identical configurations; only the poll frequency differs.
+fn cancel_stride(cfg: MicroConfig, filter: Option<String>) {
+    use lalrcex_core::{unifying_search_metered, Engine, SearchMetrics};
+
+    let mut group = Group::new("cancel_stride", cfg, filter);
+    for name in ["Java.2", "C.3"] {
+        let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
+        let engine = Engine::new(&g);
+        // Pick the conflict whose bounded search explores the most
+        // configurations, so the poll sits in a genuinely hot loop.
+        let probe_cfg = SearchConfig {
+            time_limit: Duration::from_secs(3600),
+            max_configs: 50_000,
+            ..SearchConfig::default()
+        };
+        let mut best: Option<(usize, u64)> = None;
+        for (i, c) in engine.tables().conflicts().iter().take(40).enumerate() {
+            let (spine, _) = engine.spine(c);
+            let mut m = SearchMetrics::default();
+            unifying_search_metered(
+                &g,
+                engine.automaton(),
+                engine.graph(),
+                c,
+                &spine.states,
+                &probe_cfg,
+                &mut m,
+            );
+            if best.is_none_or(|(_, e)| m.explored > e) {
+                best = Some((i, m.explored));
+            }
+        }
+        let (idx, _) = best.expect("corpus grammar has conflicts");
+        let conflict = engine.tables().conflicts()[idx];
+        let (spine, _) = engine.spine(&conflict);
+        for stride in [1u32, 256] {
+            let scfg = SearchConfig {
+                cancel_stride: stride,
+                ..probe_cfg
+            };
+            group.bench(&format!("{name}/stride{stride}"), || {
+                let mut m = SearchMetrics::default();
+                unifying_search_metered(
+                    &g,
+                    engine.automaton(),
+                    engine.graph(),
+                    &conflict,
+                    &spine.states,
+                    &scfg,
+                    &mut m,
+                );
+                m.explored
+            });
+        }
     }
 }
 
@@ -130,5 +192,6 @@ fn main() {
     unifying(slow, filter.clone());
     full_conflict(slow, filter.clone());
     baseline(slow, filter.clone());
+    cancel_stride(slow, filter.clone());
     lint_passes(slow, filter);
 }

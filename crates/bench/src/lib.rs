@@ -144,6 +144,7 @@ pub fn kind_label(kind: ExampleKind) -> &'static str {
         ExampleKind::NonunifyingExhausted => "nonunifying",
         ExampleKind::NonunifyingTimeout => "timeout",
         ExampleKind::NonunifyingSkipped => "skipped",
+        ExampleKind::Cancelled => "cancelled",
     }
 }
 

@@ -13,6 +13,9 @@
 //!   --total-limit SECS   cumulative unifying budget (default 120)
 //!   --workers N          worker threads for the conflict fan-out
 //!                        (default 0 = one per CPU)
+//!   --max-rss-mb MB      soft limit on the searches' estimated live
+//!                        frontier memory; over it, searches shed
+//!                        (default 0 = unlimited)
 //!   --stats              print per-conflict and grammar-wide search
 //!                        counters (explored configs, spine memo, times)
 //!   --dump-states        print the full parser state machine
@@ -26,7 +29,10 @@
 //! ```
 //!
 //! Exit status (conflict mode): 0 when the grammar is conflict-free, 1 when
-//! conflicts were reported, 2 on usage or parse errors.
+//! conflicts were reported, 2 on usage or parse errors, 3 when the report
+//! was produced but at least one conflict's diagnosis faulted internally
+//! (contained partial failure), 130 when interrupted by Ctrl-C (the report
+//! produced so far is still printed, with `cancelled` stubs).
 //!
 //! Exit status (lint mode): 0 when no diagnostic at error severity was
 //! reported (warnings and infos are printed but don't fail the run unless
@@ -35,13 +41,48 @@
 //! errors.
 
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use lalrcex_core::{
-    format_conflict_stats, format_grammar_stats, format_report, Analyzer, CexConfig, ExampleKind,
+    format_conflict_stats, format_grammar_stats, format_report, Analyzer, CancelReason,
+    CancelToken, CexConfig, ConflictOutcome, ExampleKind,
 };
 use lalrcex_grammar::Grammar;
 use lalrcex_lr::Automaton;
+
+/// Ctrl-C handling without any dependency: a raw `signal(2)` handler sets
+/// an atomic flag; a watcher thread (signal-handler-safe code must not
+/// touch locks or allocate) turns the flag into a *hard* cancel on the
+/// shared token. The handler resets itself to the OS default so a second
+/// Ctrl-C kills the process immediately.
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        // Second Ctrl-C falls through to the default (terminate) handler.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    /// Installs the Ctrl-C handler (best effort; errors are ignored).
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
 
 struct Options {
     grammar: String,
@@ -53,12 +94,14 @@ struct Options {
     summary: bool,
     stats: bool,
     workers: usize,
+    max_rss_mb: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lalrcex [--extended] [--time-limit SECS] [--total-limit SECS] \
-         [--workers N] [--stats] [--dump-states] [--path] [--summary] GRAMMAR.y\n\
+         [--workers N] [--max-rss-mb MB] [--stats] [--dump-states] [--path] \
+         [--summary] GRAMMAR.y\n\
          \x20      lalrcex lint [--format text|json] [--deny-warnings] [--list] GRAMMAR.y"
     );
     std::process::exit(2);
@@ -75,6 +118,7 @@ fn parse_args() -> Options {
         summary: false,
         stats: false,
         workers: 0,
+        max_rss_mb: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -96,6 +140,12 @@ fn parse_args() -> Options {
             }
             "--workers" => {
                 opts.workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-rss-mb" => {
+                opts.max_rss_mb = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -223,6 +273,12 @@ fn main() -> ExitCode {
     drop(raw);
 
     let opts = parse_args();
+
+    // Chaos testing only: with the `failpoints` feature compiled in,
+    // `LALRCEX_FAULT_PLAN` installs a deterministic fault plan.
+    #[cfg(feature = "failpoints")]
+    let _fault_guard = lalrcex_core::faultpoint::install_from_env();
+
     let text = match std::fs::read_to_string(&opts.grammar) {
         Ok(t) => t,
         Err(e) => {
@@ -279,9 +335,26 @@ fn main() -> ExitCode {
         },
         cumulative_limit: opts.total_limit,
         workers: opts.workers,
+        max_live_mb: opts.max_rss_mb,
     };
 
-    let grammar_report = analyzer.analyze_all(&cfg);
+    // Ctrl-C → hard cancel: the signal handler raises a flag; the watcher
+    // thread turns it into `CancelReason::Signal` on the shared token. The
+    // report produced so far is still printed, with `cancelled` stubs.
+    sigint::install();
+    let cancel = CancelToken::new();
+    {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || loop {
+            if sigint::INTERRUPTED.load(Ordering::SeqCst) {
+                cancel.cancel(CancelReason::Signal);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+
+    let grammar_report = analyzer.analyze_all_cancellable(&cfg, &cancel);
     for (c, report) in conflicts.iter().zip(&grammar_report.reports) {
         if opts.show_path {
             if let Some(path) = analyzer.shortest_path(c) {
@@ -292,11 +365,19 @@ fn main() -> ExitCode {
             }
         }
         if opts.summary {
-            let kind = match report.kind {
-                ExampleKind::Unifying => "unifying",
-                ExampleKind::NonunifyingExhausted => "nonunifying (no ambiguity found)",
-                ExampleKind::NonunifyingTimeout => "nonunifying (timeout)",
-                ExampleKind::NonunifyingSkipped => "nonunifying (budget spent)",
+            let kind = match &report.outcome {
+                ConflictOutcome::Internal(_) => "internal fault (contained)",
+                ConflictOutcome::Completed(ExampleKind::Unifying) => "unifying",
+                ConflictOutcome::Completed(ExampleKind::NonunifyingExhausted) => {
+                    "nonunifying (no ambiguity found)"
+                }
+                ConflictOutcome::Completed(ExampleKind::NonunifyingTimeout) => {
+                    "nonunifying (timeout)"
+                }
+                ConflictOutcome::Completed(ExampleKind::NonunifyingSkipped) => {
+                    "nonunifying (budget spent)"
+                }
+                ConflictOutcome::Completed(ExampleKind::Cancelled) => "cancelled",
             };
             let example = report
                 .unifying
@@ -327,5 +408,11 @@ fn main() -> ExitCode {
             format_grammar_stats(&grammar_report.stats, grammar_report.total_time)
         );
     }
-    ExitCode::from(1)
+    if cancel.is_hard_cancelled() || grammar_report.cancelled_count() > 0 {
+        ExitCode::from(130)
+    } else if grammar_report.internal_count() > 0 {
+        ExitCode::from(3)
+    } else {
+        ExitCode::from(1)
+    }
 }

@@ -1,0 +1,137 @@
+//! Panic containment at phase boundaries.
+//!
+//! [`contain`] runs one per-conflict unit of work (LSSI spine, unifying
+//! search, nonunifying completion, lint masking probe) under
+//! `std::panic::catch_unwind` and converts an escaped panic into a
+//! structured [`EngineError`] carrying the phase name, the panic message,
+//! and the `file:line:column` of the panic site.
+//!
+//! A process-global panic hook (installed once, wrapping whatever hook was
+//! there before) records the message and location into a thread-local slot
+//! *only while this thread is inside a `contain` call* — a depth counter
+//! keeps nested containment correct — and suppresses the default
+//! stderr backtrace for contained panics so a faulted conflict slot does
+//! not spray noise over the grammar report. Panics on threads that are not
+//! inside `contain` fall through to the previous hook unchanged.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::error::EngineError;
+
+thread_local! {
+    /// How many `contain` frames are live on this thread. While non-zero,
+    /// the global hook captures instead of printing.
+    static CAPTURE_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// The most recent captured panic on this thread.
+    static LAST_CAPTURE: RefCell<Option<Capture>> = const { RefCell::new(None) };
+}
+
+struct Capture {
+    message: String,
+    location: Option<String>,
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+fn install_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let capturing = CAPTURE_DEPTH.with(|d| d.get() > 0);
+            if !capturing {
+                previous(info);
+                return;
+            }
+            let message = payload_message(info.payload());
+            let location = info
+                .location()
+                .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+            LAST_CAPTURE.with(|slot| {
+                *slot.borrow_mut() = Some(Capture { message, location });
+            });
+        }));
+    });
+}
+
+/// Renders a panic payload as a message, for both the hook (`&dyn Any`)
+/// and the `catch_unwind` payload (`Box<dyn Any>`).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, converting an escaped panic into an [`EngineError`] tagged
+/// with `phase`. The panic does not reach stderr and does not unwind past
+/// this frame; the worker thread survives.
+pub(crate) fn contain<T>(phase: &'static str, f: impl FnOnce() -> T) -> Result<T, EngineError> {
+    install_hook();
+    CAPTURE_DEPTH.with(|d| d.set(d.get() + 1));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURE_DEPTH.with(|d| d.set(d.get() - 1));
+    match result {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let capture = LAST_CAPTURE.with(|slot| slot.borrow_mut().take());
+            let (message, location) = match capture {
+                Some(c) => (c.message, c.location),
+                None => (payload_message(payload.as_ref()), None),
+            };
+            let mut err = EngineError::new(phase, message);
+            err.location = location;
+            Err(err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_value_passes_through() {
+        assert_eq!(contain("unifying", || 42), Ok(42));
+    }
+
+    #[test]
+    fn str_panic_is_captured_with_location() {
+        let err = contain("spine", || -> u32 { panic!("boom") }).unwrap_err();
+        assert_eq!(err.phase, "spine");
+        assert_eq!(err.message, "boom");
+        let loc = err.location.expect("hook captures the panic site");
+        assert!(loc.contains("contain.rs"), "got {loc}");
+    }
+
+    #[test]
+    fn formatted_panic_is_captured() {
+        let err = contain("nonunifying", || -> () { panic!("x = {}", 7) }).unwrap_err();
+        assert_eq!(err.message, "x = 7");
+    }
+
+    #[test]
+    fn nested_containment_keeps_outer_alive() {
+        let outer = contain("unifying", || {
+            let inner = contain("spine", || -> u32 { panic!("inner") });
+            assert_eq!(inner.unwrap_err().message, "inner");
+            7u32
+        });
+        assert_eq!(outer, Ok(7));
+    }
+
+    #[test]
+    fn errors_are_deterministic_across_runs() {
+        fn boom() {
+            panic!("same")
+        }
+        let a = contain("unifying", boom).unwrap_err();
+        let b = contain("unifying", boom).unwrap_err();
+        assert_eq!(a, b, "same panic site, same error");
+        assert!(a.location.is_some());
+    }
+}

@@ -22,16 +22,19 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use lalrcex_grammar::{Analysis, Grammar};
 use lalrcex_lr::{Automaton, Conflict, ConflictKind, Resolution, StateId, Tables};
 
+use crate::cancel::{CancelToken, MemoryGovernor, SearchSession};
+use crate::contain::contain;
+use crate::error::EngineError;
 use crate::lssi::{self, LsNode};
 use crate::nonunifying::nonunifying_example;
-use crate::report::{CexConfig, ConflictReport, ExampleKind, GrammarReport};
-use crate::search::{unifying_search_metered, SearchConfig, SearchOutcome, UnifyingExample};
+use crate::report::{CexConfig, ConflictOutcome, ConflictReport, ExampleKind, GrammarReport};
+use crate::search::{unifying_search_session, SearchConfig, SearchOutcome, UnifyingExample};
 use crate::state_graph::{StateGraph, StateItemId};
 use crate::stats::{GrammarStats, SearchStats};
 
@@ -92,6 +95,9 @@ pub enum ResolutionProbe {
     /// The resolution has no reconstructible conflict item pair (e.g. an
     /// accept-state edge case); nothing to probe.
     NotProbed,
+    /// The probe faulted internally; the fault was contained at the probe
+    /// boundary, so the remaining resolutions still get probed.
+    Internal(EngineError),
 }
 
 /// Resolves a configured worker count: `0` means one worker per available
@@ -121,6 +127,14 @@ impl<'g> Engine<'g> {
             precompute: t0.elapsed(),
             memo: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// [`Engine::new`] with the precomputation contained: a panic while
+    /// building the automaton, tables, or state-item graph is caught at
+    /// this boundary and reported as a structured [`EngineError`] (phase
+    /// `"precompute"`) instead of unwinding into the caller.
+    pub fn try_new(g: &'g Grammar) -> Result<Engine<'g>, EngineError> {
+        contain("precompute", || Engine::new(g))
     }
 
     /// The grammar this engine was built for.
@@ -201,35 +215,47 @@ impl<'g> Engine<'g> {
         let Some(conflict) = self.resolved_conflict(res) else {
             return ResolutionProbe::NotProbed;
         };
-        let (spine, _) = self.spine(&conflict);
-        let cfg = SearchConfig {
-            // Effectively infinite (a bounded search never gets anywhere
-            // near this): determinism comes from the node budgets alone.
-            time_limit: Duration::from_secs(3600),
-            extended: false,
-            max_configs,
-            // Bounds derivation depth, and with it the per-configuration
-            // clone cost: without it, an adversarial unambiguous grammar
-            // can drive the search into configurations whose derivations
-            // grow with every step (quadratic total work and stack-deep
-            // recursive clones). Genuine masked ambiguities are found at
-            // tiny costs; 512 leaves ample headroom.
-            max_cost: 512,
-        };
-        let mut metrics = crate::stats::SearchMetrics::default();
-        match unifying_search_metered(
-            self.g,
-            &self.auto,
-            &self.graph,
-            &conflict,
-            &spine.states,
-            &cfg,
-            &mut metrics,
-        ) {
-            SearchOutcome::Unifying(ex) => ResolutionProbe::Ambiguous(ex),
-            SearchOutcome::Exhausted => ResolutionProbe::NotProven,
-            SearchOutcome::TimedOut => ResolutionProbe::BudgetExhausted,
-        }
+        let probe = contain("lint.probe", || {
+            crate::fail_point!("lint.probe");
+            let (spine, _) = self.spine(&conflict);
+            let cfg = SearchConfig {
+                // Effectively infinite (a bounded search never gets anywhere
+                // near this): determinism comes from the node budgets alone.
+                time_limit: Duration::from_secs(3600),
+                extended: false,
+                max_configs,
+                // Bounds derivation depth, and with it the per-configuration
+                // clone cost: without it, an adversarial unambiguous grammar
+                // can drive the search into configurations whose derivations
+                // grow with every step (quadratic total work and stack-deep
+                // recursive clones). Genuine masked ambiguities are found at
+                // tiny costs; 512 leaves ample headroom.
+                max_cost: 512,
+                ..SearchConfig::default()
+            };
+            let cancel = CancelToken::new();
+            let governor = MemoryGovernor::unlimited();
+            let session = SearchSession {
+                cancel: &cancel,
+                governor: &governor,
+            };
+            let mut metrics = crate::stats::SearchMetrics::default();
+            match unifying_search_session(
+                self.g,
+                &self.auto,
+                &self.graph,
+                &conflict,
+                &spine.states,
+                &cfg,
+                &session,
+                &mut metrics,
+            ) {
+                SearchOutcome::Unifying(ex) => ResolutionProbe::Ambiguous(ex),
+                SearchOutcome::Exhausted => ResolutionProbe::NotProven,
+                SearchOutcome::TimedOut => ResolutionProbe::BudgetExhausted,
+            }
+        });
+        probe.unwrap_or_else(ResolutionProbe::Internal)
     }
 
     /// The spine for a conflict, served from the per-grammar memo when a
@@ -241,7 +267,15 @@ impl<'g> Engine<'g> {
                 .node(conflict.state, conflict.reduce_item(self.g)),
             self.g.tindex(conflict.terminal),
         );
-        if let Some(s) = self.memo.lock().expect("spine memo poisoned").get(&key) {
+        // Poison recovery: a panic contained elsewhere may have poisoned
+        // the memo mutex; the map itself is append-only and every entry is
+        // fully constructed before insertion, so the data is always valid.
+        if let Some(s) = self
+            .memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return (Arc::clone(s), true);
         }
         // Compute outside the lock: a racing worker may duplicate the work,
@@ -261,7 +295,7 @@ impl<'g> Engine<'g> {
         let entry = Arc::clone(
             self.memo
                 .lock()
-                .expect("spine memo poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .entry(key)
                 .or_insert(spine),
         );
@@ -278,19 +312,72 @@ impl<'g> Engine<'g> {
         cfg: &CexConfig,
         deadline: Instant,
     ) -> ConflictReport {
+        let cancel = CancelToken::new();
+        let governor = MemoryGovernor::with_limit_mb(cfg.max_live_mb);
+        let session = SearchSession {
+            cancel: &cancel,
+            governor: &governor,
+        };
+        self.analyze_conflict_cancellable(conflict, cfg, deadline, &session)
+    }
+
+    /// [`Engine::analyze_conflict_with_deadline`] under a shared
+    /// [`SearchSession`], with every phase contained at its boundary
+    /// (DESIGN.md "Failure domains & degradation ladder"):
+    ///
+    /// * a panic in the **spine** phase faults the whole slot (nothing
+    ///   downstream can run without the spine);
+    /// * a panic in the **unifying** search still attempts the cheap
+    ///   nonunifying construction, exactly like a timeout would;
+    /// * a panic in the **nonunifying** construction keeps whatever the
+    ///   earlier phases produced;
+    /// * the first fault wins and the slot reports
+    ///   [`ConflictOutcome::Internal`] with a stable diagnostic.
+    ///
+    /// A *hard* (signal) cancellation observed between phases skips the
+    /// remaining phases; a *soft* one (budget, memory) only skips the
+    /// expensive unifying search, preserving §6 graceful cutoff.
+    pub fn analyze_conflict_cancellable(
+        &self,
+        conflict: &Conflict,
+        cfg: &CexConfig,
+        deadline: Instant,
+        session: &SearchSession<'_>,
+    ) -> ConflictReport {
         let started = Instant::now();
         let mut stats = SearchStats::default();
 
         let t0 = Instant::now();
-        let (spine, memo_hit) = self.spine(conflict);
+        let spine_result = contain("spine", || {
+            crate::fail_point!("engine.conflict");
+            self.spine(conflict)
+        });
+        stats.time_spine = t0.elapsed();
+        let (spine, memo_hit) = match spine_result {
+            Ok(s) => s,
+            Err(e) => {
+                return ConflictReport {
+                    conflict: *conflict,
+                    outcome: ConflictOutcome::Internal(e),
+                    unifying: None,
+                    nonunifying: None,
+                    elapsed: started.elapsed(),
+                    stats,
+                };
+            }
+        };
         stats.spine_memo_hit = memo_hit;
         if !memo_hit {
             stats.spine_nodes = spine.nodes_expanded;
         }
-        stats.time_spine = t0.elapsed();
 
+        let mut fault: Option<EngineError> = None;
         let remaining = deadline.saturating_duration_since(Instant::now());
-        let (kind, unifying) = if remaining.is_zero() {
+        let (kind, unifying) = if session.cancel.is_hard_cancelled() {
+            (ExampleKind::Cancelled, None)
+        } else if remaining.is_zero() || session.cancel.is_cancelled() {
+            // Budget (or soft cancel) exhausted before this conflict's
+            // search started: skip it, keep the cheap phases (§6).
             (ExampleKind::NonunifyingSkipped, None)
         } else {
             let effective = SearchConfig {
@@ -298,33 +385,58 @@ impl<'g> Engine<'g> {
                 ..cfg.search
             };
             let t1 = Instant::now();
-            let outcome = unifying_search_metered(
-                self.g,
-                &self.auto,
-                &self.graph,
-                conflict,
-                &spine.states,
-                &effective,
-                &mut stats.search,
-            );
+            let outcome = contain("unifying", || {
+                unifying_search_session(
+                    self.g,
+                    &self.auto,
+                    &self.graph,
+                    conflict,
+                    &spine.states,
+                    &effective,
+                    session,
+                    &mut stats.search,
+                )
+            });
             stats.time_unifying = t1.elapsed();
             match outcome {
-                SearchOutcome::Unifying(ex) => (ExampleKind::Unifying, Some(*ex)),
-                SearchOutcome::Exhausted => (ExampleKind::NonunifyingExhausted, None),
-                SearchOutcome::TimedOut => (ExampleKind::NonunifyingTimeout, None),
+                Ok(SearchOutcome::Unifying(ex)) => (ExampleKind::Unifying, Some(*ex)),
+                Ok(SearchOutcome::Exhausted) => (ExampleKind::NonunifyingExhausted, None),
+                Ok(SearchOutcome::TimedOut) => (ExampleKind::NonunifyingTimeout, None),
+                Err(e) => {
+                    // A faulted unifying search degrades like a timeout:
+                    // the nonunifying fallback below still runs.
+                    fault = Some(e);
+                    (ExampleKind::NonunifyingTimeout, None)
+                }
             }
         };
 
         let t2 = Instant::now();
-        let nonunifying = spine
-            .path
-            .as_deref()
-            .and_then(|p| nonunifying_example(self.g, &self.auto, &self.graph, conflict, p));
+        let nonunifying = if session.cancel.is_hard_cancelled() {
+            None
+        } else {
+            match contain("nonunifying", || {
+                spine
+                    .path
+                    .as_deref()
+                    .and_then(|p| nonunifying_example(self.g, &self.auto, &self.graph, conflict, p))
+            }) {
+                Ok(n) => n,
+                Err(e) => {
+                    fault.get_or_insert(e);
+                    None
+                }
+            }
+        };
         stats.time_nonunifying = t2.elapsed();
 
+        let outcome = match fault {
+            Some(e) => ConflictOutcome::Internal(e),
+            None => ConflictOutcome::Completed(kind),
+        };
         ConflictReport {
             conflict: *conflict,
-            kind,
+            outcome,
             unifying,
             nonunifying,
             elapsed: started.elapsed(),
@@ -341,17 +453,56 @@ impl<'g> Engine<'g> {
     /// (the [`crate::Analyzer`] wrapper passes what is left of its
     /// cumulative accounting).
     pub fn analyze_all_budgeted(&self, cfg: &CexConfig, budget: Duration) -> GrammarReport {
+        let cancel = CancelToken::new();
+        self.analyze_all_cancellable(cfg, budget, &cancel)
+    }
+
+    /// A stub report filling the slot of a conflict whose diagnosis never
+    /// started because the run was hard-cancelled.
+    fn cancelled_stub(conflict: &Conflict) -> ConflictReport {
+        ConflictReport {
+            conflict: *conflict,
+            outcome: ConflictOutcome::Completed(ExampleKind::Cancelled),
+            unifying: None,
+            nonunifying: None,
+            elapsed: Duration::ZERO,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// [`Engine::analyze_all_budgeted`] under an external [`CancelToken`]:
+    /// a hard (signal) cancel stops every worker at its next check and
+    /// stubs unstarted conflicts with [`ExampleKind::Cancelled`] reports,
+    /// so the grammar report always has one entry per conflict. Per-conflict
+    /// work is tagged with its conflict-slot scope for the deterministic
+    /// fault-injection probes (`crate::faultpoint`).
+    pub fn analyze_all_cancellable(
+        &self,
+        cfg: &CexConfig,
+        budget: Duration,
+        cancel: &CancelToken,
+    ) -> GrammarReport {
         let started = Instant::now();
         let conflicts: Vec<Conflict> = self.tables.conflicts().to_vec();
         let n = conflicts.len();
         let deadline = started + budget;
         let workers = resolve_workers(cfg.workers, n);
+        let governor = MemoryGovernor::with_limit_mb(cfg.max_live_mb);
+        let session = SearchSession {
+            cancel,
+            governor: &governor,
+        };
 
-        let reports: Vec<ConflictReport> = if workers <= 1 || n <= 1 {
-            conflicts
-                .iter()
-                .map(|c| self.analyze_conflict_with_deadline(c, cfg, deadline))
-                .collect()
+        let mut slots: Vec<Option<ConflictReport>> = (0..n).map(|_| None).collect();
+        if workers <= 1 || n <= 1 {
+            for (i, c) in conflicts.iter().enumerate() {
+                if cancel.is_hard_cancelled() {
+                    break;
+                }
+                slots[i] = Some(crate::faultpoint::with_scope(i as u64, || {
+                    self.analyze_conflict_cancellable(c, cfg, deadline, &session)
+                }));
+            }
         } else {
             // Work-stealing by atomic index: cheap, and conflict order is
             // restored by slot index on collection, so the report order is
@@ -364,12 +515,21 @@ impl<'g> Engine<'g> {
                     let next = &next;
                     let conflicts = &conflicts;
                     scope.spawn(move || loop {
+                        if session.cancel.is_hard_cancelled() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        let report =
-                            self.analyze_conflict_with_deadline(&conflicts[i], cfg, deadline);
+                        let report = crate::faultpoint::with_scope(i as u64, || {
+                            self.analyze_conflict_cancellable(
+                                &conflicts[i],
+                                cfg,
+                                deadline,
+                                &session,
+                            )
+                        });
                         if tx.send((i, report)).is_err() {
                             break;
                         }
@@ -377,15 +537,17 @@ impl<'g> Engine<'g> {
                 }
             });
             drop(tx);
-            let mut slots: Vec<Option<ConflictReport>> = (0..n).map(|_| None).collect();
             for (i, report) in rx {
                 slots[i] = Some(report);
             }
-            slots
-                .into_iter()
-                .map(|r| r.expect("every conflict produces a report"))
-                .collect()
-        };
+        }
+        // Hard cancellation may leave unstarted slots: stub them so the
+        // report still carries one entry per conflict.
+        let reports: Vec<ConflictReport> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| Self::cancelled_stub(&conflicts[i])))
+            .collect();
 
         let mut stats = GrammarStats {
             precompute: self.precompute,
@@ -478,7 +640,7 @@ mod tests {
         let report = engine.analyze_all(&cfg);
         assert_eq!(report.reports.len(), 3);
         for r in &report.reports {
-            assert_eq!(r.kind, ExampleKind::NonunifyingSkipped);
+            assert_eq!(r.kind(), Some(ExampleKind::NonunifyingSkipped));
             assert!(
                 r.nonunifying.is_some(),
                 "cheap nonunifying path must still run"

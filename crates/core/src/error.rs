@@ -1,0 +1,94 @@
+//! Structured engine faults.
+//!
+//! A contained failure inside one conflict's diagnosis — a panic caught at
+//! a phase boundary, or a reachable inconsistency that used to be an
+//! internal `panic!` — is reported as an [`EngineError`] instead of
+//! unwinding through the worker pool and killing the whole grammar report.
+//! The error carries the *phase* it happened in (so the degradation ladder
+//! of DESIGN.md is observable), the panic message (or structured
+//! description), and the `file:line:column` of the panic site when the
+//! scoped panic hook captured one.
+//!
+//! `EngineError` is deliberately `Eq` + deterministic to render: a faulted
+//! conflict slot must produce byte-identical report text across runs and
+//! worker counts, the same guarantee the healthy slots have.
+
+use std::fmt;
+
+/// A contained fault inside the conflict engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineError {
+    /// The engine phase that failed: `"spine"`, `"unifying"`,
+    /// `"nonunifying"`, `"lint.probe"`, or `"precompute"`.
+    pub phase: &'static str,
+    /// The panic payload (when string-like) or a structured description.
+    pub message: String,
+    /// `file:line:column` of the panic site, when the scoped panic hook
+    /// captured one. `None` for structured (non-panic) errors.
+    pub location: Option<String>,
+}
+
+impl EngineError {
+    /// A structured (non-panic) engine error.
+    pub fn new(phase: &'static str, message: impl Into<String>) -> EngineError {
+        EngineError {
+            phase,
+            message: message.into(),
+            location: None,
+        }
+    }
+
+    /// The error reported when a conflict lookup finds no conflict on the
+    /// requested terminal — a *reachable* state (precedence declarations
+    /// resolve conflicts out of the table), not an invariant violation.
+    pub fn no_conflict_on(term: &str) -> EngineError {
+        EngineError::new(
+            "lookup",
+            format!(
+                "no unresolved conflict on `{term}` \
+                 (a precedence declaration may have resolved it)"
+            ),
+        )
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine fault in phase `{}`: {}",
+            self.phase, self.message
+        )?;
+        if let Some(loc) = &self.location {
+            write!(f, " (at {loc})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_message_and_location() {
+        let mut e = EngineError::new("unifying", "boom");
+        assert_eq!(e.to_string(), "engine fault in phase `unifying`: boom");
+        e.location = Some("src/x.rs:1:2".into());
+        assert_eq!(
+            e.to_string(),
+            "engine fault in phase `unifying`: boom (at src/x.rs:1:2)"
+        );
+    }
+
+    #[test]
+    fn no_conflict_on_mentions_precedence() {
+        let e = EngineError::no_conflict_on("else");
+        assert_eq!(e.phase, "lookup");
+        assert!(e.message.contains("`else`"));
+        assert!(e.message.contains("precedence"));
+        assert!(e.location.is_none());
+    }
+}

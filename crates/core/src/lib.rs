@@ -36,7 +36,11 @@
 //! parser search ([`unifying_search`]), and nonunifying construction
 //! ([`nonunifying_example`]).
 
+pub mod cancel;
+mod contain;
 pub mod engine;
+mod error;
+pub mod faultpoint;
 pub mod lssi;
 mod nonunifying;
 mod report;
@@ -45,13 +49,17 @@ mod state_graph;
 pub mod stats;
 pub mod validate;
 
+pub use cancel::{CancelReason, CancelToken, GovernorLease, MemoryGovernor, SearchSession};
 pub use engine::{resolve_workers, Engine, Facts, ResolutionProbe, Spine};
+pub use error::EngineError;
 pub use nonunifying::{nonunifying_example, NonunifyingExample};
 pub use report::{
-    analyze, format_report, Analyzer, CexConfig, ConflictReport, ExampleKind, GrammarReport,
+    analyze, format_report, Analyzer, CexConfig, ConflictOutcome, ConflictReport, ExampleKind,
+    GrammarReport,
 };
 pub use search::{
-    unifying_search, unifying_search_metered, SearchConfig, SearchOutcome, UnifyingExample,
+    conflict_on, unifying_search, unifying_search_metered, unifying_search_session, SearchConfig,
+    SearchOutcome, UnifyingExample,
 };
 pub use state_graph::{NodeSet, StateGraph, StateItemId};
 pub use stats::{

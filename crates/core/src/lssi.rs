@@ -99,6 +99,7 @@ pub fn shortest_path_metered(
 
     while let Some(idx) = queue.pop_front() {
         expanded += 1;
+        crate::fail_point!("spine.expand");
         let (si, la) = (arena[idx].si, arena[idx].la.clone());
         if si == target && la.contains(conflict_term) {
             // Reconstruct.

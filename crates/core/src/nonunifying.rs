@@ -67,6 +67,7 @@ fn complete(g: &Grammar, a: &Analysis, mut frames: Vec<Frame>, t: SymbolId) -> O
     let mut need_t = true;
     frames.last_mut()?.children.push(Derivation::Dot);
     loop {
+        crate::fail_point!("nonunify.complete");
         let top = frames.last_mut()?;
         let tail: Vec<SymbolId> = top.item.tail(g).to_vec();
         if !tail.is_empty() {
@@ -335,11 +336,10 @@ mod tests {
         let Setup { g, auto } = setup;
         let graph = StateGraph::build(g, auto);
         let tables = auto.tables(g);
-        let c = tables
-            .conflicts()
-            .iter()
-            .find(|c| g.display_name(c.terminal) == term)
-            .unwrap_or_else(|| panic!("conflict on {term}"));
+        let c = match crate::search::conflict_on(g, tables.conflicts(), term) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        };
         let target = graph.node(c.state, c.reduce_item(g));
         let path = shortest_path(g, auto, &graph, target, g.tindex(c.terminal)).unwrap();
         nonunifying_example(g, auto, &graph, c, &path).unwrap()

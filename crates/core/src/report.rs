@@ -7,6 +7,7 @@ use lalrcex_grammar::{Derivation, Grammar};
 use lalrcex_lr::{Automaton, Conflict, ConflictKind, Item, Tables};
 
 use crate::engine::Engine;
+use crate::error::EngineError;
 use crate::lssi::LsNode;
 use crate::nonunifying::NonunifyingExample;
 use crate::search::{SearchConfig, UnifyingExample};
@@ -26,6 +27,12 @@ pub struct CexConfig {
     /// `0` (the default) resolves to one worker per available CPU; the
     /// effective count is clamped to the number of conflicts.
     pub workers: usize,
+    /// Soft limit, in mebibytes, on the estimated live frontier bytes
+    /// across all in-flight unifying searches (the CLI's `--max-rss-mb`).
+    /// Over the limit, searches *shed* — tighten their cost caps so their
+    /// frontiers drain into `TimedOut` — instead of growing. `0` (the
+    /// default) disables the governor.
+    pub max_live_mb: usize,
 }
 
 impl Default for CexConfig {
@@ -34,6 +41,7 @@ impl Default for CexConfig {
             search: SearchConfig::default(),
             cumulative_limit: Duration::from_secs(120),
             workers: 0,
+            max_live_mb: 0,
         }
     }
 }
@@ -51,6 +59,22 @@ pub enum ExampleKind {
     /// The cumulative budget was already spent; the unifying search was
     /// skipped entirely.
     NonunifyingSkipped,
+    /// The run was hard-cancelled (Ctrl-C) before this conflict's
+    /// diagnosis ran; a stub report fills its slot.
+    Cancelled,
+}
+
+/// How one conflict's diagnosis ended: completed (possibly degraded — see
+/// [`ExampleKind`]), or faulted internally. A fault is *contained*: the
+/// slot renders a stable diagnostic and every other conflict still gets
+/// its report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConflictOutcome {
+    /// The diagnosis ran to completion.
+    Completed(ExampleKind),
+    /// A contained internal fault — a panic caught at a phase boundary, or
+    /// a structured engine error.
+    Internal(EngineError),
 }
 
 /// Everything the tool reports for one conflict.
@@ -58,8 +82,8 @@ pub enum ExampleKind {
 pub struct ConflictReport {
     /// The conflict being explained.
     pub conflict: Conflict,
-    /// Which kind of example was produced.
-    pub kind: ExampleKind,
+    /// How the diagnosis ended.
+    pub outcome: ConflictOutcome,
     /// The unifying counterexample, when found.
     pub unifying: Option<UnifyingExample>,
     /// The nonunifying counterexample (always constructed as a fallback;
@@ -69,6 +93,30 @@ pub struct ConflictReport {
     pub elapsed: Duration,
     /// Observability counters for every phase of this conflict's diagnosis.
     pub stats: SearchStats,
+}
+
+impl ConflictReport {
+    /// The example kind, when the diagnosis completed (`None` for a
+    /// contained internal fault).
+    pub fn kind(&self) -> Option<ExampleKind> {
+        match &self.outcome {
+            ConflictOutcome::Completed(k) => Some(*k),
+            ConflictOutcome::Internal(_) => None,
+        }
+    }
+
+    /// Did this conflict's diagnosis fault internally?
+    pub fn is_internal(&self) -> bool {
+        matches!(self.outcome, ConflictOutcome::Internal(_))
+    }
+
+    /// The contained fault, if any.
+    pub fn error(&self) -> Option<&EngineError> {
+        match &self.outcome {
+            ConflictOutcome::Internal(e) => Some(e),
+            ConflictOutcome::Completed(_) => None,
+        }
+    }
 }
 
 /// A full grammar analysis.
@@ -87,7 +135,7 @@ impl GrammarReport {
     pub fn unifying_count(&self) -> usize {
         self.reports
             .iter()
-            .filter(|r| r.kind == ExampleKind::Unifying)
+            .filter(|r| r.kind() == Some(ExampleKind::Unifying))
             .count()
     }
 
@@ -95,7 +143,7 @@ impl GrammarReport {
     pub fn exhausted_count(&self) -> usize {
         self.reports
             .iter()
-            .filter(|r| r.kind == ExampleKind::NonunifyingExhausted)
+            .filter(|r| r.kind() == Some(ExampleKind::NonunifyingExhausted))
             .count()
     }
 
@@ -105,10 +153,23 @@ impl GrammarReport {
             .iter()
             .filter(|r| {
                 matches!(
-                    r.kind,
-                    ExampleKind::NonunifyingTimeout | ExampleKind::NonunifyingSkipped
+                    r.kind(),
+                    Some(ExampleKind::NonunifyingTimeout | ExampleKind::NonunifyingSkipped)
                 )
             })
+            .count()
+    }
+
+    /// Number of conflicts whose diagnosis faulted internally (contained).
+    pub fn internal_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_internal()).count()
+    }
+
+    /// Number of conflict slots stubbed out by a hard cancellation.
+    pub fn cancelled_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.kind() == Some(ExampleKind::Cancelled))
             .count()
     }
 }
@@ -171,8 +232,21 @@ impl<'g> Analyzer<'g> {
     /// Analyzes every conflict of the grammar, fanning the per-conflict
     /// searches across `cfg.workers` threads (see [`Engine::analyze_all`]).
     pub fn analyze_all(&mut self, cfg: &CexConfig) -> GrammarReport {
+        let cancel = crate::cancel::CancelToken::new();
+        self.analyze_all_cancellable(cfg, &cancel)
+    }
+
+    /// [`Analyzer::analyze_all`] under an external [`CancelToken`]: a hard
+    /// (signal) cancel stops in-flight searches at their next stride poll
+    /// and stubs unstarted conflicts with [`ExampleKind::Cancelled`]
+    /// reports, so the report still has one entry per conflict.
+    pub fn analyze_all_cancellable(
+        &mut self,
+        cfg: &CexConfig,
+        cancel: &crate::cancel::CancelToken,
+    ) -> GrammarReport {
         let budget = cfg.cumulative_limit.saturating_sub(self.spent);
-        let report = self.engine.analyze_all_budgeted(cfg, budget);
+        let report = self.engine.analyze_all_cancellable(cfg, budget, cancel);
         self.spent += report.reports.iter().map(|r| r.elapsed).sum::<Duration>();
         report
     }
@@ -256,6 +330,16 @@ pub fn format_report(g: &Grammar, r: &ConflictReport) -> String {
         action2,
         g.display_name(c.terminal),
     );
+    if let ConflictOutcome::Internal(e) = &r.outcome {
+        // A contained fault renders a stable diagnostic: the phase, the
+        // message, and the panic site are deterministic, so a faulted slot
+        // is byte-identical across runs and worker counts like any other.
+        out.push_str(&format!(
+            "Internal fault while diagnosing this conflict (contained): {e}\n\
+             The remaining conflicts are unaffected; re-run with this grammar to reproduce.\n"
+        ));
+        return out;
+    }
     match (&r.unifying, &r.nonunifying) {
         (Some(u), _) => {
             out.push_str(&format!(
@@ -275,11 +359,14 @@ pub fn format_report(g: &Grammar, r: &ConflictReport) -> String {
             ));
         }
         (None, Some(n)) => {
-            let reason = match r.kind {
-                ExampleKind::NonunifyingExhausted => "No ambiguity was detected for this conflict",
-                ExampleKind::NonunifyingTimeout => {
+            let reason = match r.kind() {
+                Some(ExampleKind::NonunifyingExhausted) => {
+                    "No ambiguity was detected for this conflict"
+                }
+                Some(ExampleKind::NonunifyingTimeout) => {
                     "The search for a unifying counterexample timed out"
                 }
+                Some(ExampleKind::Cancelled) => "The analysis was cancelled",
                 _ => "The unifying search was skipped (cumulative time budget spent)",
             };
             out.push_str(&format!(
@@ -299,7 +386,11 @@ pub fn format_report(g: &Grammar, r: &ConflictReport) -> String {
             }
         }
         (None, None) => {
-            out.push_str("No counterexample could be constructed (internal limitation)\n");
+            if r.kind() == Some(ExampleKind::Cancelled) {
+                out.push_str("The analysis was cancelled before this conflict was diagnosed\n");
+            } else {
+                out.push_str("No counterexample could be constructed (internal limitation)\n");
+            }
         }
     }
     out

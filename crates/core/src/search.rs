@@ -18,8 +18,17 @@ use std::time::{Duration, Instant};
 use lalrcex_grammar::{Derivation, Grammar, SymbolId, SymbolKind, TerminalSet};
 use lalrcex_lr::{Automaton, Conflict, ConflictKind, StateId};
 
+use crate::cancel::{CancelToken, GovernorLease, MemoryGovernor, SearchSession};
+use crate::error::EngineError;
 use crate::state_graph::{StateGraph, StateItemId};
 use crate::stats::SearchMetrics;
+
+/// Rough per-configuration live-memory estimate (arena slot, core vectors,
+/// derivations, visited-set key) used for the soft memory governor's
+/// frontier accounting.
+///
+/// An estimate, not allocator truth — the governor is a *soft* limit.
+const APPROX_CONFIG_BYTES: usize = 384;
 
 /// Cost of a joint transition.
 const TRANSITION_COST: u32 = 1;
@@ -54,6 +63,13 @@ pub struct SearchConfig {
     /// disables the cap; clock-free callers (the lint masking probe) set
     /// it so their worst case is bounded without consulting the clock.
     pub max_cost: u32,
+    /// How many configuration pops between cancellation polls. Each poll
+    /// is one relaxed atomic load on the shared [`CancelToken`], one
+    /// `Instant::now()` against the deadline, and one memory-governor
+    /// lease update — strided so the hot loop doesn't pay a clock syscall
+    /// per node (the `cancel_stride` bench group quantifies the overhead).
+    /// Rounded up to a power of two; `1` polls on every pop.
+    pub cancel_stride: u32,
 }
 
 impl Default for SearchConfig {
@@ -63,6 +79,7 @@ impl Default for SearchConfig {
             extended: false,
             max_configs: 1 << 21,
             max_cost: u32::MAX,
+            cancel_stride: 256,
         }
     }
 }
@@ -452,6 +469,66 @@ pub fn unifying_search_metered(
     cfg: &SearchConfig,
     metrics: &mut SearchMetrics,
 ) -> SearchOutcome {
+    let cancel = CancelToken::new();
+    let governor = MemoryGovernor::unlimited();
+    let session = SearchSession {
+        cancel: &cancel,
+        governor: &governor,
+    };
+    unifying_search_session(
+        g,
+        auto,
+        graph,
+        conflict,
+        slsp_states,
+        cfg,
+        &session,
+        metrics,
+    )
+}
+
+/// Looks up the unresolved conflict on terminal `term` in a conflict
+/// table, as a structured error instead of a panic: precedence
+/// declarations legitimately resolve conflicts out of the table, so a
+/// missing conflict is a *reachable* state, not an invariant violation.
+pub fn conflict_on<'a>(
+    g: &Grammar,
+    conflicts: &'a [Conflict],
+    term: &str,
+) -> Result<&'a Conflict, EngineError> {
+    conflicts
+        .iter()
+        .find(|c| g.display_name(c.terminal) == term)
+        .ok_or_else(|| EngineError::no_conflict_on(term))
+}
+
+/// [`unifying_search_metered`] under a shared [`SearchSession`]: the
+/// search polls `session.cancel` (plus its own wall-clock deadline) every
+/// [`SearchConfig::cancel_stride`] pops, and reports its estimated live
+/// frontier bytes to `session.governor`, *shedding* — tightening its cost
+/// cap to the cost of the configuration it just popped so the frontier
+/// drains — when the grammar-wide soft memory limit is exceeded.
+///
+/// Cancellation and shedding both surface as [`SearchOutcome::TimedOut`]:
+/// the caller falls back to the nonunifying construction exactly as for a
+/// per-conflict time limit (§6 graceful cutoff).
+#[allow(clippy::too_many_arguments)]
+pub fn unifying_search_session(
+    g: &Grammar,
+    auto: &Automaton,
+    graph: &StateGraph,
+    conflict: &Conflict,
+    slsp_states: &[StateId],
+    cfg: &SearchConfig,
+    session: &SearchSession<'_>,
+    metrics: &mut SearchMetrics,
+) -> SearchOutcome {
+    // Zero budget or an already-cancelled token never starts the search:
+    // the `time_limit == 0` edge must degrade identically whether or not
+    // the first stride poll would have been reached.
+    if cfg.time_limit.is_zero() || session.cancel.is_cancelled() {
+        return SearchOutcome::TimedOut;
+    }
     let rr = matches!(conflict.kind, ConflictKind::ReduceReduce { .. });
     let t = conflict.terminal;
     let search = Search {
@@ -489,14 +566,44 @@ pub fn unifying_search_metered(
     heap.push(Reverse((0, 0)));
 
     metrics.enqueued += 1;
+    // Stride mask: poll when `pops & mask == 0`. Rounded up to a power of
+    // two so the check is one AND instead of a division.
+    let mask = cfg.cancel_stride.max(1).next_power_of_two() - 1;
+    let mut lease = GovernorLease::new(session.governor);
+    let mut effective_max_cost = cfg.max_cost;
     let mut scratch = Vec::new();
     let mut pops: u32 = 0;
     let mut cost_pruned = false;
-    while let Some(Reverse((_, idx))) = heap.pop() {
+    while let Some(Reverse((cost, idx))) = heap.pop() {
         pops += 1;
         metrics.explored += 1;
-        if pops.is_multiple_of(256) && Instant::now() > deadline {
-            return SearchOutcome::TimedOut;
+        if pops & mask == 0 {
+            if session.cancel.is_cancelled() || Instant::now() > deadline {
+                return SearchOutcome::TimedOut;
+            }
+            // Report this search's estimated frontier footprint, then shed
+            // if the grammar-wide total is over the soft limit: no deeper
+            // successors get enqueued, so the frontier drains
+            // deterministically into `TimedOut` instead of growing.
+            let est = arena.len().saturating_mul(APPROX_CONFIG_BYTES);
+            lease.set(est);
+            metrics.live_bytes_peak = metrics.live_bytes_peak.max(est as u64);
+            if session.governor.over_limit() && effective_max_cost > cost {
+                effective_max_cost = cost;
+                cost_pruned = true;
+                metrics.sheds += 1;
+                session.governor.note_shed();
+            }
+        }
+        #[cfg(feature = "failpoints")]
+        if let Some(action) = crate::faultpoint::hit("unify.expand") {
+            match action {
+                crate::faultpoint::FaultAction::Panic => {
+                    panic!("failpoint `unify.expand` injected panic")
+                }
+                crate::faultpoint::FaultAction::BudgetZero
+                | crate::faultpoint::FaultAction::ClockJump => return SearchOutcome::TimedOut,
+            }
         }
         if arena.len() > cfg.max_configs {
             return SearchOutcome::TimedOut;
@@ -508,7 +615,7 @@ pub fn unifying_search_metered(
         scratch.clear();
         search.successors(&c, &mut scratch);
         for n in scratch.drain(..) {
-            if n.cost > cfg.max_cost {
+            if n.cost > effective_max_cost {
                 cost_pruned = true;
                 continue;
             }
@@ -559,11 +666,10 @@ mod tests {
         let auto = Automaton::build(g);
         let graph = StateGraph::build(g, &auto);
         let tables = auto.tables(g);
-        let c = tables
-            .conflicts()
-            .iter()
-            .find(|c| g.display_name(c.terminal) == term)
-            .unwrap_or_else(|| panic!("conflict on {term}"));
+        let c = match conflict_on(g, tables.conflicts(), term) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        };
         let target = graph.node(c.state, c.reduce_item(g));
         let path = lssi::shortest_path(g, &auto, &graph, target, g.tindex(c.terminal)).unwrap();
         let states = lssi::states_of_path(&graph, &path);
@@ -640,7 +746,7 @@ mod tests {
         let report = analyze(&g);
         assert_eq!(report.reports.len(), 2, "Table 1 row figure7: 2 conflicts");
         for r in &report.reports {
-            assert_eq!(r.kind, ExampleKind::Unifying, "{:?}", r.conflict);
+            assert_eq!(r.kind(), Some(ExampleKind::Unifying), "{:?}", r.conflict);
             let ex = r.unifying.as_ref().unwrap();
             assert!(unifying_consistent(&g, ex));
         }
@@ -654,7 +760,7 @@ mod tests {
         let report = analyze(&g);
         assert_eq!(report.reports.len(), 1);
         let r = &report.reports[0];
-        assert_eq!(r.kind, ExampleKind::Unifying);
+        assert_eq!(r.kind(), Some(ExampleKind::Unifying));
         let ex = r.unifying.as_ref().unwrap();
         assert_eq!(g.display_name(ex.nonterminal), "s");
         assert_eq!(ex.derivation1.flat(&g), "T \u{2022} X");
@@ -687,6 +793,101 @@ mod tests {
     }
 
     #[test]
+    fn conflict_on_missing_is_structured_error() {
+        // A lookup miss is a reachable state (precedence resolution), so it
+        // is a structured `EngineError`, not a panic.
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let tables = auto.tables(&g);
+        let err = conflict_on(&g, tables.conflicts(), "nosuch").unwrap_err();
+        assert_eq!(err.phase, "lookup");
+        assert!(err.message.contains("`nosuch`"));
+        assert!(err.message.contains("precedence"));
+    }
+
+    fn run_conflict_session(
+        g: &Grammar,
+        term: &str,
+        cfg: &SearchConfig,
+        session: &SearchSession<'_>,
+        metrics: &mut SearchMetrics,
+    ) -> SearchOutcome {
+        let auto = Automaton::build(g);
+        let graph = StateGraph::build(g, &auto);
+        let tables = auto.tables(g);
+        let c = match conflict_on(g, tables.conflicts(), term) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        };
+        let target = graph.node(c.state, c.reduce_item(g));
+        let path = lssi::shortest_path(g, &auto, &graph, target, g.tindex(c.terminal)).unwrap();
+        let states = lssi::states_of_path(&graph, &path);
+        unifying_search_session(g, &auto, &graph, c, &states, cfg, session, metrics)
+    }
+
+    #[test]
+    fn precancelled_token_stops_before_searching() {
+        let g = figure1();
+        let cancel = CancelToken::new();
+        cancel.cancel(crate::cancel::CancelReason::Signal);
+        let governor = MemoryGovernor::unlimited();
+        let session = SearchSession {
+            cancel: &cancel,
+            governor: &governor,
+        };
+        let mut m = SearchMetrics::default();
+        let out = run_conflict_session(&g, "else", &SearchConfig::default(), &session, &mut m);
+        assert!(matches!(out, SearchOutcome::TimedOut), "{out:?}");
+        assert_eq!(m.explored, 0, "cancelled before the first pop");
+    }
+
+    #[test]
+    fn over_limit_governor_sheds_and_drains() {
+        let g = figure1();
+        let cancel = CancelToken::new();
+        let governor = MemoryGovernor::with_limit_bytes(1);
+        let session = SearchSession {
+            cancel: &cancel,
+            governor: &governor,
+        };
+        let cfg = SearchConfig {
+            cancel_stride: 1, // poll every pop so the shed fires immediately
+            ..SearchConfig::default()
+        };
+        let mut m = SearchMetrics::default();
+        let out = run_conflict_session(&g, "digit", &cfg, &session, &mut m);
+        assert!(matches!(out, SearchOutcome::TimedOut), "{out:?}");
+        assert!(m.sheds >= 1, "search shed at least once");
+        assert!(governor.sheds() >= 1, "shed recorded grammar-wide");
+        assert_eq!(governor.live_bytes(), 0, "lease released on return");
+    }
+
+    #[test]
+    fn stride_does_not_change_search_counters() {
+        // The stride only changes *when* the clock is consulted, never the
+        // order of expansion: counters are identical for stride 1 and 256.
+        let g = figure1();
+        let governor = MemoryGovernor::unlimited();
+        let mut counters = Vec::new();
+        for stride in [1u32, 256] {
+            let cancel = CancelToken::new();
+            let session = SearchSession {
+                cancel: &cancel,
+                governor: &governor,
+            };
+            let cfg = SearchConfig {
+                cancel_stride: stride,
+                ..SearchConfig::default()
+            };
+            let mut m = SearchMetrics::default();
+            let out = run_conflict_session(&g, "digit", &cfg, &session, &mut m);
+            assert!(matches!(out, SearchOutcome::Unifying(_)), "{out:?}");
+            counters.push((m.explored, m.enqueued, m.deduped, m.frontier_peak));
+        }
+        assert_eq!(counters[0], counters[1]);
+    }
+
+    #[test]
     fn analyzer_reports_all_figure1_conflicts_unifying() {
         // Table 1 row figure1: 3 conflicts, 3 unifying.
         let g = figure1();
@@ -711,7 +912,7 @@ mod tests {
         assert!(report
             .reports
             .iter()
-            .all(|r| r.kind == ExampleKind::NonunifyingSkipped));
+            .all(|r| r.kind() == Some(ExampleKind::NonunifyingSkipped)));
         // Nonunifying fallbacks are still produced.
         assert!(report.reports.iter().all(|r| r.nonunifying.is_some()));
     }

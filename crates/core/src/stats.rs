@@ -26,16 +26,26 @@ pub struct SearchMetrics {
     pub deduped: u64,
     /// High-water mark of the frontier (priority-queue length).
     pub frontier_peak: u64,
+    /// High-water mark of this search's estimated live frontier bytes as
+    /// reported to the [`crate::MemoryGovernor`]. Sampled on the cancel
+    /// stride, so it is an estimate, not an allocator truth.
+    pub live_bytes_peak: u64,
+    /// Times this search *shed* — tightened its cost cap because the
+    /// grammar-wide soft memory limit was exceeded. Depends on the shared
+    /// governor state, so it is excluded from the determinism guarantee.
+    pub sheds: u64,
 }
 
 impl SearchMetrics {
-    /// Accumulates another search's counters into this one (peak is a max,
-    /// everything else a sum).
+    /// Accumulates another search's counters into this one (peaks are a
+    /// max, everything else a sum).
     pub fn merge(&mut self, other: &SearchMetrics) {
         self.explored += other.explored;
         self.enqueued += other.enqueued;
         self.deduped += other.deduped;
         self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
+        self.live_bytes_peak = self.live_bytes_peak.max(other.live_bytes_peak);
+        self.sheds += other.sheds;
     }
 }
 
@@ -116,6 +126,7 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
         "grammar stats: {} conflicts, {} workers, precompute {:.1}ms\n\
          \u{20} spine memo: {} hits / {} misses ({} LSSI nodes expanded)\n\
          \u{20} unifying search: {} explored, {} enqueued, {} deduped, frontier peak {}\n\
+         \u{20} memory: live-bytes peak {}, {} sheds\n\
          \u{20} time: {:.1}ms wall, {:.1}ms cpu across conflicts",
         stats.conflicts,
         stats.workers,
@@ -127,6 +138,8 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
         stats.search.enqueued,
         stats.search.deduped,
         stats.search.frontier_peak,
+        stats.search.live_bytes_peak,
+        stats.search.sheds,
         wall.as_secs_f64() * 1e3,
         stats.cpu_time.as_secs_f64() * 1e3,
     )
@@ -143,18 +156,24 @@ mod tests {
             enqueued: 2,
             deduped: 3,
             frontier_peak: 10,
+            live_bytes_peak: 100,
+            sheds: 1,
         };
         let b = SearchMetrics {
             explored: 10,
             enqueued: 20,
             deduped: 30,
             frontier_peak: 4,
+            live_bytes_peak: 400,
+            sheds: 2,
         };
         a.merge(&b);
         assert_eq!(a.explored, 11);
         assert_eq!(a.enqueued, 22);
         assert_eq!(a.deduped, 33);
         assert_eq!(a.frontier_peak, 10);
+        assert_eq!(a.live_bytes_peak, 400);
+        assert_eq!(a.sheds, 3);
     }
 
     #[test]

@@ -118,7 +118,29 @@ pub enum GrammarError {
     Parse { line: u32, msg: String },
     /// A name was declared twice with conflicting roles.
     DuplicateDecl(String),
+    /// A structural limit was exceeded. The caps ([`MAX_PRODUCTIONS`],
+    /// [`MAX_RHS_SYMBOLS`]) are far beyond any real grammar (Table 1's
+    /// largest row has about a thousand productions) and exist so
+    /// pathological or fuzzed inputs fail with a structured error instead
+    /// of driving the downstream automaton construction into memory
+    /// exhaustion.
+    Limit {
+        /// Which structural quantity overflowed.
+        what: &'static str,
+        /// The enforced cap.
+        limit: usize,
+        /// The offending value.
+        actual: usize,
+    },
 }
+
+/// Maximum number of productions a grammar may declare (the augmented
+/// `$accept` production does not count). See [`GrammarError::Limit`].
+pub const MAX_PRODUCTIONS: usize = 65_536;
+
+/// Maximum number of symbols on one production's right-hand side.
+/// See [`GrammarError::Limit`].
+pub const MAX_RHS_SYMBOLS: usize = 4_096;
 
 impl fmt::Display for GrammarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -141,6 +163,11 @@ impl fmt::Display for GrammarError {
             }
             GrammarError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             GrammarError::DuplicateDecl(s) => write!(f, "symbol `{s}` declared twice"),
+            GrammarError::Limit {
+                what,
+                limit,
+                actual,
+            } => write!(f, "grammar exceeds the {what} limit: {actual} > {limit}"),
         }
     }
 }
@@ -504,6 +531,22 @@ impl GrammarBuilder {
     /// symbol can be determined, a declared token is used as a rule
     /// left-hand side, or a `%prec` symbol is unknown.
     pub fn build(&self) -> Result<Grammar, GrammarError> {
+        // Structural caps first: fuzzed or generated inputs must fail with
+        // a structured error before any quadratic work happens below.
+        if self.rules.len() > MAX_PRODUCTIONS {
+            return Err(GrammarError::Limit {
+                what: "production count",
+                limit: MAX_PRODUCTIONS,
+                actual: self.rules.len(),
+            });
+        }
+        if let Some(r) = self.rules.iter().find(|r| r.rhs.len() > MAX_RHS_SYMBOLS) {
+            return Err(GrammarError::Limit {
+                what: "right-hand-side length",
+                limit: MAX_RHS_SYMBOLS,
+                actual: r.rhs.len(),
+            });
+        }
         let start_name = match &self.start {
             Some(s) => s.clone(),
             None => self

@@ -39,5 +39,8 @@ pub use analysis::Analysis;
 pub use derivation::{
     derive_seq_starting_with, derive_starting_with, eps_derivation, flat_all, Derivation,
 };
-pub use grammar::{Assoc, Grammar, GrammarBuilder, GrammarError, Precedence, ProdId, Production};
+pub use grammar::{
+    Assoc, Grammar, GrammarBuilder, GrammarError, Precedence, ProdId, Production, MAX_PRODUCTIONS,
+    MAX_RHS_SYMBOLS,
+};
 pub use symbol::{SymbolId, SymbolKind, TerminalSet};

@@ -151,7 +151,8 @@ impl<'a> Lexer<'a> {
                     let mut name = String::new();
                     while let Some(c) = self.peek() {
                         if c.is_ascii_alphabetic() {
-                            name.push(self.bump().unwrap() as char);
+                            self.bump();
+                            name.push(c as char);
                         } else {
                             break;
                         }
@@ -186,7 +187,8 @@ impl<'a> Lexer<'a> {
                 let mut name = String::new();
                 while let Some(c) = self.peek() {
                     if Self::is_ident_byte(c) && c != b'\'' {
-                        name.push(self.bump().unwrap() as char);
+                        self.bump();
+                        name.push(c as char);
                     } else {
                         break;
                     }

@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut confirmed = 0usize;
     for c in &conflicts {
         let r = analyzer.analyze_conflict(c, &cfg);
-        match r.kind {
-            ExampleKind::Unifying => {
+        match r.kind() {
+            Some(ExampleKind::Unifying) => {
                 let u = r.unifying.as_ref().expect("unifying example present");
                 let form = u.sentential_form();
                 let ok = forest::is_ambiguous_form(&g, u.nonterminal, &form);

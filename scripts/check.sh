@@ -28,6 +28,12 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> panic gate (engine non-test code)"
+scripts/panic_gate.sh
+
+echo "==> chaos suite (deterministic fault injection)"
+cargo test -q --features failpoints --test chaos
+
 echo "==> corpus lint snapshot"
 cargo run -q --release -p lalrcex-lint --bin lint-snapshot -- --check
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Gate: no new `panic!(` or `.unwrap()` in the conflict engine's non-test
+# code (crates/core/src). The engine's containment boundaries turn panics
+# into structured `EngineError`s, but the cheapest contained panic is the
+# one never written: internal failures should be `EngineError` values
+# (crates/core/src/error.rs), and fallible lookups should return
+# `Option`/`Result`. Documented invariants may use `.expect("why")`.
+#
+# Test modules (everything from the first `#[cfg(test)]` to EOF, the
+# repo's convention) are exempt. Genuinely intended occurrences — the
+# fault-injection probes whose entire job is to panic — are listed in
+# scripts/panic_allowlist.txt as `file|substring` lines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist="scripts/panic_allowlist.txt"
+found="$(mktemp)"
+trap 'rm -f "$found"' EXIT
+
+for f in crates/core/src/*.rs; do
+  awk -v file="$f" '
+    /^#\[cfg\(test\)\]/ || /^#\[cfg\(all\(test/ { exit }
+    $0 !~ /^[[:space:]]*\/\// && /panic!\(|\.unwrap\(\)/ {
+      printf "%s:%d: %s\n", file, FNR, $0
+    }' "$f" >> "$found"
+done
+
+bad=0
+while IFS= read -r hit; do
+  file="${hit%%:*}"
+  ok=0
+  while IFS='|' read -r afile apat; do
+    [[ -z "$afile" || "$afile" == \#* ]] && continue
+    if [[ "$file" == "$afile" && "$hit" == *"$apat"* ]]; then
+      ok=1
+      break
+    fi
+  done < "$allowlist"
+  if [[ "$ok" -eq 0 ]]; then
+    echo "panic-gate: forbidden panic!/unwrap() in engine non-test code:" >&2
+    echo "  $hit" >&2
+    bad=1
+  fi
+done < "$found"
+
+if [[ "$bad" -ne 0 ]]; then
+  echo "panic-gate: return a structured EngineError (crates/core/src/error.rs)" >&2
+  echo "instead, or add a \`file|substring\` line to $allowlist if the panic" >&2
+  echo "is genuinely intended (e.g. a fault-injection probe)." >&2
+  exit 1
+fi
+echo "panic-gate: OK ($(grep -c . "$found" || true) allowlisted occurrences)"

@@ -1,0 +1,306 @@
+//! Chaos suite: deterministic fault injection against the conflict engine.
+//!
+//! Compiled and run only with the `failpoints` feature:
+//!
+//! ```text
+//! cargo test --features failpoints --test chaos
+//! ```
+//!
+//! The invariants under test (ISSUE 3, tentpole 3):
+//!
+//! 1. **Every conflict yields a report.** Whatever a fault plan does to one
+//!    conflict's diagnosis — panic mid-search, zero its budget, jump its
+//!    clock — `analyze_all` still returns exactly one entry per conflict.
+//! 2. **Containment is local.** The conflicts the plan did *not* touch
+//!    produce byte-identical formatted reports to a clean run.
+//! 3. **Worker-count independence.** Because probes are scoped to the
+//!    conflict slot and each slot's diagnosis is single-threaded and
+//!    deterministic, a faulted run at `workers = 1` and `workers = 4`
+//!    produces byte-identical reports.
+//!
+//! Determinism hazard: the `spine.expand` probe sits inside the memoized
+//! §4 spine search, and *which* conflict pays for a shared spine depends on
+//! worker scheduling. Cross-worker assertions therefore only use the
+//! per-conflict-deterministic probes (`engine.conflict`, `unify.expand`,
+//! `nonunify.complete`).
+//!
+//! All searches here run under pure node budgets (huge time limits), so
+//! clean runs are byte-deterministic and comparisons are exact.
+
+#![cfg(feature = "failpoints")]
+
+use std::time::Duration;
+
+use lalrcex::core::faultpoint::{install, FaultAction, FaultPlan, NO_SCOPE};
+use lalrcex::core::{
+    format_report, CexConfig, ConflictOutcome, Engine, ExampleKind, GrammarReport, SearchConfig,
+};
+use lalrcex::grammar::Grammar;
+
+fn load(name: &str) -> Grammar {
+    lalrcex::corpus::by_name(name)
+        .expect("corpus entry")
+        .load()
+        .expect("corpus grammar parses")
+}
+
+/// A configuration whose outcome depends only on deterministic node
+/// budgets, never on the clock: runs are byte-identical across machines,
+/// worker counts, and fault-plan repetitions.
+fn deterministic(workers: usize) -> CexConfig {
+    CexConfig {
+        search: SearchConfig {
+            time_limit: Duration::from_secs(3600),
+            max_configs: 5_000,
+            ..SearchConfig::default()
+        },
+        cumulative_limit: Duration::from_secs(3600),
+        workers,
+        ..CexConfig::default()
+    }
+}
+
+/// Runs `analyze_all` under an *empty* fault plan. Installing the empty
+/// plan takes the chaos serialization lock, so a clean baseline can never
+/// race against another test's installed triggers.
+fn clean_run(g: &Grammar, workers: usize) -> GrammarReport {
+    let _guard = install(FaultPlan::new());
+    Engine::new(g).analyze_all(&deterministic(workers))
+}
+
+fn faulted_run(g: &Grammar, plan: FaultPlan, workers: usize) -> GrammarReport {
+    let _guard = install(plan);
+    Engine::new(g).analyze_all(&deterministic(workers))
+}
+
+fn formatted(g: &Grammar, r: &GrammarReport) -> Vec<String> {
+    r.reports.iter().map(|x| format_report(g, x)).collect()
+}
+
+/// The acceptance scenario: a plan that panics inside ONE conflict's
+/// unifying search. The report still has one entry per conflict, the
+/// faulted slot is a structured `Internal` outcome from the `unifying`
+/// phase, and every unfaulted slot is byte-identical to the clean run —
+/// at `workers = 1` and `workers = 4` alike.
+#[test]
+fn panic_in_one_unifying_search_is_contained() {
+    for name in ["figure1", "SQL.2", "C.3"] {
+        let g = load(name);
+        let clean = clean_run(&g, 1);
+        let n = clean.reports.len();
+        assert!(n > 0, "{name} has conflicts");
+        // Fault the *last* slot so the test also covers mid-fleet slots on
+        // multi-conflict grammars (slot 0 is the common easy case).
+        let slot = (n - 1) as u64;
+        for workers in [1usize, 4] {
+            let plan = FaultPlan::new().trigger(slot, "unify.expand", 1, FaultAction::Panic);
+            let faulted = faulted_run(&g, plan, workers);
+            assert_eq!(faulted.reports.len(), n, "{name}: one report per conflict");
+            assert_eq!(faulted.internal_count(), 1, "{name}: exactly one fault");
+            let clean_fmt = formatted(&g, &clean);
+            let faulted_fmt = formatted(&g, &faulted);
+            for (i, r) in faulted.reports.iter().enumerate() {
+                if i as u64 == slot {
+                    let ConflictOutcome::Internal(e) = &r.outcome else {
+                        panic!("{name}: faulted slot must be Internal, got {:?}", r.outcome);
+                    };
+                    assert_eq!(e.phase, "unifying");
+                    assert!(e.message.contains("unify.expand"), "stable diagnostic");
+                    assert!(
+                        r.nonunifying.is_some(),
+                        "{name}: faulted unifying search still degrades to the \
+                         cheap nonunifying example"
+                    );
+                } else {
+                    assert_eq!(
+                        faulted_fmt[i], clean_fmt[i],
+                        "{name} workers={workers}: unfaulted slot {i} must be \
+                         byte-identical to the clean run"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A panic in the spine phase (the `engine.conflict` probe fires before the
+/// spine search) faults the whole slot — nothing downstream can run — but
+/// the remaining conflicts are untouched.
+#[test]
+fn panic_in_spine_phase_faults_only_that_slot() {
+    let g = load("figure1");
+    let clean = clean_run(&g, 1);
+    for workers in [1usize, 4] {
+        let plan = FaultPlan::new().trigger(1, "engine.conflict", 1, FaultAction::Panic);
+        let faulted = faulted_run(&g, plan, workers);
+        assert_eq!(faulted.reports.len(), clean.reports.len());
+        let r = &faulted.reports[1];
+        let ConflictOutcome::Internal(e) = &r.outcome else {
+            panic!("slot 1 must fault, got {:?}", r.outcome);
+        };
+        assert_eq!(e.phase, "spine");
+        assert!(r.unifying.is_none() && r.nonunifying.is_none());
+        for i in [0usize, 2] {
+            assert_eq!(
+                format_report(&g, &faulted.reports[i]),
+                format_report(&g, &clean.reports[i]),
+            );
+        }
+    }
+}
+
+/// Non-panic actions degrade, they don't fault: a zeroed budget or a
+/// clock jump in the unifying search ends it `TimedOut`, the slot keeps
+/// its nonunifying fallback, and the outcome is `Completed`, not
+/// `Internal`.
+#[test]
+fn budget_and_clock_faults_degrade_like_timeouts() {
+    let g = load("figure1");
+    for action in [FaultAction::BudgetZero, FaultAction::ClockJump] {
+        let plan = FaultPlan::new().trigger(0, "unify.expand", 1, action);
+        let faulted = faulted_run(&g, plan, 1);
+        let r = &faulted.reports[0];
+        assert_eq!(
+            r.kind(),
+            Some(ExampleKind::NonunifyingTimeout),
+            "{action:?}"
+        );
+        assert!(r.nonunifying.is_some(), "{action:?} keeps the fallback");
+        assert_eq!(faulted.internal_count(), 0);
+    }
+}
+
+/// Every slot faults (wildcard scope, first `unify.expand` hit): the
+/// worker pool survives all of them, each conflict still reports, and the
+/// engine — whose spine-memo mutex may have been poisoned by the unwinds —
+/// remains usable for a clean run afterwards.
+#[test]
+fn worker_pool_survives_a_panic_storm() {
+    let g = load("figure1");
+    let clean = clean_run(&g, 1);
+    let engine = Engine::new(&g);
+    {
+        let _guard =
+            install(FaultPlan::new().trigger(NO_SCOPE, "unify.expand", 1, FaultAction::Panic));
+        let storm = engine.analyze_all(&deterministic(4));
+        assert_eq!(storm.reports.len(), clean.reports.len());
+        assert_eq!(storm.internal_count(), storm.reports.len());
+        for r in &storm.reports {
+            assert!(r.is_internal());
+            assert!(r.nonunifying.is_some(), "fallback survives the storm");
+        }
+    }
+    // Same engine, clean plan: poisoned memo locks must have recovered.
+    let _guard = install(FaultPlan::new());
+    let after = engine.analyze_all(&deterministic(1));
+    assert_eq!(formatted(&g, &after), formatted(&g, &clean));
+}
+
+/// The lint masking probe contains its own faults: a panic inside
+/// `probe_resolution` yields `ResolutionProbe::Internal`, and the next
+/// probe on the same engine runs clean.
+#[test]
+fn lint_probe_contains_its_fault() {
+    use lalrcex::core::engine::ResolutionProbe;
+
+    let g = Grammar::parse("%left '+' %% e : e '+' e | NUM ;").unwrap();
+    let engine = Engine::new(&g);
+    let res = engine.tables().resolutions()[0];
+    let _guard = install(FaultPlan::new().trigger(NO_SCOPE, "lint.probe", 1, FaultAction::Panic));
+    match engine.probe_resolution(&res, 1 << 16) {
+        ResolutionProbe::Internal(e) => assert_eq!(e.phase, "lint.probe"),
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    // The trigger fired once; the second probe is clean and proves the
+    // masked ambiguity as usual.
+    match engine.probe_resolution(&res, 1 << 16) {
+        ResolutionProbe::Ambiguous(_) => {}
+        other => panic!("expected Ambiguous after the fault, got {other:?}"),
+    }
+}
+
+/// Property sweep: PRNG-seeded single-trigger plans over the
+/// per-conflict-deterministic probes. For every seed, (a) both worker
+/// counts return one report per conflict, (b) the two runs are
+/// byte-identical to *each other*, and (c) slots the plan cannot have
+/// touched are byte-identical to the clean baseline.
+#[test]
+fn seeded_plans_are_reproducible_across_worker_counts() {
+    let probes = ["engine.conflict", "unify.expand", "nonunify.complete"];
+    for name in ["figure1", "SQL.2"] {
+        let g = load(name);
+        let clean = clean_run(&g, 1);
+        let n = clean.reports.len() as u64;
+        for seed in 0..12u64 {
+            let run1 = faulted_run(&g, FaultPlan::seeded(seed, n, &probes, 40), 1);
+            let run4 = faulted_run(&g, FaultPlan::seeded(seed, n, &probes, 40), 4);
+            assert_eq!(run1.reports.len() as u64, n, "{name} seed {seed}");
+            assert_eq!(
+                formatted(&g, &run1),
+                formatted(&g, &run4),
+                "{name} seed {seed}: workers=1 vs workers=4 must agree"
+            );
+            let clean_fmt = formatted(&g, &clean);
+            let fmt = formatted(&g, &run1);
+            let differing = (0..n as usize).filter(|&i| fmt[i] != clean_fmt[i]).count();
+            assert!(
+                differing <= 1,
+                "{name} seed {seed}: a single-trigger plan may perturb at \
+                 most one slot, saw {differing}"
+            );
+        }
+    }
+}
+
+/// End-to-end process check: the CLI built with `failpoints` honours
+/// `LALRCEX_FAULT_PLAN` and maps a contained fault to the partial-failure
+/// exit code 3 (a clean conflict-bearing run exits 1), at both worker
+/// counts.
+#[test]
+fn cli_exits_with_partial_failure_code() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let run = |plan: Option<&str>, workers: &str| {
+        let mut cmd = std::process::Command::new(&cargo);
+        cmd.args([
+            "run",
+            "-q",
+            "-p",
+            "lalrcex-cli",
+            "--features",
+            "failpoints",
+            "--",
+            "--workers",
+            workers,
+            "crates/corpus/grammars/figure1.y",
+        ]);
+        cmd.env_remove("LALRCEX_FAULT_PLAN");
+        if let Some(p) = plan {
+            cmd.env("LALRCEX_FAULT_PLAN", p);
+        }
+        cmd.output().expect("cargo run lalrcex-cli")
+    };
+    for workers in ["1", "4"] {
+        let clean = run(None, workers);
+        assert_eq!(clean.status.code(), Some(1), "conflicts found, no faults");
+        let faulted = run(Some("0:unify.expand:1:panic"), workers);
+        assert_eq!(
+            faulted.status.code(),
+            Some(3),
+            "workers={workers}: contained fault must exit 3; stderr: {}",
+            String::from_utf8_lossy(&faulted.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&faulted.stdout);
+        assert!(
+            stdout.contains("Internal fault while diagnosing this conflict"),
+            "report carries the contained-fault entry; got:\n{stdout}"
+        );
+        assert_eq!(
+            stdout.matches("conflict found in state").count(),
+            3,
+            "one report entry per conflict"
+        );
+    }
+    // A malformed plan must abort loudly with the usage exit code.
+    let bad = run(Some("not-a-plan"), "1");
+    assert_eq!(bad.status.code(), Some(2), "typo'd fault plan exits 2");
+}

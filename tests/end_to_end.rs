@@ -43,7 +43,7 @@ fn run(name: &str) -> (lalrcex::grammar::Grammar, Vec<(ExampleKind, bool)>) {
                 "{name}: inconsistent nonunifying example"
             );
         }
-        out.push((r.kind, oracle_ok));
+        out.push((r.kind().expect("no internal fault"), oracle_ok));
     }
     (g, out)
 }
@@ -86,8 +86,8 @@ fn ambfailed01_restricted_search_misses_extended_finds() {
     let restricted = analyzer.analyze_all(&cfg());
     assert_eq!(restricted.reports.len(), 1);
     assert_eq!(
-        restricted.reports[0].kind,
-        ExampleKind::NonunifyingExhausted,
+        restricted.reports[0].kind(),
+        Some(ExampleKind::NonunifyingExhausted),
         "restricted search must exhaust"
     );
 
@@ -95,7 +95,7 @@ fn ambfailed01_restricted_search_misses_extended_finds() {
     extended_cfg.search.extended = true;
     let mut analyzer2 = Analyzer::new(&g);
     let extended = analyzer2.analyze_all(&extended_cfg);
-    assert_eq!(extended.reports[0].kind, ExampleKind::Unifying);
+    assert_eq!(extended.reports[0].kind(), Some(ExampleKind::Unifying));
     let u = extended.reports[0].unifying.as_ref().unwrap();
     assert!(
         forest::is_ambiguous_form(&g, u.nonterminal, &u.sentential_form()),
