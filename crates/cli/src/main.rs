@@ -1,55 +1,46 @@
 //! `lalrcex` — LALR conflict diagnosis with counterexamples.
 //!
-//! Reads a grammar in the yacc-like DSL, builds the LALR(1) automaton,
-//! and reports every parsing conflict with a counterexample, in the style
-//! of the paper's Figure 11.
+//! Four subcommands over one engine, all built on the `lalrcex::api`
+//! session layer:
 //!
 //! ```text
-//! USAGE: lalrcex [OPTIONS] GRAMMAR.y
-//!        lalrcex lint [--format text|json] [--deny-warnings] [--list] GRAMMAR.y
-//!
-//!   --extended           full unifying search (no shortest-path pruning)
-//!   --time-limit SECS    per-conflict unifying search budget (default 5)
-//!   --total-limit SECS   cumulative unifying budget (default 120)
-//!   --workers N          worker threads for the conflict fan-out
-//!                        (default 0 = one per CPU)
-//!   --max-rss-mb MB      soft limit on the searches' estimated live
-//!                        frontier memory; over it, searches shed
-//!                        (default 0 = unlimited)
-//!   --stats              print per-conflict and grammar-wide search
-//!                        counters (explored configs, spine memo, times)
-//!   --dump-states        print the full parser state machine
-//!   --path               print the shortest lookahead-sensitive path
-//!   --summary            one line per conflict instead of full reports
-//!
-//! lint mode:
-//!   --format text|json   diagnostic output format (default text)
-//!   --deny-warnings      warnings also make the exit code nonzero
-//!   --list               list the registered passes and exit
+//! lalrcex [cex] [OPTIONS] GRAMMAR.y    conflict counterexamples (default)
+//! lalrcex lint [OPTIONS] GRAMMAR.y     static-analysis passes
+//! lalrcex serve [OPTIONS]              JSON-Lines analysis service on
+//!                                      stdin/stdout (protocol v1)
+//! lalrcex batch [OPTIONS] MANIFEST     drive many grammars through one
+//!                                      cached session
 //! ```
 //!
-//! Exit status (conflict mode): 0 when the grammar is conflict-free, 1 when
-//! conflicts were reported, 2 on usage or parse errors, 3 when the report
-//! was produced but at least one conflict's diagnosis faulted internally
-//! (contained partial failure), 130 when interrupted by Ctrl-C (the report
-//! produced so far is still printed, with `cancelled` stubs).
+//! Run `lalrcex <command> --help` for per-command options. Every
+//! subcommand parses its arguments through one shared scanner, so the
+//! contract is uniform: `--help` prints usage on stdout and exits 0;
+//! unknown options, missing values, and malformed numbers print a
+//! diagnostic plus usage on stderr and exit 2.
 //!
-//! Exit status (lint mode): 0 when no diagnostic at error severity was
-//! reported (warnings and infos are printed but don't fail the run unless
-//! `--deny-warnings`), 1 when an error-severity diagnostic (or, with
-//! `--deny-warnings`, any warning) was reported, 2 on usage or parse
+//! Exit status (cex, batch): 0 conflict-free, 1 conflicts reported,
+//! 2 usage or parse errors, 3 report produced but at least one conflict's
+//! diagnosis faulted internally (contained partial failure), 130
+//! interrupted by Ctrl-C (the report produced so far is still printed,
+//! with `cancelled` stubs).
+//!
+//! Exit status (lint): 0 no error-severity diagnostic (warnings don't
+//! fail the run unless `--deny-warnings`), 1 otherwise, 2 usage or parse
 //! errors.
+//!
+//! Exit status (serve): 0 on `shutdown` or EOF.
 
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
+use lalrcex::api::{AnalysisRequest, Error, Session};
+use lalrcex::service::{serve, ServeOptions};
 use lalrcex_core::{
-    format_conflict_stats, format_grammar_stats, format_report, Analyzer, CancelReason,
-    CancelToken, CexConfig, ConflictOutcome, ExampleKind,
+    format_conflict_stats, format_grammar_stats, format_report, CancelReason, CancelToken,
+    ConflictOutcome, Engine, ExampleKind, GrammarReport,
 };
 use lalrcex_grammar::Grammar;
-use lalrcex_lr::Automaton;
 
 /// Ctrl-C handling without any dependency: a raw `signal(2)` handler sets
 /// an atomic flag; a watcher thread (signal-handler-safe code must not
@@ -62,6 +53,7 @@ mod sigint {
     pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
+    const SIGPIPE: i32 = 13;
     const SIG_DFL: usize = 0;
 
     extern "C" {
@@ -82,10 +74,104 @@ mod sigint {
             signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
         }
     }
+
+    /// Restores SIGPIPE to the OS default. The Rust runtime ignores it,
+    /// which turns `lalrcex ... | head` into a broken-pipe panic; the Unix
+    /// convention for a line-oriented CLI is to die silently instead.
+    pub fn default_sigpipe() {
+        unsafe {
+            signal(SIGPIPE, SIG_DFL);
+        }
+    }
 }
 
-struct Options {
+/// The one argument scanner every subcommand goes through. Centralizing
+/// the error paths here is what keeps the CLI contract uniform: `--help`
+/// exits 0 via [`ArgScan::help`], and every malformed invocation —
+/// unknown flag, flag missing its value, value that isn't a number —
+/// funnels through [`ArgScan::fail`] to stderr and exit code 2.
+struct ArgScan {
+    iter: std::vec::IntoIter<String>,
+    cmd: &'static str,
+    usage: &'static str,
+}
+
+impl ArgScan {
+    fn new(args: Vec<String>, cmd: &'static str, usage: &'static str) -> ArgScan {
+        ArgScan {
+            iter: args.into_iter(),
+            cmd,
+            usage,
+        }
+    }
+
+    fn next_arg(&mut self) -> Option<String> {
+        self.iter.next()
+    }
+
+    /// `--help`: usage on stdout, exit 0.
+    fn help(&self) -> ! {
+        println!("{}", self.usage);
+        std::process::exit(0);
+    }
+
+    /// Any parse failure: diagnostic plus usage on stderr, exit 2.
+    fn fail(&self, msg: &str) -> ! {
+        eprintln!("lalrcex {}: {msg}", self.cmd);
+        eprintln!("{}", self.usage);
+        std::process::exit(2);
+    }
+
+    fn unknown(&self, arg: &str) -> ! {
+        self.fail(&format!("unknown option `{arg}`"));
+    }
+
+    /// The value following a flag, or exit 2.
+    fn value(&mut self, flag: &str) -> String {
+        self.iter
+            .next()
+            .unwrap_or_else(|| self.fail(&format!("`{flag}` needs a value")))
+    }
+
+    /// The numeric value following a flag, or exit 2.
+    fn num<T: std::str::FromStr>(&mut self, flag: &str) -> T {
+        let v = self.value(flag);
+        v.parse()
+            .unwrap_or_else(|_| self.fail(&format!("`{flag}` needs a number, got `{v}`")))
+    }
+}
+
+const GLOBAL_USAGE: &str = "\
+usage: lalrcex [cex] [OPTIONS] GRAMMAR.y
+       lalrcex lint [OPTIONS] GRAMMAR.y
+       lalrcex serve [OPTIONS]
+       lalrcex batch [OPTIONS] MANIFEST
+run `lalrcex <command> --help` for per-command options";
+
+// ---------------------------------------------------------------------------
+// cex
+
+const CEX_USAGE: &str = "\
+usage: lalrcex [cex] [OPTIONS] GRAMMAR.y
+
+  --format text|json   report format (default text; json is schema v1)
+  --extended           full unifying search (no shortest-path pruning)
+  --time-limit SECS    per-conflict unifying search budget (default 5)
+  --total-limit SECS   cumulative unifying budget (default 120)
+  --workers N          worker threads for the conflict fan-out
+                       (default 0 = one per CPU)
+  --max-rss-mb MB      soft limit on the searches' estimated live
+                       frontier memory (default 0 = unlimited)
+  --stats              print per-conflict and grammar-wide search counters
+                       (to stderr in json mode)
+  --dump-states        print the full parser state machine (text mode)
+  --path               print the shortest lookahead-sensitive path
+  --summary            one line per conflict instead of full reports";
+
+#[derive(Clone)]
+struct CexOptions {
     grammar: String,
+    json: bool,
     extended: bool,
     time_limit: Duration,
     total_limit: Duration,
@@ -97,250 +183,58 @@ struct Options {
     max_rss_mb: usize,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: lalrcex [--extended] [--time-limit SECS] [--total-limit SECS] \
-         [--workers N] [--max-rss-mb MB] [--stats] [--dump-states] [--path] \
-         [--summary] GRAMMAR.y\n\
-         \x20      lalrcex lint [--format text|json] [--deny-warnings] [--list] GRAMMAR.y"
-    );
-    std::process::exit(2);
+impl Default for CexOptions {
+    fn default() -> CexOptions {
+        CexOptions {
+            grammar: String::new(),
+            json: false,
+            extended: false,
+            time_limit: Duration::from_secs(5),
+            total_limit: Duration::from_secs(120),
+            dump_states: false,
+            show_path: false,
+            summary: false,
+            stats: false,
+            workers: 0,
+            max_rss_mb: 0,
+        }
+    }
 }
 
-fn parse_args() -> Options {
-    let mut opts = Options {
-        grammar: String::new(),
-        extended: false,
-        time_limit: Duration::from_secs(5),
-        total_limit: Duration::from_secs(120),
-        dump_states: false,
-        show_path: false,
-        summary: false,
-        stats: false,
-        workers: 0,
-        max_rss_mb: 0,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+fn parse_cex_args(args: Vec<String>) -> CexOptions {
+    let mut p = ArgScan::new(args, "cex", CEX_USAGE);
+    let mut opts = CexOptions::default();
+    while let Some(a) = p.next_arg() {
         match a.as_str() {
+            "--help" | "-h" => p.help(),
+            "--format" => match p.value("--format").as_str() {
+                "text" => opts.json = false,
+                "json" => opts.json = true,
+                other => p.fail(&format!("`--format` is text or json, got `{other}`")),
+            },
             "--extended" | "-extendedsearch" => opts.extended = true,
-            "--time-limit" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-                opts.time_limit = Duration::from_secs(secs);
-            }
-            "--total-limit" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-                opts.total_limit = Duration::from_secs(secs);
-            }
-            "--workers" => {
-                opts.workers = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--max-rss-mb" => {
-                opts.max_rss_mb = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
+            "--time-limit" => opts.time_limit = Duration::from_secs(p.num("--time-limit")),
+            "--total-limit" => opts.total_limit = Duration::from_secs(p.num("--total-limit")),
+            "--workers" => opts.workers = p.num("--workers"),
+            "--max-rss-mb" => opts.max_rss_mb = p.num("--max-rss-mb"),
             "--stats" => opts.stats = true,
             "--dump-states" => opts.dump_states = true,
             "--path" => opts.show_path = true,
             "--summary" => opts.summary = true,
-            "--help" | "-h" => usage(),
             other if !other.starts_with('-') && opts.grammar.is_empty() => {
                 opts.grammar = other.to_owned();
             }
-            _ => usage(),
+            other => p.unknown(other),
         }
     }
     if opts.grammar.is_empty() {
-        usage();
+        p.fail("no grammar file given");
     }
     opts
 }
 
-/// Options for `lalrcex lint`.
-struct LintOptions {
-    grammar: String,
-    json: bool,
-    deny_warnings: bool,
-    list: bool,
-}
-
-fn lint_usage() -> ! {
-    eprintln!("usage: lalrcex lint [--format text|json] [--deny-warnings] [--list] GRAMMAR.y");
-    std::process::exit(2);
-}
-
-fn parse_lint_args(args: impl Iterator<Item = String>) -> LintOptions {
-    let mut opts = LintOptions {
-        grammar: String::new(),
-        json: false,
-        deny_warnings: false,
-        list: false,
-    };
-    let mut args = args.peekable();
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--format" => match args.next().as_deref() {
-                Some("text") => opts.json = false,
-                Some("json") => opts.json = true,
-                _ => lint_usage(),
-            },
-            "--deny-warnings" => opts.deny_warnings = true,
-            "--list" => opts.list = true,
-            "--help" | "-h" => lint_usage(),
-            other if !other.starts_with('-') && opts.grammar.is_empty() => {
-                opts.grammar = other.to_owned();
-            }
-            _ => lint_usage(),
-        }
-    }
-    if opts.grammar.is_empty() && !opts.list {
-        lint_usage();
-    }
-    opts
-}
-
-/// The `lalrcex lint` subcommand: run every static-analysis pass over the
-/// grammar and print spanned diagnostics.
-fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
-    use lalrcex_lint::{render_json, render_text, worst_severity, Linter, Severity};
-
-    let opts = parse_lint_args(args);
-    let linter = Linter::new();
-    if opts.list {
-        for pass in linter.passes() {
-            println!(
-                "{} {:<28} {}",
-                pass.code().id,
-                pass.code().name,
-                pass.description()
-            );
-        }
-        return ExitCode::SUCCESS;
-    }
-    let text = match std::fs::read_to_string(&opts.grammar) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("lalrcex: cannot read {}: {e}", opts.grammar);
-            return ExitCode::from(2);
-        }
-    };
-    let g = match Grammar::parse(&text) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("lalrcex: {}: {e}", opts.grammar);
-            return ExitCode::from(2);
-        }
-    };
-    let diags = linter.run_grammar(&g);
-    if opts.json {
-        print!("{}", render_json(&opts.grammar, &diags));
-    } else {
-        print!("{}", render_text(&opts.grammar, &diags));
-        if diags.is_empty() {
-            eprintln!("{}: no lint findings", opts.grammar);
-        }
-    }
-    let gate = if opts.deny_warnings {
-        Severity::Warning
-    } else {
-        Severity::Error
-    };
-    match worst_severity(&diags) {
-        Some(s) if s >= gate => ExitCode::from(1),
-        _ => ExitCode::SUCCESS,
-    }
-}
-
-fn main() -> ExitCode {
-    // `lalrcex lint ...` dispatches to the lint subcommand; anything else
-    // is the legacy conflict-analysis mode.
-    let mut raw = std::env::args().skip(1).peekable();
-    if raw.peek().map(String::as_str) == Some("lint") {
-        raw.next();
-        return run_lint(raw);
-    }
-    drop(raw);
-
-    let opts = parse_args();
-
-    // Chaos testing only: with the `failpoints` feature compiled in,
-    // `LALRCEX_FAULT_PLAN` installs a deterministic fault plan.
-    #[cfg(feature = "failpoints")]
-    let _fault_guard = lalrcex_core::faultpoint::install_from_env();
-
-    let text = match std::fs::read_to_string(&opts.grammar) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("lalrcex: cannot read {}: {e}", opts.grammar);
-            return ExitCode::from(2);
-        }
-    };
-    let g = match Grammar::parse(&text) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("lalrcex: {}: {e}", opts.grammar);
-            return ExitCode::from(2);
-        }
-    };
-
-    if opts.dump_states {
-        let auto = Automaton::build(&g);
-        for id in auto.state_ids() {
-            println!("{}", auto.dump_state(&g, id));
-        }
-    }
-
-    let mut analyzer = Analyzer::new(&g);
-    let nstates = analyzer.automaton().state_count();
-    let conflicts: Vec<_> = analyzer.tables().conflicts().to_vec();
-    println!(
-        "{}: {} terminals, {} nonterminals, {} productions, {} states, {} conflicts",
-        opts.grammar,
-        g.terminal_count() - 1,
-        g.nonterminal_count() - 1,
-        g.prod_count(),
-        nstates,
-        conflicts.len(),
-    );
-    for r in analyzer.tables().resolutions() {
-        let what = format!(
-            "resolved by precedence: state #{} on {}",
-            r.state.index(),
-            g.display_name(r.terminal)
-        );
-        if !opts.summary {
-            println!("Note  : {what}");
-        }
-    }
-    if conflicts.is_empty() {
-        return ExitCode::SUCCESS;
-    }
-
-    let cfg = CexConfig {
-        search: lalrcex_core::SearchConfig {
-            time_limit: opts.time_limit,
-            extended: opts.extended,
-            ..Default::default()
-        },
-        cumulative_limit: opts.total_limit,
-        workers: opts.workers,
-        max_live_mb: opts.max_rss_mb,
-    };
-
-    // Ctrl-C → hard cancel: the signal handler raises a flag; the watcher
-    // thread turns it into `CancelReason::Signal` on the shared token. The
-    // report produced so far is still printed, with `cancelled` stubs.
+/// A Ctrl-C-wired cancellation token (see [`sigint`]).
+fn interruptible_token() -> CancelToken {
     sigint::install();
     let cancel = CancelToken::new();
     {
@@ -353,14 +247,65 @@ fn main() -> ExitCode {
             std::thread::sleep(Duration::from_millis(25));
         });
     }
+    cancel
+}
 
-    let grammar_report = analyzer.analyze_all_cancellable(&cfg, &cancel);
-    for (c, report) in conflicts.iter().zip(&grammar_report.reports) {
+fn analysis_request(
+    text: String,
+    label: &str,
+    opts: &CexOptions,
+    cancel: &CancelToken,
+) -> AnalysisRequest {
+    AnalysisRequest::new(text)
+        .label(label)
+        .time_limit(opts.time_limit)
+        .cumulative_limit(opts.total_limit)
+        .workers(opts.workers)
+        .extended(opts.extended)
+        .max_live_mb(opts.max_rss_mb)
+        .cancel_token(cancel.clone())
+}
+
+/// Renders one grammar's text report (header, precedence notes, one block
+/// per conflict) — shared verbatim between `cex` and `batch`.
+fn print_text_report(
+    label: &str,
+    g: &Grammar,
+    engine: &Engine<'_>,
+    report: &GrammarReport,
+    opts: &CexOptions,
+) {
+    if opts.dump_states {
+        let auto = engine.automaton();
+        for id in auto.state_ids() {
+            println!("{}", auto.dump_state(g, id));
+        }
+    }
+    let conflicts = engine.tables().conflicts();
+    println!(
+        "{}: {} terminals, {} nonterminals, {} productions, {} states, {} conflicts",
+        label,
+        g.terminal_count() - 1,
+        g.nonterminal_count() - 1,
+        g.prod_count(),
+        engine.automaton().state_count(),
+        conflicts.len(),
+    );
+    if !opts.summary {
+        for r in engine.tables().resolutions() {
+            println!(
+                "Note  : resolved by precedence: state #{} on {}",
+                r.state.index(),
+                g.display_name(r.terminal)
+            );
+        }
+    }
+    for (c, report) in conflicts.iter().zip(&report.reports) {
         if opts.show_path {
-            if let Some(path) = analyzer.shortest_path(c) {
+            if let Some(path) = engine.spine(c).0.path.clone() {
                 println!(
                     "Shortest lookahead-sensitive path:\n{}",
-                    lalrcex_core::lssi::display_path(&g, analyzer.graph(), &path)
+                    lalrcex_core::lssi::display_path(g, engine.graph(), &path)
                 );
             }
         }
@@ -382,12 +327,12 @@ fn main() -> ExitCode {
             let example = report
                 .unifying
                 .as_ref()
-                .map(|u| u.derivation1.flat(&g))
+                .map(|u| u.derivation1.flat(g))
                 .or_else(|| {
                     report
                         .nonunifying
                         .as_ref()
-                        .map(|n| n.reduce_derivation.flat(&g))
+                        .map(|n| n.reduce_derivation.flat(g))
                 })
                 .unwrap_or_default();
             println!(
@@ -396,23 +341,362 @@ fn main() -> ExitCode {
                 g.display_name(c.terminal)
             );
         } else {
-            println!("{}", format_report(&g, report));
+            println!("{}", format_report(g, report));
         }
         if opts.stats {
             println!("Stats : {}", format_conflict_stats(&report.stats));
         }
     }
     if opts.stats {
-        println!(
-            "{}",
-            format_grammar_stats(&grammar_report.stats, grammar_report.total_time)
+        println!("{}", format_grammar_stats(&report.stats, report.total_time));
+    }
+}
+
+/// The cex/batch exit code for one analyzed grammar.
+fn report_exit(hard_cancelled: bool, report: &GrammarReport) -> u8 {
+    if hard_cancelled || report.cancelled_count() > 0 {
+        130
+    } else if report.internal_count() > 0 {
+        3
+    } else if report.reports.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn run_cex(args: Vec<String>) -> ExitCode {
+    let opts = parse_cex_args(args);
+    let text = match std::fs::read_to_string(&opts.grammar) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lalrcex: cannot read {}: {e}", opts.grammar);
+            return ExitCode::from(2);
+        }
+    };
+
+    let session = Session::new();
+    let cancel = interruptible_token();
+    let request = analysis_request(text, &opts.grammar, &opts, &cancel);
+    let reply = match session.analyze(&request) {
+        Ok(r) => r,
+        Err(Error::Grammar(e)) => {
+            eprintln!("lalrcex: {}: {e}", opts.grammar);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("lalrcex: {}: {e}", opts.grammar);
+            return ExitCode::from(3);
+        }
+    };
+
+    if opts.json {
+        println!("{}", reply.to_json());
+        if opts.stats {
+            eprint!(
+                "{}",
+                format_grammar_stats(&reply.report.stats, reply.report.total_time)
+            );
+        }
+    } else {
+        print_text_report(
+            &opts.grammar,
+            reply.grammar(),
+            reply.engine(),
+            &reply.report,
+            &opts,
         );
     }
-    if cancel.is_hard_cancelled() || grammar_report.cancelled_count() > 0 {
-        ExitCode::from(130)
-    } else if grammar_report.internal_count() > 0 {
-        ExitCode::from(3)
+    ExitCode::from(report_exit(cancel.is_hard_cancelled(), &reply.report))
+}
+
+// ---------------------------------------------------------------------------
+// lint
+
+const LINT_USAGE: &str = "\
+usage: lalrcex lint [OPTIONS] GRAMMAR.y
+
+  --format text|json   diagnostic output format (default text)
+  --deny-warnings      warnings also make the exit code nonzero
+  --list               list the registered passes and exit";
+
+struct LintOptions {
+    grammar: String,
+    json: bool,
+    deny_warnings: bool,
+    list: bool,
+}
+
+fn parse_lint_args(args: Vec<String>) -> LintOptions {
+    let mut p = ArgScan::new(args, "lint", LINT_USAGE);
+    let mut opts = LintOptions {
+        grammar: String::new(),
+        json: false,
+        deny_warnings: false,
+        list: false,
+    };
+    while let Some(a) = p.next_arg() {
+        match a.as_str() {
+            "--help" | "-h" => p.help(),
+            "--format" => match p.value("--format").as_str() {
+                "text" => opts.json = false,
+                "json" => opts.json = true,
+                other => p.fail(&format!("`--format` is text or json, got `{other}`")),
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--list" => opts.list = true,
+            other if !other.starts_with('-') && opts.grammar.is_empty() => {
+                opts.grammar = other.to_owned();
+            }
+            other => p.unknown(other),
+        }
+    }
+    if opts.grammar.is_empty() && !opts.list {
+        p.fail("no grammar file given");
+    }
+    opts
+}
+
+/// The `lalrcex lint` subcommand: run every static-analysis pass over the
+/// grammar and print spanned diagnostics.
+fn run_lint(args: Vec<String>) -> ExitCode {
+    use lalrcex_lint::{render_json, render_text, worst_severity, Linter, Severity};
+
+    let opts = parse_lint_args(args);
+    if opts.list {
+        for pass in Linter::new().passes() {
+            println!(
+                "{} {:<28} {}",
+                pass.code().id,
+                pass.code().name,
+                pass.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let text = match std::fs::read_to_string(&opts.grammar) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lalrcex: cannot read {}: {e}", opts.grammar);
+            return ExitCode::from(2);
+        }
+    };
+    let reply = match Session::new().lint(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lalrcex: {}: {e}", opts.grammar);
+            return ExitCode::from(2);
+        }
+    };
+    let diags = &reply.diagnostics;
+    if opts.json {
+        print!("{}", render_json(&opts.grammar, diags));
     } else {
-        ExitCode::from(1)
+        print!("{}", render_text(&opts.grammar, diags));
+        if diags.is_empty() {
+            eprintln!("{}: no lint findings", opts.grammar);
+        }
+    }
+    let gate = if opts.deny_warnings {
+        Severity::Warning
+    } else {
+        Severity::Error
+    };
+    match worst_severity(diags) {
+        Some(s) if s >= gate => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serve
+
+const SERVE_USAGE: &str = "\
+usage: lalrcex serve [OPTIONS]
+
+Speaks the JSON-Lines analysis protocol (v1) on stdin/stdout: one request
+object per line in, one response object per line out. Requests: analyze,
+lint, cancel, stats, shutdown. See DESIGN.md `Service layer`.
+
+  --workers N          worker-thread budget shared across in-flight
+                       requests (default 0 = one per CPU)
+  --cache-mb MB        engine-cache byte budget (default 256; 0 = unlimited)
+  --max-line BYTES     maximum request-line length (default 4194304)";
+
+fn run_serve(args: Vec<String>) -> ExitCode {
+    let mut p = ArgScan::new(args, "serve", SERVE_USAGE);
+    let mut opts = ServeOptions::default();
+    while let Some(a) = p.next_arg() {
+        match a.as_str() {
+            "--help" | "-h" => p.help(),
+            "--workers" => opts.workers = p.num("--workers"),
+            "--cache-mb" => opts.cache_mb = p.num("--cache-mb"),
+            "--max-line" => opts.max_line_bytes = p.num("--max-line"),
+            other => p.unknown(other),
+        }
+    }
+    let stdin = std::io::stdin();
+    serve(stdin.lock(), std::io::stdout(), &opts);
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// batch
+
+const BATCH_USAGE: &str = "\
+usage: lalrcex batch [OPTIONS] MANIFEST
+
+Analyzes every grammar listed in MANIFEST through one shared session (so
+repeated texts hit the engine cache). Each manifest line is a grammar file
+path, `corpus:NAME` for a bundled corpus grammar, or `corpus:*` for the
+whole corpus; blank lines and `#` comments are skipped.
+
+  --format text|json   per-grammar report format (default text; json emits
+                       one schema-v1 document per line)
+  --time-limit SECS    per-conflict unifying search budget (default 5)
+  --total-limit SECS   cumulative unifying budget per grammar (default 120)
+  --workers N          worker threads for each conflict fan-out
+  --cache-mb MB        engine-cache byte budget (default 256; 0 = unlimited)
+  --stats              per-grammar search counters, plus a final cache
+                       summary on stderr";
+
+fn run_batch(args: Vec<String>) -> ExitCode {
+    let mut p = ArgScan::new(args, "batch", BATCH_USAGE);
+    let mut opts = CexOptions::default();
+    let mut manifest = String::new();
+    let mut cache_mb = 256usize;
+    while let Some(a) = p.next_arg() {
+        match a.as_str() {
+            "--help" | "-h" => p.help(),
+            "--format" => match p.value("--format").as_str() {
+                "text" => opts.json = false,
+                "json" => opts.json = true,
+                other => p.fail(&format!("`--format` is text or json, got `{other}`")),
+            },
+            "--time-limit" => opts.time_limit = Duration::from_secs(p.num("--time-limit")),
+            "--total-limit" => opts.total_limit = Duration::from_secs(p.num("--total-limit")),
+            "--workers" => opts.workers = p.num("--workers"),
+            "--cache-mb" => cache_mb = p.num("--cache-mb"),
+            "--stats" => opts.stats = true,
+            other if !other.starts_with('-') && manifest.is_empty() => {
+                manifest = other.to_owned();
+            }
+            other => p.unknown(other),
+        }
+    }
+    if manifest.is_empty() {
+        p.fail("no manifest file given");
+    }
+    let listing = match std::fs::read_to_string(&manifest) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lalrcex: cannot read {manifest}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Resolve manifest lines to (label, grammar text) before analyzing, so
+    // a bad entry fails the whole run up front (exit 2, nothing analyzed).
+    let mut items: Vec<(String, String)> = Vec::new();
+    for line in listing.lines() {
+        let entry = line.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        if entry == "corpus:*" {
+            for e in lalrcex_corpus::all() {
+                items.push((format!("corpus:{}", e.name), e.text().to_owned()));
+            }
+        } else if let Some(name) = entry.strip_prefix("corpus:") {
+            match lalrcex_corpus::by_name(name) {
+                Some(e) => items.push((entry.to_owned(), e.text().to_owned())),
+                None => {
+                    eprintln!("lalrcex: {manifest}: unknown corpus grammar `{name}`");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            match std::fs::read_to_string(entry) {
+                Ok(t) => items.push((entry.to_owned(), t)),
+                Err(e) => {
+                    eprintln!("lalrcex: cannot read {entry}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let session = Session::with_cache_mb(cache_mb);
+    let cancel = interruptible_token();
+    let mut worst = 0u8;
+    for (label, text) in items {
+        let request = analysis_request(text, &label, &opts, &cancel);
+        let reply = match session.analyze(&request) {
+            Ok(r) => r,
+            Err(Error::Grammar(e)) => {
+                eprintln!("lalrcex: {label}: {e}");
+                worst = worst.max(2);
+                continue;
+            }
+            Err(e) => {
+                eprintln!("lalrcex: {label}: {e}");
+                worst = worst.max(3);
+                continue;
+            }
+        };
+        if opts.json {
+            println!("{}", reply.to_json());
+        } else {
+            print_text_report(
+                &label,
+                reply.grammar(),
+                reply.engine(),
+                &reply.report,
+                &opts,
+            );
+        }
+        let code = report_exit(cancel.is_hard_cancelled(), &reply.report);
+        if code == 130 {
+            // Interrupted: report what finished, skip the rest.
+            return ExitCode::from(130);
+        }
+        worst = worst.max(code);
+    }
+    if opts.stats {
+        let c = session.cache_stats();
+        eprintln!(
+            "engine cache: {} hits / {} misses / {} evictions, {} entries, {} bytes live",
+            c.hits, c.misses, c.evictions, c.entries, c.live_bytes
+        );
+    }
+    ExitCode::from(worst)
+}
+
+// ---------------------------------------------------------------------------
+
+fn main() -> ExitCode {
+    sigint::default_sigpipe();
+    // Chaos testing only: with the `failpoints` feature compiled in,
+    // `LALRCEX_FAULT_PLAN` installs a deterministic fault plan (it applies
+    // to every subcommand, serve included).
+    #[cfg(feature = "failpoints")]
+    let _fault_guard = lalrcex_core::faultpoint::install_from_env();
+
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("cex") => run_cex(args.split_off(1)),
+        Some("lint") => run_lint(args.split_off(1)),
+        Some("serve") => run_serve(args.split_off(1)),
+        Some("batch") => run_batch(args.split_off(1)),
+        Some("--help" | "-h") => {
+            println!("{GLOBAL_USAGE}");
+            ExitCode::SUCCESS
+        }
+        // Legacy spelling: `lalrcex GRAMMAR.y [OPTIONS]` is implicit cex.
+        Some(_) => run_cex(args),
+        None => {
+            eprintln!("{GLOBAL_USAGE}");
+            ExitCode::from(2)
+        }
     }
 }

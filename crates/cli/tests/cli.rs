@@ -1,0 +1,185 @@
+//! End-to-end tests for the `lalrcex` binary: the uniform argument
+//! contract across all four subcommands, the JSON report surface, and the
+//! serve/batch wiring.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+use lalrcex::api::json::{self, Json};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lalrcex");
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn lalrcex")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("lalrcex-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const FIG1: &str = "%%\ne : e '+' e | NUM ;\n";
+
+/// Satellite bugfix: every subcommand funnels through one argument
+/// scanner, so an unknown flag is exit 2 + usage on stderr everywhere,
+/// and `--help` is exit 0 + usage on stdout everywhere.
+#[test]
+fn argument_contract_is_uniform_across_subcommands() {
+    for args in [
+        vec!["cex", "--bogus", "g.y"],
+        vec!["--bogus", "g.y"], // legacy implicit cex
+        vec!["lint", "--bogus", "g.y"],
+        vec!["serve", "--bogus"],
+        vec!["batch", "--bogus", "m.txt"],
+        vec!["cex", "--time-limit"],      // flag missing its value
+        vec!["cex", "--workers", "soon"], // not a number
+        vec!["cex", "--format", "yaml", "g.y"],
+        vec!["lint", "--format", "yaml", "g.y"],
+        vec!["batch", "--format", "yaml", "m.txt"],
+    ] {
+        let out = run(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "{args:?} prints usage on stderr");
+        assert!(out.stdout.is_empty(), "{args:?} writes nothing to stdout");
+    }
+    for args in [
+        vec!["--help"],
+        vec!["cex", "--help"],
+        vec!["lint", "-h"],
+        vec!["serve", "--help"],
+        vec!["batch", "--help"],
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(0), "{args:?} exits 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"), "{args:?} prints usage on stdout");
+    }
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2), "no arguments is a usage error");
+}
+
+#[test]
+fn cex_json_emits_schema_v1_and_conflict_exit_code() {
+    let g = write_temp("fig1.y", FIG1);
+    let out = run(&["cex", "--format", "json", g.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "conflicts reported");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let doc = json::parse(stdout.trim()).expect("stdout is one JSON document");
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        doc.get("grammar")
+            .and_then(|g| g.get("conflicts"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    // Text mode on the same grammar agrees on the exit code.
+    let text = run(&[g.to_str().unwrap()]);
+    assert_eq!(text.status.code(), Some(1));
+}
+
+#[test]
+fn cex_rejects_unreadable_and_unparsable_grammars() {
+    let out = run(&["cex", "/nonexistent/lalrcex-test.y"]);
+    assert_eq!(out.status.code(), Some(2));
+    let bad = write_temp("bad.y", "%% e : ;;;;");
+    let out = run(&["cex", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn serve_end_to_end_over_stdio() {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--workers", "2", "--max-line", "65536"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lalrcex serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let grammar = Json::str(FIG1).to_string();
+    write!(
+        stdin,
+        "{{\"op\":\"analyze\",\"id\":\"a\",\"grammar\":{grammar},\"file\":\"fig1.y\"}}\n\
+         not json\n\
+         {{\"op\":\"shutdown\",\"id\":\"z\"}}\n"
+    )
+    .unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let responses: Vec<Json> = stdout
+        .lines()
+        .map(|l| json::parse(l).expect("response lines are JSON"))
+        .collect();
+    assert_eq!(responses.len(), 3);
+    for r in &responses {
+        assert_eq!(r.get("protocol").and_then(Json::as_u64), Some(1));
+    }
+    let analyze = responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("a"))
+        .unwrap();
+    assert_eq!(analyze.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        analyze
+            .get("report")
+            .and_then(|d| d.get("schema_version"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    let bad = responses
+        .iter()
+        .find(|r| r.get("ok").and_then(Json::as_bool) == Some(false))
+        .expect("the malformed line gets a structured error");
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("protocol")
+    );
+}
+
+#[test]
+fn batch_shares_one_cache_across_manifest_entries() {
+    let manifest = write_temp(
+        "manifest.txt",
+        "# twice on purpose: the second run must hit the cache\n\
+         corpus:figure1\n\
+         corpus:figure1\n",
+    );
+    let out = run(&[
+        "batch",
+        "--format",
+        "json",
+        "--stats",
+        manifest.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "figure1 has conflicts");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let docs: Vec<&str> = stdout.lines().collect();
+    assert_eq!(docs.len(), 2, "one document per manifest entry");
+    assert_eq!(
+        docs[0], docs[1],
+        "cold and warm documents are byte-identical"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("1 hits / 1 misses"),
+        "--stats surfaces the cache counters; stderr: {stderr}"
+    );
+    // Unknown corpus entries and unreadable files fail the whole run.
+    let bad = write_temp("manifest-bad.txt", "corpus:no-such-grammar\n");
+    let out = run(&["batch", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,418 @@
+//! The grammar-keyed engine cache.
+//!
+//! The engine's precomputation — LALR automaton, resolved tables,
+//! state-item graph, spine memo — is pure in the grammar text, so a
+//! long-lived process (the `lalrcex serve` service, the `batch` driver, or
+//! any embedder using [`crate::Engine`] repeatedly) can key built engines
+//! by a content hash of the text and skip construction entirely when the
+//! same grammar comes back: the interactive edit / re-run / read loop the
+//! paper frames (§1), where a reverted edit or a repeated query would
+//! otherwise pay the full automaton build again.
+//!
+//! [`EngineCache`] is an LRU keyed by a 64-bit FNV-1a hash of the grammar
+//! text (entries also keep the text itself, so a hash collision is
+//! detected and treated as an eviction, never a wrong answer). Eviction is
+//! *byte-budget-aware*, riding the same estimated-live-bytes style of
+//! accounting as the search memory governor: every entry is charged
+//! [`Engine::estimated_bytes`] — re-sampled on each hit, because the spine
+//! memo grows as conflicts are analyzed — and the least-recently-used
+//! entries are dropped until the total fits the budget. The most recently
+//! touched entry is never evicted, so one grammar larger than the whole
+//! budget still caches (and simply pins the cache to itself).
+//!
+//! Concurrency: the cache's lock covers only lookup, insertion, and
+//! accounting. Engines are handed out as `Arc<CachedEngine>`, so two
+//! requests analyzing different grammars run fully in parallel, and an
+//! entry evicted while another thread still holds it stays alive until the
+//! last holder drops.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use lalrcex_grammar::{Grammar, GrammarError};
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+
+/// 64-bit FNV-1a over the grammar text: the cache key.
+pub fn content_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A grammar together with the engine built from it, as one owned,
+/// shareable unit (the cache's value type).
+///
+/// [`Engine`] borrows its grammar, so an owned pairing is necessarily
+/// self-referential: the grammar lives in a private `Box` that is never
+/// moved, exposed mutably, or dropped while the engine field is alive.
+pub struct CachedEngine {
+    // Field order is load-bearing: fields drop in declaration order, so
+    // the engine (which borrows `grammar`) is dropped first.
+    engine: Engine<'static>,
+    grammar: Box<Grammar>,
+    text: Box<str>,
+}
+
+impl fmt::Debug for CachedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachedEngine")
+            .field("text_bytes", &self.text.len())
+            .field("states", &self.engine.automaton().state_count())
+            .finish()
+    }
+}
+
+impl CachedEngine {
+    /// Parses `text` and builds the engine, with the precomputation
+    /// contained (a panic while building reports as a structured
+    /// [`EngineError`] instead of unwinding).
+    pub fn build(text: &str) -> Result<CachedEngine, BuildError> {
+        let grammar = Box::new(Grammar::parse(text)?);
+        // SAFETY: the referent is heap-allocated behind `grammar`, which is
+        // private, never exposed mutably, never moved out of, and — by
+        // field declaration order — outlives `engine` within this struct.
+        let g: &'static Grammar = unsafe { &*std::ptr::from_ref::<Grammar>(&*grammar) };
+        let engine = Engine::try_new(g)?;
+        Ok(CachedEngine {
+            engine,
+            grammar,
+            text: text.into(),
+        })
+    }
+
+    /// The engine, with its lifetime narrowed to this borrow.
+    pub fn engine(&self) -> &Engine<'_> {
+        &self.engine
+    }
+
+    /// The parsed grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The exact text this entry was built from.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+/// Why a cache lookup could not produce an engine.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The grammar text did not parse.
+    Grammar(GrammarError),
+    /// Building the engine faulted (contained).
+    Engine(EngineError),
+}
+
+impl From<GrammarError> for BuildError {
+    fn from(e: GrammarError) -> BuildError {
+        BuildError::Grammar(e)
+    }
+}
+
+impl From<EngineError> for BuildError {
+    fn from(e: EngineError) -> BuildError {
+        BuildError::Engine(e)
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Grammar(e) => write!(f, "{e}"),
+            BuildError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A point-in-time snapshot of the cache's counters and occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a cached engine.
+    pub hits: u64,
+    /// Lookups that had to build the engine.
+    pub misses: u64,
+    /// Entries dropped to fit the byte budget (or displaced by a hash
+    /// collision).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Estimated bytes charged to resident entries.
+    pub live_bytes: usize,
+    /// The configured byte budget (`usize::MAX` = unlimited).
+    pub budget_bytes: usize,
+}
+
+struct Entry {
+    engine: Arc<CachedEngine>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+    live_bytes: usize,
+}
+
+/// A grammar-content-hash-keyed LRU of built [`Engine`]s with
+/// byte-budget-aware eviction. See the module docs for the policy.
+pub struct EngineCache {
+    budget: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl EngineCache {
+    /// A cache that evicts past `budget` estimated bytes
+    /// (`usize::MAX` = never evict).
+    pub fn with_budget_bytes(budget: usize) -> EngineCache {
+        EngineCache {
+            budget,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                live_bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with a budget in mebibytes (`0` = unlimited).
+    pub fn with_budget_mb(mb: usize) -> EngineCache {
+        if mb == 0 {
+            EngineCache::with_budget_bytes(usize::MAX)
+        } else {
+            EngineCache::with_budget_bytes(mb.saturating_mul(1 << 20))
+        }
+    }
+
+    /// The engine for `text`: served from the cache when the same text was
+    /// seen before, built (and inserted) otherwise. The boolean is `true`
+    /// on a cache hit.
+    pub fn get_or_build(&self, text: &str) -> Result<(Arc<CachedEngine>, bool), BuildError> {
+        let key = content_hash(text);
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(&key) {
+                if e.engine.text() == text {
+                    e.last_used = tick;
+                    let engine = Arc::clone(&e.engine);
+                    // The spine memo grows as conflicts are analyzed:
+                    // re-sample the entry's charge so eviction decisions
+                    // see the real footprint.
+                    let bytes = engine.engine().estimated_bytes();
+                    let old = e.bytes;
+                    e.bytes = bytes;
+                    inner.live_bytes = inner.live_bytes - old + bytes;
+                    self.evict_over_budget(&mut inner, key);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((engine, true));
+                }
+                // Hash collision with different text: the newcomer wins the
+                // slot (counted as an eviction); correctness is preserved
+                // because entries are verified against the full text.
+                let old = inner.map.remove(&key).map(|e| e.bytes).unwrap_or_default();
+                inner.live_bytes -= old;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Build outside the lock: a slow automaton construction must not
+        // serialize unrelated lookups. Two racing builders of the same text
+        // duplicate work; whichever inserts last wins the slot (both
+        // engines are valid, being pure functions of the text).
+        let engine = Arc::new(CachedEngine::build(text)?);
+        let bytes = engine.engine().estimated_bytes();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(displaced) = inner.map.insert(
+            key,
+            Entry {
+                engine: Arc::clone(&engine),
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.live_bytes -= displaced.bytes;
+        }
+        inner.live_bytes += bytes;
+        self.evict_over_budget(&mut inner, key);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((engine, false))
+    }
+
+    /// Drops least-recently-used entries until the charged total fits the
+    /// budget. `keep` (the entry just touched) is never evicted, so a
+    /// single over-budget grammar still caches.
+    fn evict_over_budget(&self, inner: &mut Inner, keep: u64) {
+        while inner.live_bytes > self.budget && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.live_bytes -= e.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of the counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            live_bytes: inner.live_bytes,
+            budget_bytes: self.budget,
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.map.clear();
+        inner.live_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CexConfig;
+
+    const FIG1: &str = "%start stmt
+        %%
+        stmt : 'if' expr 'then' stmt 'else' stmt
+             | 'if' expr 'then' stmt
+             ;
+        expr : ID ;";
+    const EXPR: &str = "%% e : e '+' e | NUM ;";
+    const EXPR2: &str = "%% e : e '*' e | NUM ;";
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_engine() {
+        let cache = EngineCache::with_budget_mb(64);
+        let (a, hit_a) = cache.get_or_build(FIG1).unwrap();
+        let (b, hit_b) = cache.get_or_build(FIG1).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "one shared engine");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.live_bytes > 0);
+    }
+
+    #[test]
+    fn cached_engine_analyzes_like_a_fresh_one() {
+        let cache = EngineCache::with_budget_mb(64);
+        let (cached, _) = cache.get_or_build(EXPR).unwrap();
+        let warm = cached.engine().analyze_all(&CexConfig::default());
+        let g = Grammar::parse(EXPR).unwrap();
+        let cold = Engine::new(&g).analyze_all(&CexConfig::default());
+        assert_eq!(warm.unifying_count(), cold.unifying_count());
+        assert_eq!(warm.reports.len(), cold.reports.len());
+    }
+
+    #[test]
+    fn parse_errors_surface_and_cache_nothing() {
+        let cache = EngineCache::with_budget_mb(64);
+        let err = cache.get_or_build("%% totally not a grammar").unwrap_err();
+        assert!(matches!(err, BuildError::Grammar(_)));
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 0, "failed builds are not misses");
+    }
+
+    #[test]
+    fn tiny_budget_evicts_lru_but_keeps_newest() {
+        // Budget of one byte: any second entry forces the first out.
+        let cache = EngineCache::with_budget_bytes(1);
+        cache.get_or_build(EXPR).unwrap();
+        assert_eq!(cache.stats().entries, 1, "sole entry is never evicted");
+        cache.get_or_build(EXPR2).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.evictions, 1);
+        // The evicted grammar rebuilds: a miss, not a hit.
+        let (_, hit) = cache.get_or_build(EXPR).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let cache = EngineCache::with_budget_bytes(usize::MAX);
+        cache.get_or_build(EXPR).unwrap();
+        cache.get_or_build(EXPR2).unwrap();
+        cache.get_or_build(EXPR).unwrap(); // EXPR is now more recent
+        let fig_bytes = {
+            let (e, _) = cache.get_or_build(FIG1).unwrap();
+            e.engine().estimated_bytes()
+        };
+        // Shrink-wrap a fresh cache: budget fits all three minus one, so
+        // inserting the third evicts exactly the stalest (EXPR2).
+        let (a, _) = cache.get_or_build(EXPR).unwrap();
+        let (b, _) = cache.get_or_build(EXPR2).unwrap();
+        let budget = a.engine().estimated_bytes() + b.engine().estimated_bytes() + fig_bytes
+            - b.engine().estimated_bytes() / 2;
+        let tight = EngineCache::with_budget_bytes(budget);
+        tight.get_or_build(EXPR).unwrap();
+        tight.get_or_build(EXPR2).unwrap();
+        tight.get_or_build(EXPR).unwrap();
+        tight.get_or_build(FIG1).unwrap();
+        let (_, expr_hit) = tight.get_or_build(EXPR).unwrap();
+        assert!(expr_hit, "recently-used survives");
+        let (_, expr2_hit) = tight.get_or_build(EXPR2).unwrap();
+        assert!(!expr2_hit, "least-recently-used was evicted");
+    }
+
+    #[test]
+    fn evicted_entry_stays_alive_for_holders() {
+        let cache = EngineCache::with_budget_bytes(1);
+        let (held, _) = cache.get_or_build(EXPR).unwrap();
+        cache.get_or_build(EXPR2).unwrap(); // evicts EXPR
+                                            // The Arc keeps the evicted engine (and its grammar) alive.
+        assert_eq!(held.grammar().prod_count(), 3);
+        assert!(held.engine().tables().conflicts().len() == 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = EngineCache::with_budget_mb(64);
+        cache.get_or_build(EXPR).unwrap();
+        cache.get_or_build(EXPR).unwrap();
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.live_bytes, 0);
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_text_sensitive() {
+        assert_eq!(content_hash("abc"), content_hash("abc"));
+        assert_ne!(content_hash("abc"), content_hash("abd"));
+    }
+}

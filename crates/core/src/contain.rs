@@ -70,7 +70,7 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Runs `f`, converting an escaped panic into an [`EngineError`] tagged
 /// with `phase`. The panic does not reach stderr and does not unwind past
 /// this frame; the worker thread survives.
-pub(crate) fn contain<T>(phase: &'static str, f: impl FnOnce() -> T) -> Result<T, EngineError> {
+pub fn contain<T>(phase: &'static str, f: impl FnOnce() -> T) -> Result<T, EngineError> {
     install_hook();
     CAPTURE_DEPTH.with(|d| d.set(d.get() + 1));
     let result = panic::catch_unwind(AssertUnwindSafe(f));

@@ -181,6 +181,31 @@ impl<'g> Engine<'g> {
         self.precompute
     }
 
+    /// A rough estimate of this engine's resident bytes — automaton items
+    /// and lookahead sets, state transitions, state-item graph nodes, and
+    /// the current spine memo. Not an allocator truth: it feeds the
+    /// [`crate::cache::EngineCache`] byte-budget eviction, the same style
+    /// of estimated live-byte accounting the search memory governor uses.
+    pub fn estimated_bytes(&self) -> usize {
+        let tset_bytes = self.g.terminal_count().div_ceil(8) + 24;
+        let mut items = 0usize;
+        let mut transitions = 0usize;
+        for id in self.auto.state_ids() {
+            let st = self.auto.state(id);
+            items += st.items().len();
+            transitions += st.transitions().len();
+        }
+        let mut bytes =
+            256 + items * (8 + tset_bytes) + transitions * 16 + self.graph.node_count() * 96;
+        let memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
+        for spine in memo.values() {
+            bytes += 64
+                + std::mem::size_of_val(spine.states.as_slice())
+                + spine.path.as_deref().map_or(0, std::mem::size_of_val);
+        }
+        bytes
+    }
+
     /// Reconstructs the conflict a precedence [`Resolution`] silenced, when
     /// the conflict items still exist in the state (they always do for
     /// shift/reduce resolutions).

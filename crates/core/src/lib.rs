@@ -36,6 +36,7 @@
 //! parser search ([`unifying_search`]), and nonunifying construction
 //! ([`nonunifying_example`]).
 
+pub mod cache;
 pub mod cancel;
 mod contain;
 pub mod engine;
@@ -49,13 +50,15 @@ mod state_graph;
 pub mod stats;
 pub mod validate;
 
+pub use cache::{content_hash, BuildError, CacheStats, CachedEngine, EngineCache};
 pub use cancel::{CancelReason, CancelToken, GovernorLease, MemoryGovernor, SearchSession};
+pub use contain::contain;
 pub use engine::{resolve_workers, Engine, Facts, ResolutionProbe, Spine};
 pub use error::EngineError;
 pub use nonunifying::{nonunifying_example, NonunifyingExample};
 pub use report::{
-    analyze, format_report, Analyzer, CexConfig, ConflictOutcome, ConflictReport, ExampleKind,
-    GrammarReport,
+    analyze, display_item_cup, format_report, Analyzer, CexConfig, ConflictOutcome, ConflictReport,
+    ExampleKind, GrammarReport,
 };
 pub use search::{
     conflict_on, unifying_search, unifying_search_metered, unifying_search_session, SearchConfig,

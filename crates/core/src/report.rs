@@ -270,8 +270,9 @@ pub fn analyze(g: &Grammar) -> GrammarReport {
     Analyzer::new(g).analyze_all(&CexConfig::default())
 }
 
-/// Formats an item in CUP's style: `expr ::= expr · PLUS expr`.
-fn display_item_cup(g: &Grammar, item: Item) -> String {
+/// Formats an item in CUP's style: `expr ::= expr · PLUS expr` (also used
+/// by the JSON report schema, so the same rendering appears in both).
+pub fn display_item_cup(g: &Grammar, item: Item) -> String {
     let p = g.prod(item.prod());
     let mut out = format!("{} ::=", g.display_name(p.lhs()));
     for (i, &s) in p.rhs().iter().enumerate() {

@@ -87,6 +87,15 @@ pub struct GrammarStats {
     pub spine_nodes: u64,
     /// CPU time summed across conflicts (≥ wall time when parallel).
     pub cpu_time: Duration,
+    /// Engine-cache hits, cumulative for the session that produced this
+    /// run. Zero when no [`crate::cache::EngineCache`] is in front of the
+    /// engine (direct `Engine`/`Analyzer` runs). Filled by the session
+    /// layer, not by `absorb`.
+    pub cache_hits: u64,
+    /// Engine-cache misses (engines actually built); see [`Self::cache_hits`].
+    pub cache_misses: u64,
+    /// Engine-cache evictions; see [`Self::cache_hits`].
+    pub cache_evictions: u64,
 }
 
 impl GrammarStats {
@@ -127,6 +136,7 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
          \u{20} spine memo: {} hits / {} misses ({} LSSI nodes expanded)\n\
          \u{20} unifying search: {} explored, {} enqueued, {} deduped, frontier peak {}\n\
          \u{20} memory: live-bytes peak {}, {} sheds\n\
+         \u{20} engine cache: {} hits / {} misses / {} evictions\n\
          \u{20} time: {:.1}ms wall, {:.1}ms cpu across conflicts",
         stats.conflicts,
         stats.workers,
@@ -140,6 +150,9 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
         stats.search.frontier_peak,
         stats.search.live_bytes_peak,
         stats.search.sheds,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
         wall.as_secs_f64() * 1e3,
         stats.cpu_time.as_secs_f64() * 1e3,
     )

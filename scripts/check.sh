@@ -28,6 +28,13 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> public-API gate (facade surface snapshot)"
+scripts/api_gate.sh
+
+echo "==> serve protocol + report schema"
+cargo test -q --test serve_proto --test report_schema
+cargo test -q -p lalrcex-cli --test cli
+
 echo "==> panic gate (engine non-test code)"
 scripts/panic_gate.sh
 

@@ -1,0 +1,514 @@
+//! A minimal JSON value model, parser, and writer (RFC 8259), shared by
+//! the serve protocol codec and the `--format json` report renderers.
+//!
+//! The workspace is dependency-free, so this is hand-rolled and
+//! deliberately small: objects preserve insertion order (a `Vec` of
+//! pairs), numbers are `f64`, and the writer is deterministic — the same
+//! value always serializes to the same bytes, which the protocol's
+//! byte-identical-report guarantee and the committed golden files rely on.
+//!
+//! The parser is a plain recursive-descent with a nesting-depth cap so a
+//! hostile request line (`[[[[…`) errors instead of overflowing the stack.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts.
+const MAX_DEPTH: u32 = 64;
+
+/// A JSON value. Object member order is preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as insertion-ordered `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: an integer value.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Member lookup on an object (first match wins); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, when it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builder for insertion-ordered objects: `obj().push("k", v).build()`.
+#[derive(Default)]
+pub struct ObjBuilder {
+    members: Vec<(String, Json)>,
+}
+
+/// Starts an object builder.
+pub fn obj() -> ObjBuilder {
+    ObjBuilder::default()
+}
+
+impl ObjBuilder {
+    /// Appends a member.
+    pub fn push(mut self, key: &str, value: Json) -> ObjBuilder {
+        self.members.push((key.to_owned(), value));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.members)
+    }
+}
+
+/// Integers within the f64-exact range print without a fraction; anything
+/// else prints through Rust's shortest-roundtrip float formatting.
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; null is the least-surprising stand-in.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+/// RFC 8259 string escaping (same rules as the lint renderer).
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: a message plus the byte offset it was detected at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+/// Serializes to a compact (single-line) JSON document.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&first) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                first
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                _ => {
+                    // A run of plain bytes: scan to the next quote, escape,
+                    // or control byte and copy the slice. The input came in
+                    // as a &str, so these boundaries are char boundaries.
+                    let start = self.pos - 1;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                        self.pos += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(run) => out.push_str(run),
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_a_request_shaped_object() {
+        let text = r#"{"op":"analyze","id":"r1","workers":4,"extended":false,"grammar":"%% e : e '+' e | NUM ;"}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("analyze"));
+        assert_eq!(v.get("workers").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("extended").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.to_string(), text, "writer preserves member order");
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = parse(r#""a\"b\\c\nd\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAé😀"));
+        let back = parse(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "\"\\ud800\"",
+            "nan",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting_without_overflow() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn numbers_parse_and_print() {
+        assert_eq!(parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(Json::num(42u32).to_string(), "42");
+        assert_eq!(Json::Num(1.25).to_string(), "1.25");
+    }
+
+    #[test]
+    fn builder_preserves_order() {
+        let v = obj()
+            .push("z", Json::num(1u32))
+            .push("a", Json::str("x"))
+            .build();
+        assert_eq!(v.to_string(), r#"{"z":1,"a":"x"}"#);
+    }
+
+    #[test]
+    fn unicode_strings_pass_through() {
+        let v = parse("\"héllo — 世界\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo — 世界"));
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+}

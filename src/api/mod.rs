@@ -1,0 +1,353 @@
+//! The deliberate public API of the `lalrcex` toolkit.
+//!
+//! This module is the supported programmatic surface — a builder-style
+//! session layer over the engine crates, consumed by the CLI, the serve
+//! service, and embedders alike:
+//!
+//! * [`Session`] — a long-lived handle owning a grammar-keyed
+//!   [engine cache](lalrcex_core::cache::EngineCache): repeated analyses
+//!   of the same grammar text skip automaton/table/state-graph
+//!   construction entirely.
+//! * [`AnalysisRequest`] — one analysis, built up fluently (budgets,
+//!   worker count, cancellation token).
+//! * [`Error`] — a single `#[non_exhaustive]` error type unifying grammar
+//!   parse errors, contained engine faults, I/O, protocol, and budget
+//!   violations.
+//!
+//! Everything else the crate re-exports (the `grammar`, `lr`, `core`, …
+//! internals) is `#[doc(hidden)]` and *not* covered by the public-API
+//! gate; reach into it only for research tooling, and expect it to move.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lalrcex::api::{AnalysisRequest, Session};
+//!
+//! let session = Session::new();
+//! let reply = session.analyze(&AnalysisRequest::new("%% e : e '+' e | NUM ;"))?;
+//! assert_eq!(reply.report.unifying_count(), 1);
+//! assert!(!reply.cache_hit);
+//! // Re-analyzing the same text skips engine construction.
+//! let again = session.analyze(&AnalysisRequest::new("%% e : e '+' e | NUM ;"))?;
+//! assert!(again.cache_hit);
+//! # Ok::<(), lalrcex::api::Error>(())
+//! ```
+
+pub mod json;
+mod report_json;
+
+pub use report_json::{report_document, SCHEMA_VERSION};
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lalrcex_core::cache::{BuildError, CacheStats, CachedEngine, EngineCache};
+use lalrcex_core::{CancelToken, CexConfig, EngineError, GrammarReport};
+use lalrcex_grammar::GrammarError;
+use lalrcex_lint::{Diagnostic, Linter};
+
+/// The unified error type of the public API.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum Error {
+    /// The grammar text did not parse.
+    Grammar(GrammarError),
+    /// A contained engine fault (panic caught at a phase boundary, or a
+    /// structured engine error).
+    Engine(EngineError),
+    /// An I/O failure (reading a grammar file, writing a response).
+    Io(std::io::Error),
+    /// A malformed request on the serve protocol or batch manifest.
+    Protocol(String),
+    /// A request exceeded a structural budget (e.g. the serve protocol's
+    /// maximum line length).
+    Budget {
+        /// Which budget.
+        what: &'static str,
+        /// The enforced cap.
+        limit: usize,
+        /// The offending value.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Grammar(e) => write!(f, "{e}"),
+            Error::Engine(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "{e}"),
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Error::Budget {
+                what,
+                limit,
+                actual,
+            } => write!(f, "budget exceeded: {what} {actual} > limit {limit}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Grammar(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GrammarError> for Error {
+    fn from(e: GrammarError) -> Error {
+        Error::Grammar(e)
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Error {
+        Error::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Error {
+        match e {
+            BuildError::Grammar(g) => Error::Grammar(g),
+            BuildError::Engine(g) => Error::Engine(g),
+        }
+    }
+}
+
+impl Error {
+    /// A stable short tag for the protocol's error responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Grammar(_) => "grammar",
+            Error::Engine(_) => "internal",
+            Error::Io(_) => "io",
+            Error::Protocol(_) => "protocol",
+            Error::Budget { .. } => "budget",
+        }
+    }
+}
+
+/// One conflict analysis, built fluently. Defaults mirror the CLI: 5 s
+/// per-conflict limit, 120 s cumulative, one worker per CPU.
+#[derive(Clone, Debug)]
+pub struct AnalysisRequest {
+    grammar: String,
+    label: String,
+    cfg: CexConfig,
+    cancel: Option<CancelToken>,
+}
+
+impl AnalysisRequest {
+    /// A request to analyze `grammar_text` with default limits.
+    pub fn new(grammar_text: impl Into<String>) -> AnalysisRequest {
+        AnalysisRequest {
+            grammar: grammar_text.into(),
+            label: "<memory>".to_owned(),
+            cfg: CexConfig::default(),
+            cancel: None,
+        }
+    }
+
+    /// The label (file name) echoed in reports. Defaults to `<memory>`.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Per-conflict unifying-search time limit.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.cfg.search.time_limit = limit;
+        self
+    }
+
+    /// Cumulative unifying-search budget across all conflicts.
+    pub fn cumulative_limit(mut self, limit: Duration) -> Self {
+        self.cfg.cumulative_limit = limit;
+        self
+    }
+
+    /// Worker threads for the conflict fan-out (`0` = one per CPU).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Full unifying search without the shortest-path pruning.
+    pub fn extended(mut self, extended: bool) -> Self {
+        self.cfg.search.extended = extended;
+        self
+    }
+
+    /// Soft limit on estimated live search memory, in MiB (`0` = off).
+    pub fn max_live_mb(mut self, mb: usize) -> Self {
+        self.cfg.max_live_mb = mb;
+        self
+    }
+
+    /// An external cancellation token (e.g. the serve protocol's
+    /// per-request token, or a Ctrl-C handler's).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Escape hatch: a full [`CexConfig`].
+    pub fn config(mut self, cfg: CexConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The grammar text.
+    pub fn grammar_text(&self) -> &str {
+        &self.grammar
+    }
+
+    /// The report label.
+    pub fn label_str(&self) -> &str {
+        &self.label
+    }
+
+    /// The effective engine configuration.
+    pub fn effective_config(&self) -> &CexConfig {
+        &self.cfg
+    }
+}
+
+/// The result of [`Session::analyze`]: the grammar report plus a handle on
+/// the (possibly shared) engine that produced it.
+pub struct AnalysisReply {
+    cached: Arc<CachedEngine>,
+    /// One report per conflict, plus grammar-wide stats (including the
+    /// session's cumulative engine-cache counters).
+    pub report: GrammarReport,
+    /// Whether the engine came from the session cache.
+    pub cache_hit: bool,
+    label: String,
+}
+
+impl AnalysisReply {
+    /// The parsed grammar.
+    pub fn grammar(&self) -> &lalrcex_grammar::Grammar {
+        self.cached.grammar()
+    }
+
+    /// The engine (automaton, tables, state-item graph, spine memo).
+    pub fn engine(&self) -> &lalrcex_core::Engine<'_> {
+        self.cached.engine()
+    }
+
+    /// The schema-v1 JSON report document (see [`report_document`]).
+    pub fn to_json(&self) -> json::Json {
+        report_document(
+            &self.label,
+            self.grammar(),
+            self.engine().automaton().state_count(),
+            self.engine().tables().resolutions(),
+            &self.report,
+        )
+    }
+}
+
+/// The result of [`Session::lint`].
+pub struct LintReply {
+    cached: Arc<CachedEngine>,
+    /// Sorted, deterministic diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether the engine came from the session cache.
+    pub cache_hit: bool,
+}
+
+impl LintReply {
+    /// The parsed grammar.
+    pub fn grammar(&self) -> &lalrcex_grammar::Grammar {
+        self.cached.grammar()
+    }
+}
+
+/// A long-lived analysis session: a grammar-keyed engine cache plus the
+/// entry points the CLI, the serve service, and embedders share.
+///
+/// Cloning is cheap and shares the cache.
+#[derive(Clone)]
+pub struct Session {
+    cache: Arc<EngineCache>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with the default 256 MiB engine-cache budget.
+    pub fn new() -> Session {
+        Session::with_cache_mb(256)
+    }
+
+    /// A session with an explicit cache budget in MiB (`0` = unlimited).
+    pub fn with_cache_mb(mb: usize) -> Session {
+        Session {
+            cache: Arc::new(EngineCache::with_budget_mb(mb)),
+        }
+    }
+
+    /// A session with an explicit cache budget in bytes.
+    pub fn with_cache_bytes(bytes: usize) -> Session {
+        Session {
+            cache: Arc::new(EngineCache::with_budget_bytes(bytes)),
+        }
+    }
+
+    /// A snapshot of the engine-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Analyzes every conflict of the request's grammar. The engine comes
+    /// from the session cache when the same text was analyzed before
+    /// (byte-identical reports either way).
+    pub fn analyze(&self, req: &AnalysisRequest) -> Result<AnalysisReply, Error> {
+        let (cached, cache_hit) = self.cache.get_or_build(&req.grammar)?;
+        let fallback = CancelToken::new();
+        let cancel = req.cancel.as_ref().unwrap_or(&fallback);
+        let mut report =
+            cached
+                .engine()
+                .analyze_all_cancellable(&req.cfg, req.cfg.cumulative_limit, cancel);
+        let cache = self.cache.stats();
+        report.stats.cache_hits = cache.hits;
+        report.stats.cache_misses = cache.misses;
+        report.stats.cache_evictions = cache.evictions;
+        Ok(AnalysisReply {
+            cached,
+            report,
+            cache_hit,
+            label: req.label.clone(),
+        })
+    }
+
+    /// Runs every lint pass over the grammar, reusing a cached engine (and
+    /// its memoized spines) when one exists.
+    pub fn lint(&self, grammar_text: &str) -> Result<LintReply, Error> {
+        let (cached, cache_hit) = self.cache.get_or_build(grammar_text)?;
+        let diagnostics = Linter::new().run(cached.engine());
+        Ok(LintReply {
+            cached,
+            diagnostics,
+            cache_hit,
+        })
+    }
+}

@@ -1,0 +1,182 @@
+//! Stable JSON conflict-report schema, version 1.
+//!
+//! One document shape serves both surfaces: `lalrcex cex --format json`
+//! prints it, and the serve protocol embeds it as the `report` member of
+//! an `analyze` response. The schema is pinned by a committed golden file
+//! (`snapshots/cex_report_v1.json`); widen it only by *adding* members,
+//! and bump `schema_version` on any breaking change.
+//!
+//! Determinism contract: the document contains no wall-clock times, no
+//! memo/cache hit flags, and no search counters — exactly the fields the
+//! engine guarantees byte-identical across runs, worker counts, and warm
+//! versus cold caches. Observability data lives in the serve `stats`
+//! request and the CLI's `--stats` text output instead.
+
+use lalrcex_core::{display_item_cup, ConflictOutcome, ConflictReport, ExampleKind, GrammarReport};
+use lalrcex_grammar::{Derivation, Grammar};
+use lalrcex_lr::{ConflictKind, Item, Resolution};
+
+use super::json::{obj, Json};
+
+/// The current schema version emitted in every document.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Builds the schema-v1 document for one grammar analysis.
+///
+/// `label` is the file name (or request-supplied label) echoed back in the
+/// document; `states` is the automaton state count.
+pub fn report_document(
+    label: &str,
+    g: &Grammar,
+    states: usize,
+    resolutions: &[Resolution],
+    report: &GrammarReport,
+) -> Json {
+    let grammar = obj()
+        .push("terminals", Json::num((g.terminal_count() - 1) as u32))
+        .push(
+            "nonterminals",
+            Json::num((g.nonterminal_count() - 1) as u32),
+        )
+        .push("productions", Json::num(g.prod_count() as u32))
+        .push("states", Json::num(states as u32))
+        .push("conflicts", Json::num(report.reports.len() as u32))
+        .build();
+    let resolutions = Json::Arr(
+        resolutions
+            .iter()
+            .map(|r| {
+                obj()
+                    .push("state", Json::num(r.state.index() as u32))
+                    .push("terminal", Json::str(g.display_name(r.terminal)))
+                    .build()
+            })
+            .collect(),
+    );
+    let conflicts = Json::Arr(
+        report
+            .reports
+            .iter()
+            .map(|r| conflict_document(g, r))
+            .collect(),
+    );
+    obj()
+        .push("schema_version", Json::num(SCHEMA_VERSION))
+        .push("file", Json::str(label))
+        .push("grammar", grammar)
+        .push("resolutions", resolutions)
+        .push("conflicts", conflicts)
+        .build()
+}
+
+/// The stable string for an outcome.
+fn outcome_label(outcome: &ConflictOutcome) -> &'static str {
+    match outcome {
+        ConflictOutcome::Internal(_) => "internal",
+        ConflictOutcome::Completed(ExampleKind::Unifying) => "unifying",
+        ConflictOutcome::Completed(ExampleKind::NonunifyingExhausted) => "nonunifying-exhausted",
+        ConflictOutcome::Completed(ExampleKind::NonunifyingTimeout) => "nonunifying-timeout",
+        ConflictOutcome::Completed(ExampleKind::NonunifyingSkipped) => "nonunifying-skipped",
+        ConflictOutcome::Completed(ExampleKind::Cancelled) => "cancelled",
+    }
+}
+
+/// Renders a derivation's sentential form, hiding the `$accept` wrapper's
+/// trailing end-of-input marker (mirrors the text report).
+fn flat_top(g: &Grammar, d: &Derivation) -> String {
+    let s = d.flat(g);
+    s.strip_suffix(" $").unwrap_or(&s).to_owned()
+}
+
+/// Renders a derivation, hiding the `$accept` wrapper (mirrors the text
+/// report).
+fn pretty_top(g: &Grammar, d: &Derivation) -> String {
+    match d {
+        Derivation::Node(sym, children) if *sym == g.accept() => children
+            .iter()
+            .map(|c| c.pretty(g))
+            .collect::<Vec<_>>()
+            .join(" "),
+        other => other.pretty(g),
+    }
+}
+
+fn conflict_document(g: &Grammar, r: &ConflictReport) -> Json {
+    let c = &r.conflict;
+    let (kind, other_item) = match c.kind {
+        ConflictKind::ShiftReduce { shift_item } => {
+            ("shift-reduce", display_item_cup(g, shift_item))
+        }
+        ConflictKind::ReduceReduce { other_prod } => (
+            "reduce-reduce",
+            display_item_cup(g, Item::new(other_prod, g.prod(other_prod).rhs().len())),
+        ),
+    };
+    let mut b = obj()
+        .push("state", Json::num(c.state.index() as u32))
+        .push("terminal", Json::str(g.display_name(c.terminal)))
+        .push("kind", Json::str(kind))
+        .push(
+            "reduce_item",
+            Json::str(display_item_cup(g, c.reduce_item(g))),
+        )
+        .push("other_item", Json::str(other_item))
+        .push("outcome", Json::str(outcome_label(&r.outcome)));
+
+    b = b.push(
+        "internal",
+        match &r.outcome {
+            ConflictOutcome::Internal(e) => obj()
+                .push("phase", Json::str(e.phase))
+                .push("message", Json::str(&e.message))
+                .push(
+                    "location",
+                    e.location.as_deref().map_or(Json::Null, Json::str),
+                )
+                .build(),
+            ConflictOutcome::Completed(_) => Json::Null,
+        },
+    );
+
+    b = b.push(
+        "unifying",
+        match &r.unifying {
+            Some(u) => obj()
+                .push("nonterminal", Json::str(g.display_name(u.nonterminal)))
+                .push("sentence", Json::str(u.derivation1.flat(g)))
+                .push("derivation_reduce", Json::str(u.derivation1.pretty(g)))
+                .push("derivation_other", Json::str(u.derivation2.pretty(g)))
+                .build(),
+            None => Json::Null,
+        },
+    );
+
+    b = b.push(
+        "nonunifying",
+        match &r.nonunifying {
+            Some(n) => {
+                let mut nb = obj()
+                    .push(
+                        "example_reduce",
+                        Json::str(flat_top(g, &n.reduce_derivation)),
+                    )
+                    .push(
+                        "derivation_reduce",
+                        Json::str(pretty_top(g, &n.reduce_derivation)),
+                    );
+                nb = match &n.other_derivation {
+                    Some(o) => nb
+                        .push("example_other", Json::str(flat_top(g, o)))
+                        .push("derivation_other", Json::str(pretty_top(g, o))),
+                    None => nb
+                        .push("example_other", Json::Null)
+                        .push("derivation_other", Json::Null),
+                };
+                nb.build()
+            }
+            None => Json::Null,
+        },
+    );
+
+    b.build()
+}

@@ -1,15 +1,46 @@
-//! Umbrella crate re-exporting the `lalrcex` toolkit.
+//! `lalrcex` — counterexamples for LALR parsing conflicts
+//! (Isradisaikul & Myers, PLDI 2015).
 //!
-//! See the individual crates for details:
-//! [`grammar`], [`lr`], [`earley`], [`core`], [`baselines`], [`corpus`],
-//! [`lint`].
+//! The supported programmatic surface is the [`api`] module: a cached,
+//! builder-style session layer the CLI and the `lalrcex serve` service
+//! are built on. Start there:
+//!
+//! ```
+//! use lalrcex::{AnalysisRequest, Session};
+//!
+//! let session = Session::new();
+//! let reply = session.analyze(&AnalysisRequest::new("%% e : e '+' e | NUM ;"))?;
+//! assert_eq!(reply.report.unifying_count(), 1);
+//! # Ok::<(), lalrcex::Error>(())
+//! ```
+//!
+//! [`service`] implements the JSON-Lines request/response protocol behind
+//! `lalrcex serve` and `lalrcex batch`; [`prng`] is the workspace's small
+//! deterministic PRNG (used by tests and benches).
+//!
+//! The individual engine crates (`grammar`, `lr`, `earley`, `core`,
+//! `baselines`, `corpus`, `lint`) remain re-exported for research tooling
+//! and the workspace's own tests, but are **not** part of the stable
+//! surface: they are `#[doc(hidden)]` and excluded from the public-API
+//! gate (`scripts/api_gate.sh`), and may change shape between releases.
 
+pub mod api;
 pub mod prng;
+pub mod service;
 
+pub use api::{AnalysisReply, AnalysisRequest, Error, LintReply, Session};
+
+#[doc(hidden)]
 pub use lalrcex_baselines as baselines;
+#[doc(hidden)]
 pub use lalrcex_core as core;
+#[doc(hidden)]
 pub use lalrcex_corpus as corpus;
+#[doc(hidden)]
 pub use lalrcex_earley as earley;
+#[doc(hidden)]
 pub use lalrcex_grammar as grammar;
+#[doc(hidden)]
 pub use lalrcex_lint as lint;
+#[doc(hidden)]
 pub use lalrcex_lr as lr;

@@ -1,0 +1,723 @@
+//! The long-lived analysis service behind `lalrcex serve` and
+//! `lalrcex batch`: a versioned JSON-Lines request/response protocol over
+//! any `BufRead`/`Write` pair (the CLI wires stdin/stdout; tests wire
+//! in-memory channels). Hermetic — no sockets, no dependencies.
+//!
+//! # Protocol (version 1)
+//!
+//! One JSON object per line in, one JSON object per line out. Requests:
+//!
+//! ```text
+//! {"op":"analyze","id":"r1","grammar":"%% ...","file":"g.y",
+//!  "time_limit_ms":5000,"total_limit_ms":120000,"workers":0,
+//!  "extended":false,"max_live_mb":0}
+//! {"op":"lint","id":"r2","grammar":"%% ...","file":"g.y"}
+//! {"op":"cancel","id":"r3","target":"r1"}
+//! {"op":"stats","id":"r4"}
+//! {"op":"shutdown","id":"r5"}
+//! ```
+//!
+//! Every response line carries `protocol:1`, the request `id` (`null`
+//! when the request was too malformed to have one), and `ok`. `analyze`
+//! responses embed the schema-v1 report document (see
+//! [`crate::api::report_document`]); `lint` responses embed the same
+//! diagnostic objects as `lalrcex lint --format json`.
+//!
+//! # Execution model
+//!
+//! `analyze` and `lint` requests run concurrently, each on its own
+//! scoped thread; `cancel`, `stats`, and `shutdown` are answered inline
+//! by the reader, so they can overtake long analyses (that is what makes
+//! `cancel` useful). Responses therefore arrive in *completion* order —
+//! match them to requests by `id`.
+//!
+//! **Fairness.** The service's worker budget (`ServeOptions::workers`,
+//! default one per CPU) is divided evenly across in-flight requests: a
+//! request's conflict fan-out gets `max(1, workers / in_flight)` threads.
+//! Because the engine's reports are byte-identical for every worker
+//! count, this scheduling freedom never changes payloads.
+//!
+//! **Isolation.** Each request runs inside a panic-containment boundary
+//! (on top of the engine's own per-phase containment): a faulted request
+//! answers with a structured `internal` error and the loop keeps serving.
+//! Malformed and oversized request lines likewise answer with structured
+//! errors; nothing short of I/O failure on the response stream stops the
+//! loop. A request hard-cancelled via `cancel` answers with
+//! `"cancelled":true` and stub conflict entries, mirroring Ctrl-C in the
+//! CLI.
+//!
+//! **Caching.** All requests share the session's grammar-keyed engine
+//! cache: re-analyzing unchanged text skips automaton/table/state-graph
+//! construction and returns a byte-identical `report`. The `stats` op
+//! surfaces hit/miss/eviction counters.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use lalrcex_core::{contain, CancelReason, CancelToken};
+use lalrcex_lint::{Diagnostic, Severity};
+
+use crate::api::json::{self, obj, Json};
+use crate::api::{AnalysisRequest, Error, Session};
+
+/// The protocol version stamped on every response line.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Tunables for one [`serve`] loop.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Worker-thread budget shared across in-flight requests
+    /// (`0` = one per CPU).
+    pub workers: usize,
+    /// Engine-cache byte budget in MiB (`0` = unlimited).
+    pub cache_mb: usize,
+    /// Maximum accepted request-line length in bytes; longer lines are
+    /// answered with a structured `budget` error and discarded.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: 0,
+            cache_mb: 256,
+            max_line_bytes: 4 << 20,
+        }
+    }
+}
+
+/// What a finished [`serve`] loop did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered `ok:true`.
+    pub served: u64,
+    /// Error responses emitted (malformed, oversized, faulted, …).
+    pub errors: u64,
+    /// `true` when the loop ended on a `shutdown` request (vs. EOF).
+    pub shutdown: bool,
+}
+
+struct Counters {
+    analyze: AtomicU64,
+    lint: AtomicU64,
+    cancel: AtomicU64,
+    stats: AtomicU64,
+    served: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Shared<W: Write> {
+    out: Mutex<W>,
+    session: Session,
+    inflight: Mutex<HashMap<String, CancelToken>>,
+    inflight_count: AtomicUsize,
+    worker_budget: usize,
+    counters: Counters,
+}
+
+impl<W: Write> Shared<W> {
+    /// Writes one response line (serialize + newline + flush) under the
+    /// writer lock. I/O errors are swallowed: the peer hung up, and the
+    /// reader will see EOF shortly.
+    fn respond(&self, response: Json, ok: bool) {
+        if ok {
+            self.counters.served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut line = response.to_string();
+        line.push('\n');
+        let mut out = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+
+    /// The fair worker share for a newly started request.
+    fn worker_share(&self) -> usize {
+        let inflight = self.inflight_count.load(Ordering::Relaxed).max(1);
+        (self.worker_budget / inflight).max(1)
+    }
+}
+
+/// Response-envelope helpers.
+fn envelope(id: Option<&str>, ok: bool) -> json::ObjBuilder {
+    obj()
+        .push("protocol", Json::num(PROTOCOL_VERSION))
+        .push("id", id.map_or(Json::Null, Json::str))
+        .push("ok", Json::Bool(ok))
+}
+
+fn error_response(id: Option<&str>, kind: &str, message: &str) -> Json {
+    envelope(id, false)
+        .push(
+            "error",
+            obj()
+                .push("kind", Json::str(kind))
+                .push("message", Json::str(message))
+                .build(),
+        )
+        .build()
+}
+
+/// One lint diagnostic as JSON — the same member shape
+/// `lalrcex lint --format json` emits.
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    let mut b = obj()
+        .push("id", Json::str(d.code.id))
+        .push("name", Json::str(d.code.name))
+        .push("severity", Json::str(d.severity.label()))
+        .push("message", Json::str(&d.message))
+        .push("line", d.span.map_or(Json::Null, |s| Json::num(s.line)));
+    let related: Vec<Json> = d
+        .related
+        .iter()
+        .map(|r| {
+            obj()
+                .push("message", Json::str(&r.message))
+                .push("line", r.span.map_or(Json::Null, |s| Json::num(s.line)))
+                .build()
+        })
+        .collect();
+    b = b.push("related", Json::Arr(related));
+    b.build()
+}
+
+/// How one bounded line read ended.
+enum LineRead {
+    /// End of stream (nothing buffered).
+    Eof,
+    /// A complete line is in the buffer (without the newline).
+    Line,
+    /// The line exceeded the cap; the excess was discarded up to the
+    /// newline (or EOF).
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line into `buf`, never buffering more than
+/// `max` bytes: an over-long line is drained and reported as
+/// [`LineRead::Oversized`] instead of growing without bound.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let mut oversized = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if oversized {
+                LineRead::Oversized
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !oversized {
+            if buf.len() + take <= max {
+                buf.extend_from_slice(&chunk[..take]);
+            } else {
+                oversized = true;
+            }
+        }
+        reader.consume(take + usize::from(newline.is_some()));
+        if newline.is_some() {
+            return Ok(if oversized {
+                LineRead::Oversized
+            } else {
+                LineRead::Line
+            });
+        }
+    }
+}
+
+/// Extracts the per-request analysis settings from a parsed request.
+fn analysis_request(req: &Json, grammar: String, workers_cap: usize) -> AnalysisRequest {
+    let ms = |key: &str, default: u64| -> Duration {
+        Duration::from_millis(req.get(key).and_then(Json::as_u64).unwrap_or(default))
+    };
+    let requested = req
+        .get("workers")
+        .and_then(Json::as_u64)
+        .map(|w| w as usize)
+        .unwrap_or(0);
+    // `0` (or absent) takes the fair share; an explicit request is honored
+    // up to the share, so one request cannot starve the others.
+    let workers = if requested == 0 {
+        workers_cap
+    } else {
+        requested.min(workers_cap)
+    };
+    AnalysisRequest::new(grammar)
+        .label(
+            req.get("file")
+                .and_then(Json::as_str)
+                .unwrap_or("<memory>")
+                .to_owned(),
+        )
+        .time_limit(ms("time_limit_ms", 5_000))
+        .cumulative_limit(ms("total_limit_ms", 120_000))
+        .workers(workers)
+        .extended(req.get("extended").and_then(Json::as_bool).unwrap_or(false))
+        .max_live_mb(req.get("max_live_mb").and_then(Json::as_u64).unwrap_or(0) as usize)
+}
+
+fn handle_analyze<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: CancelToken) {
+    shared.counters.analyze.fetch_add(1, Ordering::Relaxed);
+    let Some(grammar) = req.get("grammar").and_then(Json::as_str) else {
+        shared.respond(
+            error_response(Some(id), "protocol", "analyze requires a `grammar` string"),
+            false,
+        );
+        return;
+    };
+    let request = analysis_request(req, grammar.to_owned(), shared.worker_share())
+        .cancel_token(cancel.clone());
+    let started = Instant::now();
+    // Containment on top of the engine's per-phase boundaries: whatever a
+    // faulted request does, the serve loop answers and keeps going.
+    let outcome = contain("serve.request", || shared.session.analyze(&request));
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        Ok(Ok(reply)) => {
+            let cancelled = cancel.is_hard_cancelled() || reply.report.cancelled_count() > 0;
+            let response = envelope(Some(id), true)
+                .push("op", Json::str("analyze"))
+                .push(
+                    "cache",
+                    Json::str(if reply.cache_hit { "hit" } else { "miss" }),
+                )
+                .push("elapsed_ms", Json::Num(elapsed_ms))
+                .push("cancelled", Json::Bool(cancelled))
+                .push(
+                    "internal_count",
+                    Json::num(reply.report.internal_count() as u32),
+                )
+                .push("report", reply.to_json())
+                .build();
+            shared.respond(response, true);
+        }
+        Ok(Err(e)) => {
+            shared.respond(error_response(Some(id), e.kind(), &e.to_string()), false);
+        }
+        Err(e) => {
+            shared.respond(
+                error_response(Some(id), "internal", &Error::Engine(e).to_string()),
+                false,
+            );
+        }
+    }
+}
+
+fn handle_lint<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
+    shared.counters.lint.fetch_add(1, Ordering::Relaxed);
+    let Some(grammar) = req.get("grammar").and_then(Json::as_str) else {
+        shared.respond(
+            error_response(Some(id), "protocol", "lint requires a `grammar` string"),
+            false,
+        );
+        return;
+    };
+    let outcome = contain("serve.request", || shared.session.lint(grammar));
+    match outcome {
+        Ok(Ok(reply)) => {
+            let worst = reply
+                .diagnostics
+                .iter()
+                .map(|d| d.severity)
+                .max()
+                .map_or(Json::Null, |s: Severity| Json::str(s.label()));
+            let response = envelope(Some(id), true)
+                .push("op", Json::str("lint"))
+                .push(
+                    "cache",
+                    Json::str(if reply.cache_hit { "hit" } else { "miss" }),
+                )
+                .push(
+                    "diagnostics",
+                    Json::Arr(reply.diagnostics.iter().map(diagnostic_json).collect()),
+                )
+                .push("worst", worst)
+                .build();
+            shared.respond(response, true);
+        }
+        Ok(Err(e)) => {
+            shared.respond(error_response(Some(id), e.kind(), &e.to_string()), false);
+        }
+        Err(e) => {
+            shared.respond(
+                error_response(Some(id), "internal", &Error::Engine(e).to_string()),
+                false,
+            );
+        }
+    }
+}
+
+fn handle_stats<W: Write>(shared: &Shared<W>, id: &str) {
+    shared.counters.stats.fetch_add(1, Ordering::Relaxed);
+    let cache = shared.session.cache_stats();
+    let budget = if cache.budget_bytes == usize::MAX {
+        Json::Null
+    } else {
+        Json::num(cache.budget_bytes as f64)
+    };
+    let response = envelope(Some(id), true)
+        .push("op", Json::str("stats"))
+        .push(
+            "cache",
+            obj()
+                .push("hits", Json::num(cache.hits as f64))
+                .push("misses", Json::num(cache.misses as f64))
+                .push("evictions", Json::num(cache.evictions as f64))
+                .push("entries", Json::num(cache.entries as f64))
+                .push("live_bytes", Json::num(cache.live_bytes as f64))
+                .push("budget_bytes", budget)
+                .build(),
+        )
+        .push(
+            "requests",
+            obj()
+                .push(
+                    "analyze",
+                    Json::num(shared.counters.analyze.load(Ordering::Relaxed) as f64),
+                )
+                .push(
+                    "lint",
+                    Json::num(shared.counters.lint.load(Ordering::Relaxed) as f64),
+                )
+                .push(
+                    "cancel",
+                    Json::num(shared.counters.cancel.load(Ordering::Relaxed) as f64),
+                )
+                .push(
+                    "stats",
+                    Json::num(shared.counters.stats.load(Ordering::Relaxed) as f64),
+                )
+                .push(
+                    "errors",
+                    Json::num(shared.counters.errors.load(Ordering::Relaxed) as f64),
+                )
+                .build(),
+        )
+        .push(
+            "inflight",
+            Json::num(shared.inflight_count.load(Ordering::Relaxed) as f64),
+        )
+        .build();
+    shared.respond(response, true);
+}
+
+fn handle_cancel<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
+    shared.counters.cancel.fetch_add(1, Ordering::Relaxed);
+    let Some(target) = req.get("target").and_then(Json::as_str) else {
+        shared.respond(
+            error_response(Some(id), "protocol", "cancel requires a `target` id"),
+            false,
+        );
+        return;
+    };
+    let token = {
+        let inflight = shared
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inflight.get(target).cloned()
+    };
+    let found = match token {
+        Some(t) => {
+            // Hard cancel, like the CLI's Ctrl-C: in-flight phases stop at
+            // their next poll, unstarted conflicts get stub entries, and
+            // the target's response reports `cancelled:true`.
+            t.cancel(CancelReason::Signal);
+            true
+        }
+        None => false,
+    };
+    let response = envelope(Some(id), true)
+        .push("op", Json::str("cancel"))
+        .push("target", Json::str(target))
+        .push("found", Json::Bool(found))
+        .build();
+    shared.respond(response, true);
+}
+
+/// Runs the serve loop until EOF or a `shutdown` request, answering every
+/// request line with exactly one response line. In-flight requests are
+/// drained (never dropped) before returning.
+pub fn serve<R: BufRead, W: Write + Send>(
+    mut reader: R,
+    writer: W,
+    opts: &ServeOptions,
+) -> ServeSummary {
+    let worker_budget = if opts.workers > 0 {
+        opts.workers
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    };
+    let shared = Shared {
+        out: Mutex::new(writer),
+        session: Session::with_cache_mb(opts.cache_mb),
+        inflight: Mutex::new(HashMap::new()),
+        inflight_count: AtomicUsize::new(0),
+        worker_budget,
+        counters: Counters {
+            analyze: AtomicU64::new(0),
+            lint: AtomicU64::new(0),
+            cancel: AtomicU64::new(0),
+            stats: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        },
+    };
+    let mut shutdown = false;
+    let mut buf = Vec::new();
+
+    std::thread::scope(|scope| {
+        loop {
+            match read_line_bounded(&mut reader, &mut buf, opts.max_line_bytes) {
+                Err(_) | Ok(LineRead::Eof) => break,
+                Ok(LineRead::Oversized) => {
+                    shared.respond(
+                        error_response(
+                            None,
+                            "budget",
+                            &format!(
+                                "request line exceeds {} bytes; raise --max-line or split the request",
+                                opts.max_line_bytes
+                            ),
+                        ),
+                        false,
+                    );
+                    continue;
+                }
+                Ok(LineRead::Line) => {}
+            }
+            let line = match std::str::from_utf8(&buf) {
+                Ok(l) => l.trim(),
+                Err(_) => {
+                    shared.respond(
+                        error_response(None, "protocol", "request line is not UTF-8"),
+                        false,
+                    );
+                    continue;
+                }
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let req = match json::parse(line) {
+                Ok(v) => v,
+                Err(e) => {
+                    shared.respond(
+                        error_response(None, "protocol", &format!("malformed JSON: {e}")),
+                        false,
+                    );
+                    continue;
+                }
+            };
+            // A missing `protocol` member means "current version"; a present
+            // one must match — silently serving v1 semantics to a client
+            // that asked for something newer would be worse than an error.
+            if let Some(v) = req.get("protocol") {
+                if v.as_u64() != Some(u64::from(PROTOCOL_VERSION)) {
+                    let id = req.get("id").and_then(Json::as_str);
+                    shared.respond(
+                        error_response(
+                            id,
+                            "protocol",
+                            &format!(
+                                "unsupported protocol version (server speaks {PROTOCOL_VERSION})"
+                            ),
+                        ),
+                        false,
+                    );
+                    continue;
+                }
+            }
+            let Some(op) = req.get("op").and_then(Json::as_str).map(str::to_owned) else {
+                shared.respond(
+                    error_response(None, "protocol", "request has no `op` string"),
+                    false,
+                );
+                continue;
+            };
+            let Some(id) = req.get("id").and_then(Json::as_str).map(str::to_owned) else {
+                shared.respond(
+                    error_response(None, "protocol", "request has no `id` string"),
+                    false,
+                );
+                continue;
+            };
+            match op.as_str() {
+                "analyze" | "lint" => {
+                    let cancel = CancelToken::new();
+                    {
+                        let mut inflight = shared
+                            .inflight
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        if inflight.contains_key(&id) {
+                            drop(inflight);
+                            shared.respond(
+                                error_response(
+                                    Some(&id),
+                                    "protocol",
+                                    "a request with this id is already in flight",
+                                ),
+                                false,
+                            );
+                            continue;
+                        }
+                        inflight.insert(id.clone(), cancel.clone());
+                    }
+                    shared.inflight_count.fetch_add(1, Ordering::Relaxed);
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        if op == "analyze" {
+                            handle_analyze(shared, &id, &req, cancel);
+                        } else {
+                            handle_lint(shared, &id, &req);
+                        }
+                        shared
+                            .inflight
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .remove(&id);
+                        shared.inflight_count.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+                "cancel" => handle_cancel(&shared, &id, &req),
+                "stats" => handle_stats(&shared, &id),
+                "shutdown" => {
+                    shared.respond(
+                        envelope(Some(&id), true)
+                            .push("op", Json::str("shutdown"))
+                            .build(),
+                        true,
+                    );
+                    shutdown = true;
+                    break;
+                }
+                other => {
+                    shared.respond(
+                        error_response(
+                            Some(&id),
+                            "protocol",
+                            &format!(
+                                "unknown op `{other}` \
+                                 (expected analyze, lint, cancel, stats, or shutdown)"
+                            ),
+                        ),
+                        false,
+                    );
+                }
+            }
+        }
+        // Scope exit joins every in-flight request handler: the loop never
+        // drops work on shutdown or EOF.
+    });
+
+    ServeSummary {
+        served: shared.counters.served.load(Ordering::Relaxed),
+        errors: shared.counters.errors.load(Ordering::Relaxed),
+        shutdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run(input: &str) -> (Vec<Json>, ServeSummary) {
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(input.as_bytes()),
+            &mut out,
+            &ServeOptions::default(),
+        );
+        let lines = String::from_utf8(out).unwrap();
+        let responses = lines
+            .lines()
+            .map(|l| json::parse(l).expect("every response line is valid JSON"))
+            .collect();
+        (responses, summary)
+    }
+
+    #[test]
+    fn analyze_then_shutdown() {
+        let (responses, summary) = run(concat!(
+            r#"{"op":"analyze","id":"a","grammar":"%% e : e '+' e | NUM ;"}"#,
+            "\n",
+            r#"{"op":"shutdown","id":"z"}"#,
+            "\n",
+        ));
+        assert_eq!(responses.len(), 2);
+        assert!(summary.shutdown);
+        assert_eq!(summary.served, 2);
+        let analyze = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some("a"))
+            .unwrap();
+        assert_eq!(analyze.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(analyze.get("cache").and_then(Json::as_str), Some("miss"));
+        let report = analyze.get("report").unwrap();
+        assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            report
+                .get("conflicts")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn malformed_line_answers_and_loop_continues() {
+        let (responses, summary) = run(concat!(
+            "this is not json\n",
+            r#"{"op":"stats","id":"s"}"#,
+            "\n",
+        ));
+        assert_eq!(responses.len(), 2);
+        assert!(!summary.shutdown, "EOF, not shutdown");
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[0].get("id"), Some(&Json::Null));
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn cancel_of_unknown_target_reports_not_found() {
+        let (responses, _) = run(concat!(r#"{"op":"cancel","id":"c","target":"nope"}"#, "\n"));
+        assert_eq!(
+            responses[0].get("found").and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn mismatched_protocol_version_is_rejected() {
+        let (responses, summary) = run(concat!(
+            r#"{"protocol":9,"op":"stats","id":"v9"}"#,
+            "\n",
+            r#"{"protocol":1,"op":"stats","id":"v1"}"#,
+            "\n",
+        ));
+        assert_eq!(responses.len(), 2);
+        assert_eq!(summary.errors, 1);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[0].get("id").and_then(Json::as_str), Some("v9"));
+        let err = responses[0].get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("protocol"));
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+    }
+}

@@ -252,6 +252,83 @@ fn seeded_plans_are_reproducible_across_worker_counts() {
     }
 }
 
+/// The serve loop under fault injection: a plan that panics inside one
+/// conflict's unifying search still yields an `ok:true` analyze response
+/// (the fault is contained to its conflict slot and surfaced as
+/// `internal_count`), and the loop keeps serving — the follow-up request
+/// under the now-spent trigger is clean and its report matches a run that
+/// was never faulted.
+#[test]
+fn serve_contains_engine_faults_per_request() {
+    use lalrcex::api::json::{self, Json};
+    use lalrcex::service::{serve, ServeOptions};
+    use std::io::Cursor;
+
+    let text = lalrcex::corpus::by_name("figure1")
+        .expect("corpus entry")
+        .text();
+    let analyze = format!(
+        r#"{{"op":"analyze","id":"a","grammar":{},"file":"figure1.y"}}"#,
+        Json::str(&text)
+    );
+    let run_one = |plan: FaultPlan| -> Json {
+        let _guard = install(plan);
+        let input = format!("{}\n{}\n", analyze, r#"{"op":"shutdown","id":"z"}"#);
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                ..ServeOptions::default()
+            },
+        );
+        assert!(summary.shutdown);
+        assert_eq!(
+            summary.errors, 0,
+            "a contained fault is not a protocol error"
+        );
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| json::parse(l).expect("valid response lines"))
+            .find(|r| r.get("id").and_then(Json::as_str) == Some("a"))
+            .expect("analyze response")
+    };
+
+    let clean = run_one(FaultPlan::new());
+    assert_eq!(clean.get("internal_count").and_then(Json::as_u64), Some(0));
+
+    let faulted = run_one(FaultPlan::new().trigger(0, "unify.expand", 1, FaultAction::Panic));
+    assert_eq!(faulted.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        faulted.get("internal_count").and_then(Json::as_u64),
+        Some(1),
+        "the fault is contained to its conflict slot"
+    );
+    let conflicts = faulted
+        .get("report")
+        .and_then(|r| r.get("conflicts"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert_eq!(
+        conflicts[0].get("outcome").and_then(Json::as_str),
+        Some("internal")
+    );
+    assert!(
+        conflicts[0].get("internal").unwrap().get("phase").is_some(),
+        "structured fault detail survives into the document"
+    );
+
+    // Fresh serve loop, clean plan: byte-identical to the first clean run.
+    let again = run_one(FaultPlan::new());
+    assert_eq!(
+        again.get("report").unwrap().to_string(),
+        clean.get("report").unwrap().to_string(),
+        "a fault in one serve loop leaves no residue for the next"
+    );
+}
+
 /// End-to-end process check: the CLI built with `failpoints` honours
 /// `LALRCEX_FAULT_PLAN` and maps a contained fault to the partial-failure
 /// exit code 3 (a clean conflict-bearing run exits 1), at both worker

@@ -1,0 +1,371 @@
+//! Integration tests for the JSON-Lines analysis service (protocol v1).
+//!
+//! The harness wires `lalrcex::service::serve` to an in-memory channel
+//! reader and a shared output buffer, so tests can pace requests — send
+//! one, wait for its response, send the next — and exercise genuinely
+//! in-flight behavior (cancellation, duplicate ids) that a pre-canned
+//! input script cannot reach.
+
+use std::io::{BufRead, Read, Write};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lalrcex::api::json::{self, Json};
+use lalrcex::service::{serve, ServeOptions, ServeSummary};
+
+/// A `BufRead` fed by an mpsc channel: `fill_buf` blocks until the test
+/// sends another chunk, and reports EOF when the sender is dropped.
+struct ChannelReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let chunk = self.fill_buf()?;
+        let n = chunk.len().min(out.len());
+        out[..n].copy_from_slice(&chunk[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for ChannelReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
+            }
+        }
+        Ok(&self.buf[self.pos..])
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+#[derive(Clone)]
+struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A serve loop running on its own thread, driven by the test.
+struct Harness {
+    tx: Option<Sender<Vec<u8>>>,
+    out: Arc<Mutex<Vec<u8>>>,
+    join: std::thread::JoinHandle<ServeSummary>,
+}
+
+impl Harness {
+    fn start(opts: ServeOptions) -> Harness {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let writer = SharedWriter(Arc::clone(&out));
+        let join = std::thread::spawn(move || {
+            let reader = ChannelReader {
+                rx,
+                buf: Vec::new(),
+                pos: 0,
+            };
+            serve(reader, writer, &opts)
+        });
+        Harness {
+            tx: Some(tx),
+            out,
+            join,
+        }
+    }
+
+    fn send(&self, line: &str) {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        self.tx.as_ref().unwrap().send(bytes).unwrap();
+    }
+
+    /// The complete response lines written so far, parsed.
+    fn responses(&self) -> Vec<Json> {
+        let out = self.out.lock().unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        text.lines()
+            .map(|l| json::parse(l).expect("every response line is valid JSON"))
+            .collect()
+    }
+
+    /// Blocks until `n` response lines have been written.
+    fn wait_responses(&self, n: usize) -> Vec<Json> {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let rs = self.responses();
+            if rs.len() >= n {
+                return rs;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {n} responses; have {}",
+                rs.len()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Drops the sender (EOF) and joins the serve loop.
+    fn finish(mut self) -> (Vec<Json>, ServeSummary) {
+        drop(self.tx.take());
+        let summary = self.join.join().expect("serve loop must not panic");
+        let out = self.out.lock().unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        let responses = text
+            .lines()
+            .map(|l| json::parse(l).expect("every response line is valid JSON"))
+            .collect();
+        (responses, summary)
+    }
+}
+
+fn corpus_text(name: &str) -> String {
+    lalrcex::corpus::by_name(name)
+        .expect("corpus entry")
+        .text()
+        .to_owned()
+}
+
+fn analyze_line(id: &str, grammar: &str, extra: &str) -> String {
+    let g = Json::str(grammar).to_string();
+    format!(r#"{{"op":"analyze","id":"{id}","grammar":{g},"file":"g.y"{extra}}}"#)
+}
+
+fn by_id<'a>(responses: &'a [Json], id: &str) -> &'a Json {
+    responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+        .unwrap_or_else(|| panic!("no response with id {id}"))
+}
+
+/// A ~400-production chain grammar (conflict-free, so analysis is pure
+/// engine construction) with a salt in its terminal names, for filling the
+/// engine cache with distinct multi-hundred-KB entries.
+fn big_grammar(salt: u32) -> String {
+    let n = 400;
+    let mut s = String::from("%%\ns : p0 ;\n");
+    for i in 0..n {
+        let tail = if i + 1 < n {
+            format!("'a' p{}", i + 1)
+        } else {
+            "'z'".to_owned()
+        };
+        s.push_str(&format!("p{i} : 's{salt}t{i}' | {tail} ;\n"));
+    }
+    s
+}
+
+#[test]
+fn malformed_and_oversized_lines_answer_structurally() {
+    let h = Harness::start(ServeOptions {
+        max_line_bytes: 128,
+        ..ServeOptions::default()
+    });
+    h.send("this is not json");
+    h.send(&format!(
+        r#"{{"op":"stats","id":"pad","x":"{}"}}"#,
+        "y".repeat(200)
+    ));
+    h.send(r#"{"op":"frobnicate","id":"u"}"#);
+    h.send(r#"{"op":"analyze","id":"nog"}"#);
+    h.send(r#"{"op":"stats","id":"s"}"#);
+    let rs = h.wait_responses(5);
+    let (_, summary) = {
+        h.send(r#"{"op":"shutdown","id":"z"}"#);
+        h.finish()
+    };
+
+    assert_eq!(rs[0].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        rs[0].get("id"),
+        Some(&Json::Null),
+        "unparsable line has no id"
+    );
+    let kind = |r: &Json| {
+        r.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    };
+    assert_eq!(kind(&rs[0]).as_deref(), Some("protocol"));
+    assert_eq!(kind(&rs[1]).as_deref(), Some("budget"), "oversized line");
+    assert_eq!(rs[1].get("id"), Some(&Json::Null));
+    assert_eq!(
+        kind(by_id(&rs, "u")).as_deref(),
+        Some("protocol"),
+        "unknown op"
+    );
+    assert_eq!(
+        kind(by_id(&rs, "nog")).as_deref(),
+        Some("protocol"),
+        "analyze without grammar"
+    );
+    assert_eq!(
+        by_id(&rs, "s").get("ok").and_then(Json::as_bool),
+        Some(true),
+        "the loop keeps serving after every malformed line"
+    );
+    assert!(summary.shutdown);
+    assert_eq!(summary.errors, 4);
+}
+
+/// Cold vs. warm cache, and workers=1 vs. workers=4: the embedded schema-v1
+/// `report` document is byte-identical every time; only the envelope's
+/// `cache` member distinguishes the runs.
+#[test]
+fn warm_cache_reports_are_byte_identical_across_worker_counts() {
+    let text = corpus_text("figure1");
+    let h = Harness::start(ServeOptions {
+        workers: 4,
+        ..ServeOptions::default()
+    });
+    h.send(&analyze_line("cold", &text, r#","workers":1"#));
+    h.wait_responses(1);
+    h.send(&analyze_line("warm", &text, r#","workers":4"#));
+    h.wait_responses(2);
+    h.send(r#"{"op":"stats","id":"s"}"#);
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, _) = h.finish();
+
+    let cold = by_id(&rs, "cold");
+    let warm = by_id(&rs, "warm");
+    assert_eq!(cold.get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(
+        warm.get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "second analysis of identical text must reuse the cached engine"
+    );
+    let report = |r: &Json| r.get("report").unwrap().to_string();
+    assert_eq!(
+        report(cold),
+        report(warm),
+        "cold and warm reports must be byte-identical"
+    );
+    let cache = by_id(&rs, "s").get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+}
+
+/// Under a deliberately small `--cache-mb`, filling the cache with
+/// distinct large grammars evicts in LRU order, and the `stats` op
+/// surfaces the eviction count.
+#[test]
+fn small_cache_budget_evicts_lru() {
+    let h = Harness::start(ServeOptions {
+        cache_mb: 1,
+        ..ServeOptions::default()
+    });
+    // Each engine is a few hundred KB; three distinct ones overflow 1 MiB.
+    for (i, salt) in [1u32, 2, 3].iter().enumerate() {
+        h.send(&analyze_line(&format!("g{salt}"), &big_grammar(*salt), ""));
+        h.wait_responses(i + 1);
+    }
+    h.send(r#"{"op":"stats","id":"s"}"#);
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, _) = h.finish();
+
+    let cache = by_id(&rs, "s").get("cache").unwrap();
+    let evictions = cache.get("evictions").and_then(Json::as_u64).unwrap();
+    let entries = cache.get("entries").and_then(Json::as_u64).unwrap();
+    assert!(evictions >= 1, "three large engines must overflow 1 MiB");
+    assert!(entries < 3, "evicted entries leave the cache");
+    // The most recent grammar is never evicted: re-analyzing it hits.
+    let h2 = Harness::start(ServeOptions {
+        cache_mb: 1,
+        ..ServeOptions::default()
+    });
+    h2.send(&analyze_line("a", &big_grammar(7), ""));
+    h2.wait_responses(1);
+    h2.send(&analyze_line("b", &big_grammar(7), ""));
+    h2.wait_responses(2);
+    let (rs2, _) = h2.finish();
+    assert_eq!(
+        by_id(&rs2, "b").get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "a single over-budget entry still serves warm hits"
+    );
+}
+
+/// `cancel` stops an in-flight analysis: the target's response arrives
+/// with `cancelled:true` (and stub conflict entries), the cancel request
+/// itself reports `found:true`, and the loop keeps serving.
+#[test]
+fn cancel_stops_in_flight_analysis() {
+    let text = corpus_text("Java.2");
+    let h = Harness::start(ServeOptions::default());
+    // Extended search over Java.2 with an hour-scale budget: guaranteed to
+    // still be in flight when the cancel lands.
+    h.send(&analyze_line(
+        "slow",
+        &text,
+        r#","extended":true,"time_limit_ms":3600000,"total_limit_ms":3600000"#,
+    ));
+    // A duplicate in-flight id is rejected without touching the original.
+    h.send(&analyze_line("slow", "%% e : 'a' ;", ""));
+    let rs = h.wait_responses(1);
+    assert_eq!(
+        rs[0].get("ok").and_then(Json::as_bool),
+        Some(false),
+        "duplicate id answers first, while the original is still in flight"
+    );
+    assert_eq!(rs[0].get("id").and_then(Json::as_str), Some("slow"));
+    std::thread::sleep(Duration::from_millis(300));
+    h.send(r#"{"op":"cancel","id":"c","target":"slow"}"#);
+    let rs = h.wait_responses(3);
+    let cancel = by_id(&rs, "c");
+    assert_eq!(cancel.get("found").and_then(Json::as_bool), Some(true));
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, summary) = h.finish();
+    let slow = rs
+        .iter()
+        .find(|r| {
+            r.get("id").and_then(Json::as_str) == Some("slow")
+                && r.get("op").and_then(Json::as_str) == Some("analyze")
+        })
+        .expect("the cancelled analysis still answers");
+    assert_eq!(slow.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        slow.get("cancelled").and_then(Json::as_bool),
+        Some(true),
+        "hard cancel surfaces on the response envelope"
+    );
+    assert!(summary.shutdown);
+}
+
+/// EOF without `shutdown` drains in-flight work and returns cleanly.
+#[test]
+fn eof_drains_in_flight_requests() {
+    let text = corpus_text("figure1");
+    let h = Harness::start(ServeOptions::default());
+    h.send(&analyze_line("a", &text, ""));
+    let (rs, summary) = h.finish();
+    assert!(!summary.shutdown, "EOF is not a shutdown");
+    assert_eq!(summary.served, 1);
+    assert_eq!(
+        by_id(&rs, "a").get("ok").and_then(Json::as_bool),
+        Some(true),
+        "the in-flight analysis is drained, not dropped"
+    );
+}
