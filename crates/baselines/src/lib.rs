@@ -13,6 +13,8 @@
 //!   slice of the grammar, and the length bound grows until an ambiguous
 //!   sentence is found or the budget runs out.
 
+#![forbid(unsafe_code)]
+
 pub mod amber;
 pub mod cup2;
 pub mod filtered;

@@ -11,6 +11,8 @@
 //! * fig9 — the four search stages for the §3.1 challenging conflict
 //! * fig11 — the CUP-style error message for the §2.4 conflict
 
+#![forbid(unsafe_code)]
+
 use lalrcex_core::{format_report, lssi, Analyzer, CexConfig};
 use lalrcex_grammar::{Derivation, Grammar};
 

@@ -6,6 +6,8 @@
 //! corpus grammar (skipping the very large ones by default; pass `--all`),
 //! flags the invalid examples, and shows what our engine reports instead.
 
+#![forbid(unsafe_code)]
+
 use lalrcex_baselines::ppg;
 use lalrcex_core::{Analyzer, CexConfig};
 use lalrcex_lr::Automaton;

@@ -15,6 +15,8 @@
 //!                      (default 0 = one per CPU)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use lalrcex_baselines::amber::Budget;
@@ -50,11 +52,11 @@ fn main() {
 
     let heavy = ["java-ext1", "java-ext2", "Java.2"];
     println!(
-        "{:<12} | {:>4} {:>5} {:>6} | {:>5} | {:>5} {:>7} {:>5} | {:>9} {:>9} | {:>9} {:>8} {:>4} | paper(conf u/n/t)",
+        "{:<12} | {:>4} {:>5} {:>6} | {:>5} | {:>5} {:>7} {:>5} | {:>9} {:>9} | {:>9} {:>8} {:>4} | {:>4} {:>5} {:>4} {:>8} | paper(conf u/n/t)",
         "grammar", "nt", "prods", "states", "conf", "unif", "nonunif", "tout", "total(s)", "avg(s)",
-        "explored", "deduped", "memo"
+        "explored", "deduped", "memo", "tac", "merge", "prec", "prov(ms)"
     );
-    println!("{}", "-".repeat(136));
+    println!("{}", "-".repeat(162));
 
     let mut rows: Vec<Row> = Vec::new();
     let mut ratios: Vec<f64> = Vec::new();
@@ -102,7 +104,7 @@ fn main() {
             None => String::new(),
         };
         println!(
-            "{:<12} | {:>4} {:>5} {:>6} | {:>5} | {:>5} {:>7} {:>5} | {:>9} {:>9} | {:>9} {:>8} {:>4} | ({} {}/{}/{}){}",
+            "{:<12} | {:>4} {:>5} {:>6} | {:>5} | {:>5} {:>7} {:>5} | {:>9} {:>9} | {:>9} {:>8} {:>4} | {:>4} {:>5} {:>4} {:>8.1} | ({} {}/{}/{}){}",
             row.name,
             row.nonterminals,
             row.productions,
@@ -116,6 +118,10 @@ fn main() {
             row.explored,
             row.deduped,
             row.memo_hits,
+            row.class_true,
+            row.class_merge,
+            row.class_resolved,
+            row.provenance_time.as_secs_f64() * 1e3,
             p.conflicts,
             p.unifying,
             p.nonunifying,
@@ -126,7 +132,7 @@ fn main() {
     }
 
     // §7.3 summary.
-    println!("{}", "-".repeat(136));
+    println!("{}", "-".repeat(162));
     let finished: Vec<&Row> = rows
         .iter()
         .filter(|r| r.unifying + r.nonunifying > 0)
@@ -142,6 +148,15 @@ fn main() {
             fmt_secs(total / done as u32),
         );
     }
+    let tac: u64 = rows.iter().map(|r| r.class_true).sum();
+    let merge: u64 = rows.iter().map(|r| r.class_merge).sum();
+    let prec: u64 = rows.iter().map(|r| r.class_resolved).sum();
+    let prov: Duration = rows.iter().map(|r| r.provenance_time).sum();
+    println!(
+        "provenance: {tac} true-ambiguity-candidate / {merge} merge-artifact conflicts, \
+         {prec} precedence-resolved resolutions, {} s total precompute",
+        fmt_secs(prov)
+    );
     let so_rows: Vec<&Row> = rows
         .iter()
         .filter(|r| r.name.starts_with("stack"))

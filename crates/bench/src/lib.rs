@@ -11,6 +11,8 @@
 //! * `ppg_compare` — the §7.2 comparison against PPG's lookahead-blind
 //!   counterexamples.
 
+#![forbid(unsafe_code)]
+
 pub mod micro;
 
 use std::time::Duration;
@@ -49,6 +51,17 @@ pub struct Row {
     pub memo_hits: u64,
     /// Worker threads actually used.
     pub workers: usize,
+    /// Conflicts classified true-ambiguity-candidate by the provenance
+    /// engine.
+    pub class_true: u64,
+    /// Conflicts classified LALR merge artifact.
+    pub class_merge: u64,
+    /// Silenced resolutions (classified precedence-resolved).
+    pub class_resolved: u64,
+    /// Canonical LR(1) states explored by the merge check.
+    pub lr1_states: usize,
+    /// Wall time of the provenance precomputation.
+    pub provenance_time: Duration,
     /// Baseline (grammar-filtered bounded search) time, if run.
     pub baseline: Option<(Duration, bool)>,
 }
@@ -67,6 +80,13 @@ pub fn run_entry(entry: &CorpusEntry, cfg: &CexConfig) -> Row {
     let mut analyzer = Analyzer::new(&g);
     let states = analyzer.automaton().state_count();
     let report = analyzer.analyze_all(cfg);
+    // Classification is pure precomputation (no search budget involved);
+    // a contained fault degrades the columns to zero rather than the row.
+    let (counts, lr1_states, provenance_time) = analyzer
+        .engine()
+        .provenance()
+        .map(|p| (p.counts(), p.lr1_states, p.compute_time))
+        .unwrap_or_default();
     Row {
         name: entry.name,
         nonterminals: g.nonterminal_count() - 1,
@@ -81,6 +101,11 @@ pub fn run_entry(entry: &CorpusEntry, cfg: &CexConfig) -> Row {
         deduped: report.stats.search.deduped,
         memo_hits: report.stats.spine_memo_hits,
         workers: report.stats.workers,
+        class_true: counts.true_candidates,
+        class_merge: counts.merge_artifacts,
+        class_resolved: counts.precedence_resolved,
+        lr1_states,
+        provenance_time,
         baseline: None,
     }
 }

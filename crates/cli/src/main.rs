@@ -1,10 +1,12 @@
 //! `lalrcex` — LALR conflict diagnosis with counterexamples.
 //!
-//! Four subcommands over one engine, all built on the `lalrcex::api`
+//! Five subcommands over one engine, all built on the `lalrcex::api`
 //! session layer:
 //!
 //! ```text
 //! lalrcex [cex] [OPTIONS] GRAMMAR.y    conflict counterexamples (default)
+//! lalrcex explain [OPTIONS] GRAMMAR.y  lookahead provenance and conflict
+//!                                      classification
 //! lalrcex lint [OPTIONS] GRAMMAR.y     static-analysis passes
 //! lalrcex serve [OPTIONS]              JSON-Lines analysis service on
 //!                                      stdin/stdout (protocol v1)
@@ -18,17 +20,21 @@
 //! unknown options, missing values, and malformed numbers print a
 //! diagnostic plus usage on stderr and exit 2.
 //!
-//! Exit status (cex, batch): 0 conflict-free, 1 conflicts reported,
-//! 2 usage or parse errors, 3 report produced but at least one conflict's
-//! diagnosis faulted internally (contained partial failure), 130
-//! interrupted by Ctrl-C (the report produced so far is still printed,
-//! with `cancelled` stubs).
+//! Exit status (cex, explain, batch): 0 conflict-free, 1 conflicts
+//! reported, 2 usage or parse errors, 3 report produced but at least one
+//! conflict's diagnosis (or classification) faulted internally (contained
+//! partial failure), 130 interrupted by Ctrl-C (the report produced so
+//! far is still printed, with `cancelled` stubs).
 //!
 //! Exit status (lint): 0 no error-severity diagnostic (warnings don't
 //! fail the run unless `--deny-warnings`), 1 otherwise, 2 usage or parse
 //! errors.
 //!
 //! Exit status (serve): 0 on `shutdown` or EOF.
+
+// `deny` rather than `forbid`: the signal module below needs one scoped,
+// documented `allow` for the raw `signal(2)` FFI.
+#![deny(unsafe_code)]
 
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
@@ -47,6 +53,10 @@ use lalrcex_grammar::Grammar;
 /// touch locks or allocate) turns the flag into a *hard* cancel on the
 /// shared token. The handler resets itself to the OS default so a second
 /// Ctrl-C kills the process immediately.
+// The crate denies `unsafe_code`; this module is its single exception:
+// installing a handler via the raw `signal(2)` FFI is inherently unsafe,
+// and the handler body touches only atomics (async-signal-safe).
+#[allow(unsafe_code)]
 mod sigint {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -143,6 +153,7 @@ impl ArgScan {
 
 const GLOBAL_USAGE: &str = "\
 usage: lalrcex [cex] [OPTIONS] GRAMMAR.y
+       lalrcex explain [OPTIONS] GRAMMAR.y
        lalrcex lint [OPTIONS] GRAMMAR.y
        lalrcex serve [OPTIONS]
        lalrcex batch [OPTIONS] MANIFEST
@@ -411,6 +422,144 @@ fn run_cex(args: Vec<String>) -> ExitCode {
 }
 
 // ---------------------------------------------------------------------------
+// explain
+
+const EXPLAIN_USAGE: &str = "\
+usage: lalrcex explain [OPTIONS] GRAMMAR.y
+
+Classifies every LALR conflict by lookahead provenance: true-ambiguity
+candidate (survives canonical LR(1); corroborated when the counterexample
+search finds a unifying example), LALR merge artifact (exists only because
+LALR merged distinguishable LR(1) states -- splitting states fixes it), or
+precedence-resolved (silenced; see lint L009). Each verdict comes with the
+DeRemer-Pennello relation chain that carried the conflict terminal into
+the lookahead.
+
+  --conflict N         explain only conflict index N (as numbered in the
+                       full output)
+  --format text|json   output format (default text; json is the schema-v1
+                       report document with a `provenance` block on every
+                       conflict and resolution)
+  --time-limit SECS    per-conflict corroboration search budget (default 5)
+  --total-limit SECS   cumulative corroboration budget (default 120)
+  --workers N          worker threads for the corroboration fan-out
+                       (default 0 = one per CPU)
+  --stats              grammar-wide counters, including classification
+                       tallies (to stderr in json mode)";
+
+struct ExplainOptions {
+    cex: CexOptions,
+    conflict: Option<usize>,
+}
+
+fn parse_explain_args(args: Vec<String>) -> ExplainOptions {
+    let mut p = ArgScan::new(args, "explain", EXPLAIN_USAGE);
+    let mut opts = ExplainOptions {
+        cex: CexOptions::default(),
+        conflict: None,
+    };
+    while let Some(a) = p.next_arg() {
+        match a.as_str() {
+            "--help" | "-h" => p.help(),
+            "--format" => match p.value("--format").as_str() {
+                "text" => opts.cex.json = false,
+                "json" => opts.cex.json = true,
+                other => p.fail(&format!("`--format` is text or json, got `{other}`")),
+            },
+            "--conflict" => opts.conflict = Some(p.num("--conflict")),
+            "--time-limit" => opts.cex.time_limit = Duration::from_secs(p.num("--time-limit")),
+            "--total-limit" => opts.cex.total_limit = Duration::from_secs(p.num("--total-limit")),
+            "--workers" => opts.cex.workers = p.num("--workers"),
+            "--stats" => opts.cex.stats = true,
+            other if !other.starts_with('-') && opts.cex.grammar.is_empty() => {
+                opts.cex.grammar = other.to_owned();
+            }
+            other => p.unknown(other),
+        }
+    }
+    if opts.cex.grammar.is_empty() {
+        p.fail("no grammar file given");
+    }
+    opts
+}
+
+/// The `lalrcex explain` subcommand: classify every conflict by lookahead
+/// provenance and print the relation chains behind the verdicts.
+fn run_explain(args: Vec<String>) -> ExitCode {
+    let opts = parse_explain_args(args);
+    let text = match std::fs::read_to_string(&opts.cex.grammar) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lalrcex: cannot read {}: {e}", opts.cex.grammar);
+            return ExitCode::from(2);
+        }
+    };
+
+    let session = Session::new();
+    let cancel = interruptible_token();
+    let request = analysis_request(text, &opts.cex.grammar, &opts.cex, &cancel);
+    let reply = match session.explain(&request) {
+        Ok(r) => r,
+        Err(Error::Grammar(e)) => {
+            eprintln!("lalrcex: {}: {e}", opts.cex.grammar);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("lalrcex: {}: {e}", opts.cex.grammar);
+            return ExitCode::from(3);
+        }
+    };
+    if let Some(n) = opts.conflict {
+        if n >= reply.provenance.conflicts.len() {
+            eprintln!(
+                "lalrcex: {}: conflict index {n} out of range ({} conflict(s))",
+                opts.cex.grammar,
+                reply.provenance.conflicts.len()
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.cex.json {
+        let doc = reply.to_json();
+        match opts.conflict {
+            // `--conflict N` narrows the JSON output to that conflict's
+            // document member (the full document keeps every conflict).
+            Some(n) => {
+                let one = doc
+                    .get("conflicts")
+                    .and_then(|c| c.as_arr())
+                    .and_then(|a| a.get(n))
+                    .expect("index validated above");
+                println!("{one}");
+            }
+            None => println!("{doc}"),
+        }
+        if opts.cex.stats {
+            eprint!(
+                "{}",
+                format_grammar_stats(&reply.report.stats, reply.report.total_time)
+            );
+        }
+    } else {
+        print!("{}", reply.render_text(opts.conflict));
+        if opts.cex.stats {
+            println!(
+                "{}",
+                format_grammar_stats(&reply.report.stats, reply.report.total_time)
+            );
+        }
+    }
+
+    let counts = reply.provenance.counts();
+    let mut code = report_exit(cancel.is_hard_cancelled(), &reply.report);
+    if code < 3 && counts.internal > 0 {
+        code = 3;
+    }
+    ExitCode::from(code)
+}
+
+// ---------------------------------------------------------------------------
 // lint
 
 const LINT_USAGE: &str = "\
@@ -516,7 +665,7 @@ usage: lalrcex serve [OPTIONS]
 
 Speaks the JSON-Lines analysis protocol (v1) on stdin/stdout: one request
 object per line in, one response object per line out. Requests: analyze,
-lint, cancel, stats, shutdown. See DESIGN.md `Service layer`.
+explain, lint, cancel, stats, shutdown. See DESIGN.md `Service layer`.
 
   --workers N          worker-thread budget shared across in-flight
                        requests (default 0 = one per CPU)
@@ -685,6 +834,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("cex") => run_cex(args.split_off(1)),
+        Some("explain") => run_explain(args.split_off(1)),
         Some("lint") => run_lint(args.split_off(1)),
         Some("serve") => run_serve(args.split_off(1)),
         Some("batch") => run_batch(args.split_off(1)),

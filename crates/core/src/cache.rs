@@ -73,6 +73,10 @@ impl CachedEngine {
     /// Parses `text` and builds the engine, with the precomputation
     /// contained (a panic while building reports as a structured
     /// [`EngineError`] instead of unwinding).
+    // The crate denies `unsafe_code`; this is its single exception: a
+    // self-referential owned pairing (the engine borrows the boxed grammar
+    // beside it) has no safe spelling without an external crate.
+    #[allow(unsafe_code)]
     pub fn build(text: &str) -> Result<CachedEngine, BuildError> {
         let grammar = Box::new(Grammar::parse(text)?);
         // SAFETY: the referent is heap-allocated behind `grammar`, which is
@@ -151,6 +155,22 @@ pub struct CacheStats {
     pub live_bytes: usize,
     /// The configured byte budget (`usize::MAX` = unlimited).
     pub budget_bytes: usize,
+}
+
+/// A per-entry byte breakdown, re-sampled at snapshot time (see
+/// [`EngineCache::entry_stats`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheEntryStats {
+    /// The content hash keying the entry.
+    pub key: u64,
+    /// Bytes of grammar text the entry was built from.
+    pub text_bytes: usize,
+    /// The entry's total charge: [`Engine::estimated_bytes`], freshly
+    /// re-sampled (spine memo *and* provenance tables grow after build).
+    pub bytes: usize,
+    /// The provenance-table share of `bytes` (`0` until the entry's first
+    /// `explain`).
+    pub provenance_bytes: usize,
 }
 
 struct Entry {
@@ -289,6 +309,35 @@ impl EngineCache {
             live_bytes: inner.live_bytes,
             budget_bytes: self.budget,
         }
+    }
+
+    /// Per-entry byte breakdowns, most recently used first.
+    ///
+    /// Each entry's charge is re-sampled (the spine memo and the lazily
+    /// built provenance tables both grow after construction), so the
+    /// cache's accounting — and any later eviction decision — reflects the
+    /// entries' real footprints, not their build-time estimates.
+    pub fn entry_stats(&self) -> Vec<CacheEntryStats> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::with_capacity(inner.map.len());
+        let mut live = inner.live_bytes;
+        for (key, e) in &mut inner.map {
+            let bytes = e.engine.engine().estimated_bytes();
+            live = live - e.bytes + bytes;
+            e.bytes = bytes;
+            out.push((
+                e.last_used,
+                CacheEntryStats {
+                    key: *key,
+                    text_bytes: e.engine.text().len(),
+                    bytes,
+                    provenance_bytes: e.engine.engine().provenance_bytes(),
+                },
+            ));
+        }
+        inner.live_bytes = live;
+        out.sort_by_key(|e| std::cmp::Reverse(e.0));
+        out.into_iter().map(|(_, s)| s).collect()
     }
 
     /// Drops every entry (counters are kept).

@@ -33,6 +33,7 @@ use crate::contain::contain;
 use crate::error::EngineError;
 use crate::lssi::{self, LsNode};
 use crate::nonunifying::nonunifying_example;
+use crate::provenance::{self, GrammarProvenance};
 use crate::report::{CexConfig, ConflictOutcome, ConflictReport, ExampleKind, GrammarReport};
 use crate::search::{unifying_search_session, SearchConfig, SearchOutcome, UnifyingExample};
 use crate::state_graph::{StateGraph, StateItemId};
@@ -60,6 +61,7 @@ pub struct Engine<'g> {
     graph: StateGraph,
     precompute: Duration,
     memo: Mutex<HashMap<(StateItemId, usize), Arc<Spine>>>,
+    prov: Mutex<Option<Arc<GrammarProvenance>>>,
 }
 
 /// A read-only view of every conflict-independent fact the engine built for
@@ -126,6 +128,7 @@ impl<'g> Engine<'g> {
             graph,
             precompute: t0.elapsed(),
             memo: Mutex::new(HashMap::new()),
+            prov: Mutex::new(None),
         }
     }
 
@@ -203,7 +206,58 @@ impl<'g> Engine<'g> {
                 + std::mem::size_of_val(spine.states.as_slice())
                 + spine.path.as_deref().map_or(0, std::mem::size_of_val);
         }
+        drop(memo);
+        let prov = self.prov.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(p) = prov.as_ref() {
+            bytes += p.estimated_bytes();
+        }
         bytes
+    }
+
+    /// The provenance-table share of [`Engine::estimated_bytes`]: `0` until
+    /// the first successful [`Engine::provenance`] call builds the tables.
+    pub fn provenance_bytes(&self) -> usize {
+        self.prov
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map_or(0, |p| p.estimated_bytes())
+    }
+
+    /// The lookahead provenance analysis for this grammar: DeRemer–Pennello
+    /// relation tables, per-conflict classification (true-ambiguity
+    /// candidate / LALR merge artifact / precedence-resolved), and the
+    /// provenance chains that carried each conflict terminal. Computed once
+    /// per engine and memoized, like the spine memo; byte-deterministic at
+    /// any worker count.
+    ///
+    /// The relation-table build runs under containment (phase
+    /// `"provenance.compute"`, with a fault-injection probe of the same
+    /// name); a fault there fails the whole query. Per-conflict
+    /// classification faults are contained *inside* the analysis, one slot
+    /// each, so they degrade only their own conflict. Errors are not
+    /// memoized — a faulted build is retried on the next call.
+    pub fn provenance(&self) -> Result<Arc<GrammarProvenance>, EngineError> {
+        // Poison recovery as for the spine memo: entries are fully
+        // constructed before insertion.
+        if let Some(p) = self
+            .prov
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            return Ok(Arc::clone(p));
+        }
+        // Compute outside the lock (racing workers duplicate deterministic
+        // work rather than blocking; whichever insert wins is identical).
+        let computed = contain("provenance.compute", || {
+            crate::fail_point!("provenance.compute");
+            provenance::compute(self.g, &self.auto, &self.tables)
+        })
+        .map(Arc::new)?;
+        let mut slot = self.prov.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = slot.get_or_insert(computed);
+        Ok(Arc::clone(entry))
     }
 
     /// Reconstructs the conflict a precedence [`Resolution`] silenced, when

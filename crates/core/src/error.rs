@@ -19,7 +19,8 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineError {
     /// The engine phase that failed: `"spine"`, `"unifying"`,
-    /// `"nonunifying"`, `"lint.probe"`, or `"precompute"`.
+    /// `"nonunifying"`, `"lint.probe"`, `"precompute"`, or
+    /// `"provenance.compute"`.
     pub phase: &'static str,
     /// The panic payload (when string-like) or a structured description.
     pub message: String,

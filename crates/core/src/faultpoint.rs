@@ -3,7 +3,7 @@
 //! Named probe points — `fail_point!("spine.expand")` — are compiled into
 //! the engine's hot paths. Without the `failpoints` cargo feature they
 //! expand to nothing; with it, each probe consults the installed
-//! [`FaultPlan`], which fires a [`FaultAction`] at the Nth hit of a probe
+//! `FaultPlan`, which fires a `FaultAction` at the Nth hit of a probe
 //! *within a scope* (the conflict slot the engine tags around each
 //! per-conflict unit of work).
 //!
@@ -13,7 +13,7 @@
 //! or eight are running — a plan that panics at hit 3 of `unify.expand` in
 //! conflict 2 panics at exactly the same configuration pop either way.
 //!
-//! Plans are installed process-globally; [`install`] returns a guard that
+//! Plans are installed process-globally; `install` returns a guard that
 //! holds a lock for the duration, serializing chaos tests against each
 //! other, and clears the plan on drop.
 
@@ -271,9 +271,9 @@ pub fn with_scope<T>(_scope: u64, f: impl FnOnce() -> T) -> T {
 
 /// A named fault-injection probe. Expands to nothing unless the
 /// `failpoints` cargo feature is enabled; with it, consults the installed
-/// [`FaultPlan`](crate::faultpoint::FaultPlan) and panics if a `Panic`
-/// trigger fires at this hit. Probe sites that can honor non-panic actions
-/// (budget-zero, clock-jump) call [`crate::faultpoint::hit`] directly.
+/// `FaultPlan` and panics if a `Panic` trigger fires at this hit. Probe
+/// sites that can honor non-panic actions (budget-zero, clock-jump) call
+/// `crate::faultpoint::hit` directly.
 #[macro_export]
 macro_rules! fail_point {
     ($name:expr) => {

@@ -36,6 +36,10 @@
 //! parser search ([`unifying_search`]), and nonunifying construction
 //! ([`nonunifying_example`]).
 
+// `deny` rather than `forbid`: the engine cache's self-referential
+// grammar/engine pairing (cache.rs) needs one scoped, documented `allow`.
+#![deny(unsafe_code)]
+
 pub mod cache;
 pub mod cancel;
 mod contain;
@@ -44,6 +48,7 @@ mod error;
 pub mod faultpoint;
 pub mod lssi;
 mod nonunifying;
+pub mod provenance;
 mod report;
 mod search;
 mod state_graph;
@@ -56,6 +61,11 @@ pub use contain::contain;
 pub use engine::{resolve_workers, Engine, Facts, ResolutionProbe, Spine};
 pub use error::EngineError;
 pub use nonunifying::{nonunifying_example, NonunifyingExample};
+pub use provenance::{
+    format_provenance, render_chain_step, ChainStep, Classification, ClassificationCounts,
+    ConflictProvenance, GrammarProvenance, MergeEvidence, MergeVariant, ProvenanceOutcome,
+    ProvenanceTables, ResolutionProvenance,
+};
 pub use report::{
     analyze, display_item_cup, format_report, Analyzer, CexConfig, ConflictOutcome, ConflictReport,
     ExampleKind, GrammarReport,

@@ -1,0 +1,1349 @@
+//! Lookahead provenance and conflict classification.
+//!
+//! The counterexample engine shows *that* a conflict is real; this module
+//! explains *why* the offending lookahead terminal reaches the conflicted
+//! state at all. It recomputes the LALR(1) lookahead sets from first
+//! principles with the DeRemer–Pennello relations over the goto graph —
+//!
+//! * `DR(p, A)` — terminals shifted directly out of `goto(p, A)`;
+//! * `(p, A) reads (r, C)` — `goto(p, A) = r` and `r` has a transition on
+//!   a *nullable* nonterminal `C`, so whatever follows `C` can follow `A`;
+//! * `(p, A) includes (p', B)` — some production `B -> β A γ` with
+//!   `γ =>* ε` lets `A`'s context inherit `B`'s context, where `p'`
+//!   reaches `p` spelling `β`;
+//! * `(q, A -> ω) lookback (p, A)` — `p` reaches `q` spelling `ω`, so the
+//!   reduction's lookahead in `q` is `Follow(p, A)`
+//!
+//! — and keeps the *edges* of those relations, not just the fixpoint sets.
+//! That is what lets it answer provenance queries: for a conflict on
+//! terminal `t`, a breadth-first walk over the kept edges produces the
+//! shortest concrete chain of `lookback`/`includes`/`reads` steps that
+//! propagated `t` into the conflicted item's lookahead — rendered as a
+//! spanned, deterministic explanation.
+//!
+//! On top of the relations sits a three-way classification of every
+//! conflict (and every precedence-silenced resolution):
+//!
+//! * [`Classification::TrueAmbiguityCandidate`] — the conflict survives in
+//!   canonical LR(1): splitting states cannot fix it, only rewriting the
+//!   grammar (or proving it ambiguous — the §5 unifying search corroborates
+//!   this classification when it finds an example). Every shift/reduce
+//!   conflict is in this class: merging LR(1) states with equal cores can
+//!   never introduce a shift/reduce conflict, so one present in the LALR
+//!   tables was already present in canonical LR(1).
+//! * [`Classification::MergeArtifact`] — a reduce/reduce conflict that
+//!   exists only because LALR merged distinguishable LR(1) cores. The
+//!   evidence reports the merged canonical variants: the item-sets whose
+//!   lookaheads *do* distinguish the two reductions.
+//! * [`Classification::PrecedenceResolved`] — the conflict was silenced by
+//!   a precedence declaration before it reached the conflict table
+//!   (cross-linked with lint L009, which probes whether the silencing hid
+//!   a genuine ambiguity).
+//!
+//! The reduce/reduce check builds the canonical LR(1) state space under a
+//! deterministic state budget; a grammar that exhausts it falls back to
+//! the conservative `TrueAmbiguityCandidate` with
+//! [`ConflictProvenance::lr1_checked`] `false`. Everything here is pure
+//! precomputation over [`crate::Facts`]: no clocks are consulted, no
+//! randomness exists, and the output is byte-identical at any worker
+//! count. The engine runs it under containment (phase
+//! `"provenance.compute"`) with a fault-injection probe of the same name.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use lalrcex_grammar::{Analysis, Grammar, ProdId, SymbolId, SymbolKind, TerminalSet};
+use lalrcex_lr::{Automaton, Conflict, ConflictKind, Item, Resolution, StateId, Tables};
+
+use crate::contain::contain;
+use crate::error::EngineError;
+
+/// Deterministic budget on canonical LR(1) states explored by the
+/// merge-artifact check. Exhausting it degrades reduce/reduce conflicts to
+/// the conservative [`Classification::TrueAmbiguityCandidate`] with
+/// `lr1_checked = false`; it never fails the analysis.
+pub const LR1_STATE_BUDGET: usize = 20_000;
+
+/// Cap on canonical variants kept as [`MergeEvidence`] per conflict (the
+/// check itself always examines every variant).
+const MAX_EVIDENCE_VARIANTS: usize = 8;
+
+/// The three-way verdict on a conflict (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Classification {
+    /// The conflict survives in canonical LR(1): state splitting cannot
+    /// remove it.
+    TrueAmbiguityCandidate,
+    /// The conflict exists only because LALR merged distinguishable LR(1)
+    /// cores; splitting states (an IELR/canonical generator) fixes it
+    /// without touching the grammar.
+    MergeArtifact,
+    /// A precedence declaration silenced the conflict before it was
+    /// reported (see lint L009 for whether that hid a real ambiguity).
+    PrecedenceResolved,
+}
+
+impl Classification {
+    /// The stable kebab-case label used by every renderer and the JSON
+    /// schema.
+    pub fn label(self) -> &'static str {
+        match self {
+            Classification::TrueAmbiguityCandidate => "true-ambiguity-candidate",
+            Classification::MergeArtifact => "merge-artifact",
+            Classification::PrecedenceResolved => "precedence-resolved",
+        }
+    }
+}
+
+/// One step of a provenance chain — a concrete edge of the
+/// DeRemer–Pennello relations that carried the conflict terminal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChainStep {
+    /// `(conflict_state, prod) lookback (goto_state, nonterminal)`: the
+    /// reduction pops back to `goto_state`, whose goto on `nonterminal`
+    /// supplies the lookahead.
+    Lookback {
+        /// The state the reduction happens in.
+        conflict_state: StateId,
+        /// The production being reduced.
+        prod: ProdId,
+        /// The state the reduction returns to.
+        goto_state: StateId,
+        /// The left-hand side whose goto context is consulted.
+        nonterminal: SymbolId,
+    },
+    /// `Follow(from) ⊇ Follow(to)` because `via_prod` is `B -> β A γ` with
+    /// `γ` nullable: `A`'s context inherits `B`'s.
+    Includes {
+        /// Goto whose Follow receives (`(state, A)`).
+        from_state: StateId,
+        /// The inner nonterminal `A`.
+        from_nt: SymbolId,
+        /// Goto whose Follow supplies (`(state, B)`).
+        to_state: StateId,
+        /// The enclosing nonterminal `B`.
+        to_nt: SymbolId,
+        /// The production `B -> β A γ` witnessing the edge.
+        via_prod: ProdId,
+    },
+    /// `Read(from) ⊇ Read(to)` because `goto(from_state, from_nt)` lands
+    /// in `via_state`, which can read the nullable `nullable_nt`.
+    Reads {
+        /// Source goto state.
+        from_state: StateId,
+        /// Source goto nonterminal.
+        from_nt: SymbolId,
+        /// The state reached by the source goto (where the nullable read
+        /// happens).
+        via_state: StateId,
+        /// The nullable nonterminal that can vanish.
+        nullable_nt: SymbolId,
+    },
+    /// `terminal ∈ DR(state, nonterminal)`: the state reached by the goto
+    /// shifts the terminal directly.
+    DirectRead {
+        /// Goto source state.
+        state: StateId,
+        /// Goto nonterminal.
+        nonterminal: SymbolId,
+        /// The goto target state performing the shift.
+        shift_state: StateId,
+        /// The terminal being shifted.
+        terminal: SymbolId,
+    },
+}
+
+/// One canonical LR(1) variant of a merged LALR state: the lookaheads the
+/// two conflicting reductions carry there. For a merge artifact, no
+/// variant has the conflict terminal in both.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MergeVariant {
+    /// Dense terminal indices (sorted) in the first reduction's lookahead.
+    pub reduce_lookahead: Vec<usize>,
+    /// Dense terminal indices (sorted) in the second reduction's lookahead.
+    pub other_lookahead: Vec<usize>,
+}
+
+/// Why a reduce/reduce conflict is an LALR merge artifact: the canonical
+/// LR(1) item-set variants that LALR merged into one state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MergeEvidence {
+    /// The LALR state that merged the variants.
+    pub merged_state: StateId,
+    /// Total canonical variants of this core.
+    pub variant_count: usize,
+    /// Up to `MAX_EVIDENCE_VARIANTS` variants, in canonical discovery
+    /// order.
+    pub variants: Vec<MergeVariant>,
+}
+
+/// The full provenance verdict for one conflict.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConflictProvenance {
+    /// The conflict being explained.
+    pub conflict: Conflict,
+    /// The three-way verdict.
+    pub classification: Classification,
+    /// Whether the canonical LR(1) check completed within its budget
+    /// (`true` also for shift/reduce conflicts, where the verdict needs no
+    /// exploration).
+    pub lr1_checked: bool,
+    /// The concrete relation edges that carried the conflict terminal into
+    /// the reduce item's lookahead, ending in the direct read.
+    pub chain: Vec<ChainStep>,
+    /// Merge evidence — `Some` exactly for [`Classification::MergeArtifact`].
+    pub merge: Option<MergeEvidence>,
+}
+
+/// A provenance slot: classified, or faulted (contained at the
+/// per-conflict boundary, so the other slots are unaffected).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProvenanceOutcome {
+    /// Classification succeeded.
+    Classified(ConflictProvenance),
+    /// The per-conflict classification faulted; the fault was contained.
+    Internal(EngineError),
+}
+
+impl ProvenanceOutcome {
+    /// The classification, when the slot did not fault.
+    pub fn classification(&self) -> Option<Classification> {
+        match self {
+            ProvenanceOutcome::Classified(p) => Some(p.classification),
+            ProvenanceOutcome::Internal(_) => None,
+        }
+    }
+
+    /// The provenance record, when the slot did not fault.
+    pub fn provenance(&self) -> Option<&ConflictProvenance> {
+        match self {
+            ProvenanceOutcome::Classified(p) => Some(p),
+            ProvenanceOutcome::Internal(_) => None,
+        }
+    }
+}
+
+/// Provenance for a precedence-silenced resolution: always
+/// [`Classification::PrecedenceResolved`], with the chain explaining how
+/// the silenced terminal reached the reduction's lookahead.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResolutionProvenance {
+    /// The silenced resolution.
+    pub resolution: Resolution,
+    /// Always [`Classification::PrecedenceResolved`].
+    pub classification: Classification,
+    /// The relation edges that carried the silenced terminal.
+    pub chain: Vec<ChainStep>,
+}
+
+/// Per-grammar classification tallies (feeds `--stats` and Table 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassificationCounts {
+    /// Conflicts classified [`Classification::TrueAmbiguityCandidate`].
+    pub true_candidates: u64,
+    /// Conflicts classified [`Classification::MergeArtifact`].
+    pub merge_artifacts: u64,
+    /// Silenced resolutions ([`Classification::PrecedenceResolved`]).
+    pub precedence_resolved: u64,
+    /// Conflict slots whose classification faulted (contained).
+    pub internal: u64,
+}
+
+/// Everything the provenance analysis produced for one grammar: one slot
+/// per conflict (table order), one per silenced resolution, and the
+/// canonical-LR(1) exploration counters.
+#[derive(Debug)]
+pub struct GrammarProvenance {
+    /// One outcome per [`Tables::conflicts`] slot, same order.
+    pub conflicts: Vec<ProvenanceOutcome>,
+    /// One record per [`Tables::resolutions`] slot, same order.
+    pub resolutions: Vec<ResolutionProvenance>,
+    /// Canonical LR(1) states explored by the merge check (`0` when no
+    /// reduce/reduce conflict needed it).
+    pub lr1_states: usize,
+    /// Whether the canonical exploration hit [`LR1_STATE_BUDGET`].
+    pub lr1_budget_exhausted: bool,
+    /// Wall time spent (observability only — excluded from the engine's
+    /// determinism guarantee, like every other duration).
+    pub compute_time: Duration,
+    /// Estimated resident bytes of the retained provenance data.
+    bytes: usize,
+}
+
+impl GrammarProvenance {
+    /// Per-grammar classification tallies.
+    pub fn counts(&self) -> ClassificationCounts {
+        let mut c = ClassificationCounts {
+            precedence_resolved: self.resolutions.len() as u64,
+            ..ClassificationCounts::default()
+        };
+        for o in &self.conflicts {
+            match o.classification() {
+                Some(Classification::TrueAmbiguityCandidate) => c.true_candidates += 1,
+                Some(Classification::MergeArtifact) => c.merge_artifacts += 1,
+                Some(Classification::PrecedenceResolved) => c.precedence_resolved += 1,
+                None => c.internal += 1,
+            }
+        }
+        c
+    }
+
+    /// Estimated resident bytes (feeds [`crate::Engine::estimated_bytes`]
+    /// so the engine cache's byte budget sees the new tables).
+    pub fn estimated_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The DeRemer–Pennello tables.
+// ---------------------------------------------------------------------------
+
+/// The relation tables: one row per nonterminal (goto) transition, with
+/// the `reads`/`includes` edges kept for provenance queries.
+pub struct ProvenanceTables {
+    nterm: usize,
+    /// Every goto transition `(p, A)`, sorted by `(p, A)`.
+    gotos: Vec<(StateId, SymbolId)>,
+    /// `(state index, symbol index) -> goto row`.
+    lookup: HashMap<(u32, u32), u32>,
+    /// `DR(p, A)` — terminals shifted directly out of `goto(p, A)`.
+    direct_read: Vec<TerminalSet>,
+    /// `Read(p, A)` — `DR` closed over `reads`.
+    read: Vec<TerminalSet>,
+    /// `Follow(p, A)` — `Read` closed over `includes`.
+    follow: Vec<TerminalSet>,
+    /// `reads` successors per row (sorted, deduplicated).
+    reads: Vec<Vec<u32>>,
+    /// `includes` successors per row (sorted, deduplicated), with one
+    /// witness production each.
+    includes: Vec<Vec<(u32, ProdId)>>,
+}
+
+/// Walks `from` along `seq` in the automaton; `None` if a transition is
+/// missing (cannot happen for viable prefixes, but the analysis degrades
+/// instead of panicking).
+fn walk(auto: &Automaton, from: StateId, seq: &[SymbolId]) -> Option<StateId> {
+    let mut cur = from;
+    for &s in seq {
+        cur = auto.state(cur).transition(s)?;
+    }
+    Some(cur)
+}
+
+impl ProvenanceTables {
+    /// Builds every relation table for `g`'s automaton. Pure and
+    /// deterministic; cost is a small fixpoint over the goto graph.
+    pub fn build(g: &Grammar, auto: &Automaton) -> ProvenanceTables {
+        let analysis = auto.analysis();
+        let nterm = g.terminal_count();
+
+        let mut gotos: Vec<(StateId, SymbolId)> = Vec::new();
+        for sid in auto.state_ids() {
+            for &(sym, _) in auto.state(sid).transitions() {
+                if g.is_nonterminal(sym) {
+                    gotos.push((sid, sym));
+                }
+            }
+        }
+        let lookup: HashMap<(u32, u32), u32> = gotos
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, a))| ((p.index() as u32, a.index() as u32), i as u32))
+            .collect();
+
+        // DR and reads: look one step past each goto target.
+        let mut direct_read = vec![TerminalSet::empty(nterm); gotos.len()];
+        let mut reads: Vec<Vec<u32>> = vec![Vec::new(); gotos.len()];
+        for (i, &(p, a)) in gotos.iter().enumerate() {
+            let Some(r) = auto.state(p).transition(a) else {
+                continue;
+            };
+            for &(sym, _) in auto.state(r).transitions() {
+                match g.kind(sym) {
+                    SymbolKind::Terminal => {
+                        direct_read[i].insert(g.tindex(sym));
+                    }
+                    SymbolKind::Nonterminal => {
+                        if analysis.nullable(sym) {
+                            if let Some(&j) = lookup.get(&(r.index() as u32, sym.index() as u32)) {
+                                reads[i].push(j);
+                            }
+                        }
+                    }
+                }
+            }
+            reads[i].sort_unstable();
+            reads[i].dedup();
+        }
+
+        // Read = DR closed over reads.
+        let mut read = direct_read.clone();
+        loop {
+            let mut changed = false;
+            for i in 0..gotos.len() {
+                for &j in &reads[i] {
+                    let snap = read[j as usize].clone();
+                    changed |= read[i].union_with(&snap);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // includes: for each goto (p', B) and production B -> β A γ with γ
+        // nullable, (state-at-β, A) includes (p', B).
+        let mut includes: Vec<Vec<(u32, ProdId)>> = vec![Vec::new(); gotos.len()];
+        for (j, &(p_outer, b)) in gotos.iter().enumerate() {
+            for &pid in g.prods_of(b) {
+                let rhs = g.prod(pid).rhs();
+                let mut cur = p_outer;
+                for (k, &sym) in rhs.iter().enumerate() {
+                    if g.is_nonterminal(sym) {
+                        let tail_nullable = rhs[k + 1..].iter().all(|&s| analysis.nullable(s));
+                        if tail_nullable {
+                            if let Some(&i) = lookup.get(&(cur.index() as u32, sym.index() as u32))
+                            {
+                                includes[i as usize].push((j as u32, pid));
+                            }
+                        }
+                    }
+                    match auto.state(cur).transition(sym) {
+                        Some(next) => cur = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        for row in &mut includes {
+            row.sort_unstable();
+            row.dedup_by_key(|&mut (j, _)| j);
+        }
+
+        // Follow = Read closed over includes.
+        let mut follow = read.clone();
+        loop {
+            let mut changed = false;
+            for i in 0..gotos.len() {
+                for &(j, _) in &includes[i] {
+                    let snap = follow[j as usize].clone();
+                    changed |= follow[i].union_with(&snap);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        ProvenanceTables {
+            nterm,
+            gotos,
+            lookup,
+            direct_read,
+            read,
+            follow,
+            reads,
+            includes,
+        }
+    }
+
+    /// Number of goto transitions (rows).
+    pub fn goto_count(&self) -> usize {
+        self.gotos.len()
+    }
+
+    /// The row index of goto `(p, a)`, if `p` has a transition on `a`.
+    pub fn row(&self, p: StateId, a: SymbolId) -> Option<usize> {
+        self.lookup
+            .get(&(p.index() as u32, a.index() as u32))
+            .map(|&i| i as usize)
+    }
+
+    /// `Follow(p, A)` for a row.
+    pub fn follow_of(&self, row: usize) -> &TerminalSet {
+        &self.follow[row]
+    }
+
+    /// The `lookback` sources of reduction `(q, prod)`: every goto row
+    /// `(p, lhs(prod))` with `p` reaching `q` spelling `rhs(prod)`, in row
+    /// order.
+    pub fn lookback(&self, g: &Grammar, auto: &Automaton, q: StateId, prod: ProdId) -> Vec<usize> {
+        let lhs = g.prod(prod).lhs();
+        let rhs = g.prod(prod).rhs();
+        self.gotos
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(p, a))| a == lhs && walk(auto, p, rhs) == Some(q))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The LALR(1) lookahead of reduction `(q, prod)` recomputed from the
+    /// relations: the union of `Follow` over the `lookback` sources. Used
+    /// by the self-check tests against the automaton's propagation-based
+    /// sets.
+    pub fn lookahead(
+        &self,
+        g: &Grammar,
+        auto: &Automaton,
+        q: StateId,
+        prod: ProdId,
+    ) -> TerminalSet {
+        let mut la = TerminalSet::empty(self.nterm);
+        for row in self.lookback(g, auto, q, prod) {
+            la.union_with(&self.follow[row]);
+        }
+        la
+    }
+
+    /// The shortest chain of relation edges that carried dense terminal
+    /// `tindex` into the lookahead of reduction `(q, prod)` — `lookback`,
+    /// then `includes*`, then `reads*`, ending in the direct read. Empty
+    /// when the terminal is not in the recomputed lookahead (callers treat
+    /// that as "no chain").
+    pub fn chain(
+        &self,
+        g: &Grammar,
+        auto: &Automaton,
+        q: StateId,
+        prod: ProdId,
+        tindex: usize,
+    ) -> Vec<ChainStep> {
+        let Some(&start) = self
+            .lookback(g, auto, q, prod)
+            .iter()
+            .find(|&&row| self.follow[row].contains(tindex))
+        else {
+            return Vec::new();
+        };
+
+        // BFS over the kept edges, in two modes: `Follow` may take
+        // `includes` or `reads` edges; once a `reads` edge is taken only
+        // further `reads` edges are valid. Edge guards (`contains`) keep
+        // the walk on productive rows, so the BFS always terminates at a
+        // direct read. Expansion order is deterministic (row order).
+        const MODE_FOLLOW: usize = 0;
+        const MODE_READ: usize = 1;
+        let n = self.gotos.len();
+        let mut parent: Vec<Option<(usize, ChainStep)>> = vec![None; 2 * n];
+        let mut queue = std::collections::VecDeque::new();
+        let enc = |mode: usize, row: usize| mode * n + row;
+        queue.push_back(enc(MODE_FOLLOW, start));
+        let mut goal: Option<usize> = None;
+        let mut seen = vec![false; 2 * n];
+        seen[enc(MODE_FOLLOW, start)] = true;
+
+        while let Some(node) = queue.pop_front() {
+            let (mode, row) = (node / n, node % n);
+            if self.direct_read[row].contains(tindex) {
+                goal = Some(node);
+                break;
+            }
+            let (p, a) = self.gotos[row];
+            for &j in &self.reads[row] {
+                let next = enc(MODE_READ, j as usize);
+                if !seen[next] && self.read[j as usize].contains(tindex) {
+                    seen[next] = true;
+                    let (_, c) = self.gotos[j as usize];
+                    let via_state = auto.state(p).transition(a).unwrap_or(p);
+                    parent[next] = Some((
+                        node,
+                        ChainStep::Reads {
+                            from_state: p,
+                            from_nt: a,
+                            via_state,
+                            nullable_nt: c,
+                        },
+                    ));
+                    queue.push_back(next);
+                }
+            }
+            if mode == MODE_FOLLOW {
+                for &(j, via_prod) in &self.includes[row] {
+                    let next = enc(MODE_FOLLOW, j as usize);
+                    if !seen[next] && self.follow[j as usize].contains(tindex) {
+                        seen[next] = true;
+                        let (tp, tb) = self.gotos[j as usize];
+                        parent[next] = Some((
+                            node,
+                            ChainStep::Includes {
+                                from_state: p,
+                                from_nt: a,
+                                to_state: tp,
+                                to_nt: tb,
+                                via_prod,
+                            },
+                        ));
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+
+        let Some(goal) = goal else {
+            // Unreachable for a terminal the fixpoint placed in Follow, but
+            // degrade to "no chain" rather than trusting that invariant.
+            return Vec::new();
+        };
+
+        let mut steps = Vec::new();
+        let goal_row = goal % n;
+        let (gp, ga) = self.gotos[goal_row];
+        steps.push(ChainStep::DirectRead {
+            state: gp,
+            nonterminal: ga,
+            shift_state: auto.state(gp).transition(ga).unwrap_or(gp),
+            terminal: g.terminal(tindex),
+        });
+        let mut cur = goal;
+        while let Some((prev, step)) = parent[cur] {
+            steps.push(step);
+            cur = prev;
+        }
+        let (sp, sa) = self.gotos[start];
+        steps.push(ChainStep::Lookback {
+            conflict_state: q,
+            prod,
+            goto_state: sp,
+            nonterminal: sa,
+        });
+        steps.reverse();
+        steps
+    }
+
+    /// Estimated resident bytes of the tables.
+    pub fn estimated_bytes(&self) -> usize {
+        let tset = self.nterm.div_ceil(64) * 8 + 16;
+        let rows = self.gotos.len();
+        let edges: usize = self.reads.iter().map(Vec::len).sum::<usize>()
+            + self.includes.iter().map(Vec::len).sum::<usize>() * 2;
+        rows * (8 + 3 * tset + 2 * 24) + edges * 4 + rows * 16
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical LR(1) merge-artifact check.
+// ---------------------------------------------------------------------------
+
+/// Canonical LR(1) closure of `kernel` (items with lookahead sets),
+/// returned sorted by item. Same fixpoint shape as the automaton's
+/// per-state closure, but on canonical (per-context) lookaheads.
+fn lr1_closure(
+    g: &Grammar,
+    analysis: &Analysis,
+    kernel: &[(Item, TerminalSet)],
+) -> Vec<(Item, TerminalSet)> {
+    let nterm = g.terminal_count();
+    let mut items: Vec<Item> = kernel.iter().map(|&(it, _)| it).collect();
+    let mut las: Vec<TerminalSet> = kernel.iter().map(|(_, la)| la.clone()).collect();
+    let mut pos: HashMap<Item, usize> = items.iter().enumerate().map(|(i, &it)| (it, i)).collect();
+    let mut idx = 0;
+    while idx < items.len() {
+        let it = items[idx];
+        idx += 1;
+        if let Some(next) = it.next_symbol(g) {
+            if g.kind(next) == SymbolKind::Nonterminal {
+                for &pid in g.prods_of(next) {
+                    let start = Item::start(pid);
+                    if let std::collections::hash_map::Entry::Vacant(e) = pos.entry(start) {
+                        e.insert(items.len());
+                        items.push(start);
+                        las.push(TerminalSet::empty(nterm));
+                    }
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..items.len() {
+            let it = items[i];
+            let Some(next) = it.next_symbol(g) else {
+                continue;
+            };
+            if g.kind(next) != SymbolKind::Nonterminal {
+                continue;
+            }
+            let beta = &it.tail(g)[1..];
+            let mut add = analysis.first_of_seq(g, beta, &TerminalSet::empty(nterm));
+            if analysis.seq_nullable(g, beta) {
+                let snap = las[i].clone();
+                add.union_with(&snap);
+            }
+            for &pid in g.prods_of(next) {
+                let j = pos[&Item::start(pid)];
+                changed |= las[j].union_with(&add);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out: Vec<(Item, TerminalSet)> = items.into_iter().zip(las).collect();
+    out.sort_by_key(|&(it, _)| it);
+    out
+}
+
+/// The reduce items (item, lookahead) of one canonical variant of an
+/// interesting core — all the merge check needs per variant.
+type VariantReduces = Vec<(Item, TerminalSet)>;
+
+/// What the canonical LR(1) exploration produced.
+struct Lr1Exploration {
+    /// Canonical variants (their reduce items + lookaheads) keyed by the
+    /// interesting core they merge into, in discovery order.
+    variants: HashMap<Vec<Item>, Vec<VariantReduces>>,
+    /// Canonical states explored.
+    states: usize,
+    /// Whether the budget stopped the exploration (variants incomplete).
+    exhausted: bool,
+}
+
+/// Explores the canonical LR(1) state space breadth-first under
+/// [`LR1_STATE_BUDGET`], collecting the reduce-item lookaheads of every
+/// canonical state whose LR(0) core is in `interesting`.
+fn explore_lr1(
+    g: &Grammar,
+    analysis: &Analysis,
+    interesting: &[Vec<Item>],
+    budget: usize,
+) -> Lr1Exploration {
+    let nterm = g.terminal_count();
+    let mut variants: HashMap<Vec<Item>, Vec<VariantReduces>> = interesting
+        .iter()
+        .map(|core| (core.clone(), Vec::new()))
+        .collect();
+
+    let mut seen: HashMap<Vec<(Item, TerminalSet)>, ()> = HashMap::new();
+    let mut queue: std::collections::VecDeque<Vec<(Item, TerminalSet)>> =
+        std::collections::VecDeque::new();
+    let start_kernel = vec![(
+        Item::start(g.accept_prod()),
+        TerminalSet::singleton(nterm, g.tindex(SymbolId::EOF)),
+    )];
+    seen.insert(start_kernel.clone(), ());
+    queue.push_back(start_kernel);
+    let mut states = 0usize;
+    let mut exhausted = false;
+
+    while let Some(kernel) = queue.pop_front() {
+        if states >= budget {
+            exhausted = true;
+            break;
+        }
+        states += 1;
+        let closure = lr1_closure(g, analysis, &kernel);
+
+        // Record this variant if its LR(0) core is interesting.
+        let mut core: Vec<Item> = closure
+            .iter()
+            .map(|&(it, _)| it)
+            .filter(|it| it.dot() > 0 || it.prod() == g.accept_prod())
+            .collect();
+        core.sort_unstable();
+        if let Some(slot) = variants.get_mut(&core) {
+            slot.push(
+                closure
+                    .iter()
+                    .filter(|(it, _)| it.is_reduce(g))
+                    .cloned()
+                    .collect(),
+            );
+        }
+
+        // Successors, grouped by next symbol in sorted-symbol order.
+        let mut by_symbol: Vec<(SymbolId, Vec<(Item, TerminalSet)>)> = Vec::new();
+        for (it, la) in &closure {
+            let Some(next) = it.next_symbol(g) else {
+                continue;
+            };
+            let adv = (it.advance(g), la.clone());
+            match by_symbol.iter_mut().find(|(s, _)| *s == next) {
+                Some((_, v)) => v.push(adv),
+                None => by_symbol.push((next, vec![adv])),
+            }
+        }
+        by_symbol.sort_by_key(|&(s, _)| s);
+        for (_, mut kernel) in by_symbol {
+            kernel.sort_by_key(|a| a.0);
+            // Merge equal items' lookaheads.
+            let mut merged: Vec<(Item, TerminalSet)> = Vec::with_capacity(kernel.len());
+            for (it, la) in kernel {
+                match merged.last_mut() {
+                    Some((last, acc)) if *last == it => {
+                        acc.union_with(&la);
+                    }
+                    _ => merged.push((it, la)),
+                }
+            }
+            if !seen.contains_key(&merged) {
+                seen.insert(merged.clone(), ());
+                queue.push_back(merged);
+            }
+        }
+    }
+
+    Lr1Exploration {
+        variants,
+        states,
+        exhausted,
+    }
+}
+
+/// The sorted LR(0) core (kernel items) of an LALR state.
+fn lalr_core(auto: &Automaton, q: StateId) -> Vec<Item> {
+    let st = auto.state(q);
+    let mut core: Vec<Item> = st.items()[..st.kernel_len()].to_vec();
+    core.sort_unstable();
+    core
+}
+
+// ---------------------------------------------------------------------------
+// Classification.
+// ---------------------------------------------------------------------------
+
+/// Classifies one conflict against the (already explored) canonical
+/// variants of its core.
+fn classify_conflict(
+    g: &Grammar,
+    auto: &Automaton,
+    tables: &ProvenanceTables,
+    lr1: Option<&Lr1Exploration>,
+    conflict: &Conflict,
+) -> ConflictProvenance {
+    let tindex = g.tindex(conflict.terminal);
+    let chain = tables.chain(g, auto, conflict.state, conflict.reduce_prod, tindex);
+
+    let (classification, lr1_checked, merge) = match conflict.kind {
+        // Merging equal-core LR(1) states never introduces a shift/reduce
+        // conflict (the shift is core-determined and the reduce lookahead
+        // is a union over the merged variants, one of which already
+        // carried the terminal alongside the same shift), so a
+        // shift/reduce conflict in the LALR tables exists in canonical
+        // LR(1) too.
+        ConflictKind::ShiftReduce { .. } => (Classification::TrueAmbiguityCandidate, true, None),
+        ConflictKind::ReduceReduce { other_prod } => {
+            let core = lalr_core(auto, conflict.state);
+            let reduce_item = conflict.reduce_item(g);
+            let other_item = Item::new(other_prod, g.prod(other_prod).rhs().len());
+            let variants = lr1
+                .filter(|e| !e.exhausted)
+                .and_then(|e| e.variants.get(&core));
+            match variants {
+                Some(vs) => {
+                    let la_of = |v: &VariantReduces, item: Item| -> Option<TerminalSet> {
+                        v.iter()
+                            .find(|&&(it, _)| it == item)
+                            .map(|(_, la)| la.clone())
+                    };
+                    let survives = vs.iter().any(|v| {
+                        matches!(
+                            (la_of(v, reduce_item), la_of(v, other_item)),
+                            (Some(a), Some(b)) if a.contains(tindex) && b.contains(tindex)
+                        )
+                    });
+                    if survives {
+                        (Classification::TrueAmbiguityCandidate, true, None)
+                    } else {
+                        let evidence: Vec<MergeVariant> = vs
+                            .iter()
+                            .take(MAX_EVIDENCE_VARIANTS)
+                            .map(|v| MergeVariant {
+                                reduce_lookahead: la_of(v, reduce_item)
+                                    .map(|s| s.iter().collect())
+                                    .unwrap_or_default(),
+                                other_lookahead: la_of(v, other_item)
+                                    .map(|s| s.iter().collect())
+                                    .unwrap_or_default(),
+                            })
+                            .collect();
+                        (
+                            Classification::MergeArtifact,
+                            true,
+                            Some(MergeEvidence {
+                                merged_state: conflict.state,
+                                variant_count: vs.len(),
+                                variants: evidence,
+                            }),
+                        )
+                    }
+                }
+                // Budget exhausted (or exploration unavailable): the
+                // conservative verdict — splitting is not *proven* to help.
+                None => (Classification::TrueAmbiguityCandidate, false, None),
+            }
+        }
+    };
+
+    ConflictProvenance {
+        conflict: *conflict,
+        classification,
+        lr1_checked,
+        chain,
+        merge,
+    }
+}
+
+/// Runs the full provenance analysis for a grammar: builds the relation
+/// tables, explores canonical LR(1) when a reduce/reduce conflict needs
+/// the merge check, and classifies every conflict and resolution.
+///
+/// Each conflict slot is classified inside its own containment boundary
+/// (phase `"provenance.compute"`, probe of the same name, scoped by the
+/// slot index like the engine's per-conflict fan-out), so a fault in one
+/// slot leaves every other slot byte-identical.
+pub(crate) fn compute(g: &Grammar, auto: &Automaton, tables: &Tables) -> GrammarProvenance {
+    let started = Instant::now();
+    let prov = ProvenanceTables::build(g, auto);
+
+    let conflicts = tables.conflicts();
+    let rr_cores: Vec<Vec<Item>> = {
+        let mut cores: Vec<Vec<Item>> = conflicts
+            .iter()
+            .filter(|c| matches!(c.kind, ConflictKind::ReduceReduce { .. }))
+            .map(|c| lalr_core(auto, c.state))
+            .collect();
+        cores.sort();
+        cores.dedup();
+        cores
+    };
+    let lr1 = if rr_cores.is_empty() {
+        None
+    } else {
+        Some(explore_lr1(g, auto.analysis(), &rr_cores, LR1_STATE_BUDGET))
+    };
+
+    let mut slots: Vec<ProvenanceOutcome> = Vec::with_capacity(conflicts.len());
+    for (i, c) in conflicts.iter().enumerate() {
+        let outcome = crate::faultpoint::with_scope(i as u64, || {
+            contain("provenance.compute", || {
+                crate::fail_point!("provenance.compute");
+                classify_conflict(g, auto, &prov, lr1.as_ref(), c)
+            })
+        });
+        slots.push(match outcome {
+            Ok(p) => ProvenanceOutcome::Classified(p),
+            Err(e) => ProvenanceOutcome::Internal(e),
+        });
+    }
+
+    let resolutions: Vec<ResolutionProvenance> = tables
+        .resolutions()
+        .iter()
+        .map(|r| ResolutionProvenance {
+            resolution: *r,
+            classification: Classification::PrecedenceResolved,
+            chain: prov.chain(g, auto, r.state, r.reduce_prod, g.tindex(r.terminal)),
+        })
+        .collect();
+
+    let bytes = prov.estimated_bytes()
+        + slots
+            .iter()
+            .map(|s| {
+                64 + s.provenance().map_or(0, |p| {
+                    p.chain.len() * std::mem::size_of::<ChainStep>()
+                        + p.merge.as_ref().map_or(0, |m| {
+                            m.variants
+                                .iter()
+                                .map(|v| {
+                                    32 + (v.reduce_lookahead.len() + v.other_lookahead.len()) * 8
+                                })
+                                .sum::<usize>()
+                        })
+                })
+            })
+            .sum::<usize>()
+        + resolutions
+            .iter()
+            .map(|r| 64 + r.chain.len() * std::mem::size_of::<ChainStep>())
+            .sum::<usize>();
+
+    GrammarProvenance {
+        conflicts: slots,
+        resolutions,
+        lr1_states: lr1.as_ref().map_or(0, |e| e.states),
+        lr1_budget_exhausted: lr1.as_ref().is_some_and(|e| e.exhausted),
+        compute_time: started.elapsed(),
+        bytes,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+/// A `(line N)` suffix for a production's source line, when known.
+fn prod_loc(g: &Grammar, pid: ProdId) -> String {
+    g.prod(pid)
+        .line()
+        .map_or_else(String::new, |l| format!(" (line {l})"))
+}
+
+/// A `(declared line N)` suffix for a symbol, when known.
+fn sym_loc(g: &Grammar, sym: SymbolId) -> String {
+    g.decl_line(sym)
+        .map_or_else(String::new, |l| format!(" (declared line {l})"))
+}
+
+/// Renders one chain step as a deterministic, spanned line (no leading
+/// indentation; callers prefix as needed).
+pub fn render_chain_step(g: &Grammar, step: &ChainStep) -> String {
+    match *step {
+        ChainStep::Lookback {
+            conflict_state,
+            prod,
+            goto_state,
+            nonterminal,
+        } => format!(
+            "reducing `{}`{} in state {} pops back to state {}, whose goto on `{}` supplies the lookahead",
+            g.format_prod(prod),
+            prod_loc(g, prod),
+            conflict_state.index(),
+            goto_state.index(),
+            g.display_name(nonterminal),
+        ),
+        ChainStep::Includes {
+            from_state,
+            from_nt,
+            to_state,
+            to_nt,
+            via_prod,
+        } => format!(
+            "follow(state {}, `{}`) inherits follow(state {}, `{}`) through `{}`{} (nullable tail)",
+            from_state.index(),
+            g.display_name(from_nt),
+            to_state.index(),
+            g.display_name(to_nt),
+            g.format_prod(via_prod),
+            prod_loc(g, via_prod),
+        ),
+        ChainStep::Reads {
+            from_state,
+            from_nt,
+            via_state,
+            nullable_nt,
+        } => format!(
+            "after goto(state {}, `{}`), state {} can read the nullable `{}` — it can vanish, exposing what follows",
+            from_state.index(),
+            g.display_name(from_nt),
+            via_state.index(),
+            g.display_name(nullable_nt),
+        ),
+        ChainStep::DirectRead {
+            state,
+            nonterminal,
+            shift_state,
+            terminal,
+        } => format!(
+            "after goto(state {}, `{}`), state {} shifts `{}`{} directly",
+            state.index(),
+            g.display_name(nonterminal),
+            shift_state.index(),
+            g.display_name(terminal),
+            sym_loc(g, terminal),
+        ),
+    }
+}
+
+/// Renders a full provenance record as the multi-line text block used by
+/// `lalrcex explain` (deterministic; byte-identical at any worker count).
+pub fn format_provenance(g: &Grammar, p: &ConflictProvenance) -> String {
+    let c = &p.conflict;
+    let mut out = format!(
+        "Classification: {}{}\n",
+        p.classification.label(),
+        if p.lr1_checked {
+            ""
+        } else {
+            " (canonical LR(1) budget exhausted; merge check skipped)"
+        },
+    );
+    match p.classification {
+        Classification::TrueAmbiguityCandidate => out.push_str(
+            "  The conflict survives in canonical LR(1): splitting states cannot remove it;\n  \
+             the grammar itself admits the competing parses.\n",
+        ),
+        Classification::MergeArtifact => out.push_str(
+            "  The conflict exists only because LALR merged distinguishable LR(1) cores:\n  \
+             splitting states fixes this, rewriting the grammar does not.\n",
+        ),
+        Classification::PrecedenceResolved => out.push_str(
+            "  A precedence declaration silenced this conflict (see lint L009 for whether\n  \
+             the silenced conflict hides a genuine ambiguity).\n",
+        ),
+    }
+    if let Some(m) = &p.merge {
+        out.push_str(&format!(
+            "  State {} merges {} canonical variant{}:\n",
+            m.merged_state.index(),
+            m.variant_count,
+            if m.variant_count == 1 { "" } else { "s" },
+        ));
+        for (i, v) in m.variants.iter().enumerate() {
+            let names = |ts: &[usize]| -> String {
+                ts.iter()
+                    .map(|&t| g.display_name(g.terminal(t)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push_str(&format!(
+                "    variant {}: lookahead({}) = {{{}}}, lookahead({}) = {{{}}}\n",
+                i + 1,
+                crate::report::display_item_cup(g, c.reduce_item(g)),
+                names(&v.reduce_lookahead),
+                crate::report::display_item_cup(g, c.other_item(g)),
+                names(&v.other_lookahead),
+            ));
+        }
+    }
+    if p.chain.is_empty() {
+        out.push_str(&format!(
+            "  (no provenance chain: `{}` is not derivable from the relation tables)\n",
+            g.display_name(c.terminal),
+        ));
+    } else {
+        out.push_str(&format!(
+            "  Why `{}` is in the lookahead of {}:\n",
+            g.display_name(c.terminal),
+            crate::report::display_item_cup(g, c.reduce_item(g)),
+        ));
+        for step in &p.chain {
+            out.push_str("    - ");
+            out.push_str(&render_chain_step(g, step));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> Grammar {
+        Grammar::parse(
+            "%start stmt
+             %%
+             stmt : 'if' expr 'then' stmt 'else' stmt
+                  | 'if' expr 'then' stmt
+                  | expr '?' stmt stmt
+                  | 'arr' '[' expr ']' ':=' expr
+                  ;
+             expr : num | expr '+' expr ;
+             num  : digit | num digit ;",
+        )
+        .unwrap()
+    }
+
+    /// The textbook LALR-but-not-LR(1) grammar: canonical LR(1) separates
+    /// the contexts after `a` and `b`; LALR merges them into one state
+    /// with a reduce/reduce conflict.
+    fn merge_artifact_grammar() -> Grammar {
+        Grammar::parse(
+            "%% s : 'a' x 'd' | 'b' y 'd' | 'a' y 'e' | 'b' x 'e' ;
+             x : 'c' ;
+             y : 'c' ;",
+        )
+        .unwrap()
+    }
+
+    /// Dense wrapper: classification outcomes for all conflicts.
+    fn classify(g: &Grammar) -> GrammarProvenance {
+        let auto = Automaton::build(g);
+        let tables = auto.tables(g);
+        compute(g, &auto, &tables)
+    }
+
+    #[test]
+    fn dp_lookaheads_match_automaton_sets() {
+        for text in [
+            "%start stmt %% stmt : 'if' expr 'then' stmt 'else' stmt | 'if' expr 'then' stmt | expr '?' stmt stmt ; expr : NUM ;",
+            "%% S : T | S T ; T : X | Y ; X : 'a' ; Y : 'a' 'a' 'b' ;",
+            "%% s : a b 'z' ; a : 'x' | ; b : 'y' | ;",
+            "%% e : e '+' e | NUM ;",
+        ] {
+            let g = Grammar::parse(text).unwrap();
+            let auto = Automaton::build(&g);
+            let prov = ProvenanceTables::build(&g, &auto);
+            for sid in auto.state_ids() {
+                let st = auto.state(sid);
+                for (i, &it) in st.items().iter().enumerate() {
+                    if !it.is_reduce(&g) || it.prod() == g.accept_prod() {
+                        continue;
+                    }
+                    let dp = prov.lookahead(&g, &auto, sid, it.prod());
+                    let auto_la = st.lookahead(i);
+                    for t in 0..g.terminal_count() {
+                        assert_eq!(
+                            dp.contains(t),
+                            auto_la.contains(t),
+                            "grammar {text:?} state {sid:?} item {} terminal {}",
+                            it.display(&g),
+                            g.display_name(g.terminal(t)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_else_chain_ends_in_direct_read_of_else() {
+        let g = figure1();
+        let auto = Automaton::build(&g);
+        let tables = auto.tables(&g);
+        let prov = ProvenanceTables::build(&g, &auto);
+        let c = tables
+            .conflicts()
+            .iter()
+            .find(|c| g.display_name(c.terminal) == "else")
+            .expect("dangling else conflict");
+        let chain = prov.chain(&g, &auto, c.state, c.reduce_prod, g.tindex(c.terminal));
+        assert!(!chain.is_empty());
+        assert!(matches!(chain[0], ChainStep::Lookback { .. }));
+        match chain.last().unwrap() {
+            ChainStep::DirectRead { terminal, .. } => {
+                assert_eq!(g.display_name(*terminal), "else");
+            }
+            other => panic!("chain must end in a direct read, got {other:?}"),
+        }
+        // The explanation renders deterministically with spans.
+        let two = prov.chain(&g, &auto, c.state, c.reduce_prod, g.tindex(c.terminal));
+        assert_eq!(chain, two, "chain is deterministic");
+    }
+
+    #[test]
+    fn shift_reduce_conflicts_are_true_candidates() {
+        let gp = classify(&figure1());
+        assert!(!gp.conflicts.is_empty());
+        for o in &gp.conflicts {
+            let p = o.provenance().expect("no faults");
+            assert_eq!(p.classification, Classification::TrueAmbiguityCandidate);
+            assert!(p.lr1_checked);
+            assert!(p.merge.is_none());
+            assert!(!p.chain.is_empty());
+        }
+        assert_eq!(gp.lr1_states, 0, "no reduce/reduce: no LR(1) exploration");
+    }
+
+    #[test]
+    fn lalr_merge_is_classified_merge_artifact() {
+        let g = merge_artifact_grammar();
+        let gp = classify(&g);
+        let rr: Vec<_> = gp
+            .conflicts
+            .iter()
+            .filter_map(ProvenanceOutcome::provenance)
+            .filter(|p| matches!(p.conflict.kind, ConflictKind::ReduceReduce { .. }))
+            .collect();
+        assert!(!rr.is_empty(), "grammar has a reduce/reduce conflict");
+        for p in &rr {
+            assert_eq!(p.classification, Classification::MergeArtifact);
+            assert!(p.lr1_checked);
+            let m = p.merge.as_ref().expect("merge evidence");
+            assert_eq!(m.variant_count, 2, "two canonical contexts merged");
+            let ti = g.tindex(p.conflict.terminal);
+            for v in &m.variants {
+                assert!(
+                    !(v.reduce_lookahead.contains(&ti) && v.other_lookahead.contains(&ti)),
+                    "no canonical variant carries the conflict terminal in both lookaheads"
+                );
+            }
+            let text = format_provenance(&g, p);
+            assert!(text.contains("merge-artifact"));
+            assert!(text.contains("splitting states fixes this"));
+        }
+        assert!(gp.lr1_states > 0);
+        assert!(!gp.lr1_budget_exhausted);
+    }
+
+    #[test]
+    fn genuinely_ambiguous_reduce_reduce_is_true_candidate() {
+        // Two nonterminals deriving the same terminal with the same
+        // follow: the conflict survives any amount of state splitting.
+        let g = Grammar::parse("%% s : a X | b X ; a : T ; b : T ;").unwrap();
+        let gp = classify(&g);
+        let p = gp.conflicts[0].provenance().expect("classified");
+        assert!(matches!(p.conflict.kind, ConflictKind::ReduceReduce { .. }));
+        assert_eq!(p.classification, Classification::TrueAmbiguityCandidate);
+        assert!(p.lr1_checked, "LR(1) check completed and confirmed");
+    }
+
+    #[test]
+    fn resolutions_are_precedence_resolved_with_chains() {
+        let g = Grammar::parse("%left '+' %% e : e '+' e | NUM ;").unwrap();
+        let gp = classify(&g);
+        assert!(gp.conflicts.is_empty());
+        assert!(!gp.resolutions.is_empty());
+        for r in &gp.resolutions {
+            assert_eq!(r.classification, Classification::PrecedenceResolved);
+            assert!(!r.chain.is_empty(), "silenced terminal has a chain too");
+        }
+        let counts = gp.counts();
+        assert_eq!(counts.precedence_resolved, gp.resolutions.len() as u64);
+        assert_eq!(counts.true_candidates + counts.merge_artifacts, 0);
+    }
+
+    #[test]
+    fn counts_tally_by_classification() {
+        let gp = classify(&merge_artifact_grammar());
+        let counts = gp.counts();
+        assert!(counts.merge_artifacts >= 1);
+        assert_eq!(counts.internal, 0);
+        assert_eq!(
+            counts.true_candidates + counts.merge_artifacts,
+            gp.conflicts.len() as u64
+        );
+    }
+
+    #[test]
+    fn compute_is_deterministic() {
+        for text in [
+            "%% s : 'a' x 'd' | 'b' y 'd' | 'a' y 'e' | 'b' x 'e' ; x : 'c' ; y : 'c' ;",
+            "%% e : e '+' e | NUM ;",
+        ] {
+            let g = Grammar::parse(text).unwrap();
+            let a = classify(&g);
+            let b = classify(&g);
+            assert_eq!(a.conflicts, b.conflicts, "{text}");
+            assert_eq!(a.resolutions, b.resolutions, "{text}");
+            let ga = &g;
+            let rendered: Vec<String> = a
+                .conflicts
+                .iter()
+                .filter_map(ProvenanceOutcome::provenance)
+                .map(|p| format_provenance(ga, p))
+                .collect();
+            let rendered2: Vec<String> = b
+                .conflicts
+                .iter()
+                .filter_map(ProvenanceOutcome::provenance)
+                .map(|p| format_provenance(ga, p))
+                .collect();
+            assert_eq!(rendered, rendered2);
+        }
+    }
+
+    #[test]
+    fn estimated_bytes_are_nonzero() {
+        let gp = classify(&figure1());
+        assert!(gp.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_unchecked_candidate() {
+        let g = merge_artifact_grammar();
+        let auto = Automaton::build(&g);
+        let prov = ProvenanceTables::build(&g, &auto);
+        let tables = auto.tables(&g);
+        let c = tables.conflicts()[0];
+        let core = lalr_core(&auto, c.state);
+        let lr1 = explore_lr1(&g, auto.analysis(), std::slice::from_ref(&core), 1);
+        assert!(lr1.exhausted);
+        let p = classify_conflict(&g, &auto, &prov, Some(&lr1), &c);
+        assert_eq!(p.classification, Classification::TrueAmbiguityCandidate);
+        assert!(!p.lr1_checked);
+    }
+}

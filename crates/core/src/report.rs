@@ -236,7 +236,8 @@ impl<'g> Analyzer<'g> {
         self.analyze_all_cancellable(cfg, &cancel)
     }
 
-    /// [`Analyzer::analyze_all`] under an external [`CancelToken`]: a hard
+    /// [`Analyzer::analyze_all`] under an external
+    /// [`CancelToken`](crate::cancel::CancelToken): a hard
     /// (signal) cancel stops in-flight searches at their next stride poll
     /// and stubs unstarted conflicts with [`ExampleKind::Cancelled`]
     /// reports, so the report still has one entry per conflict.

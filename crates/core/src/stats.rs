@@ -96,6 +96,23 @@ pub struct GrammarStats {
     pub cache_misses: u64,
     /// Engine-cache evictions; see [`Self::cache_hits`].
     pub cache_evictions: u64,
+    /// Conflicts classified true-ambiguity-candidate by the provenance
+    /// analysis. Filled by [`Self::record_provenance`] when the caller ran
+    /// it; all-zero classification counters mean provenance was not
+    /// requested.
+    pub class_true_candidates: u64,
+    /// Conflicts classified merge-artifact; see [`Self::class_true_candidates`].
+    pub class_merge_artifacts: u64,
+    /// Precedence-resolved (silenced) conflicts; see
+    /// [`Self::class_true_candidates`].
+    pub class_precedence_resolved: u64,
+    /// Conflict slots whose classification faulted (contained); see
+    /// [`Self::class_true_candidates`].
+    pub class_internal: u64,
+    /// Canonical LR(1) states explored by the merge-artifact check.
+    pub lr1_states: u64,
+    /// Time spent in the provenance analysis (zero on a memoized engine).
+    pub provenance_time: Duration,
 }
 
 impl GrammarStats {
@@ -110,6 +127,18 @@ impl GrammarStats {
         self.search.merge(&s.search);
         self.spine_nodes += s.spine_nodes;
         self.cpu_time += s.time_spine + s.time_unifying + s.time_nonunifying;
+    }
+
+    /// Folds a grammar's provenance classification tallies into the
+    /// aggregate (called by the layer that ran the provenance analysis).
+    pub fn record_provenance(&mut self, p: &crate::provenance::GrammarProvenance) {
+        let c = p.counts();
+        self.class_true_candidates += c.true_candidates;
+        self.class_merge_artifacts += c.merge_artifacts;
+        self.class_precedence_resolved += c.precedence_resolved;
+        self.class_internal += c.internal;
+        self.lr1_states += p.lr1_states as u64;
+        self.provenance_time += p.compute_time;
     }
 }
 
@@ -137,6 +166,7 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
          \u{20} unifying search: {} explored, {} enqueued, {} deduped, frontier peak {}\n\
          \u{20} memory: live-bytes peak {}, {} sheds\n\
          \u{20} engine cache: {} hits / {} misses / {} evictions\n\
+         \u{20} provenance: {} true-ambiguity / {} merge-artifact / {} precedence-resolved / {} internal (lr1 states {}, {:.1}ms)\n\
          \u{20} time: {:.1}ms wall, {:.1}ms cpu across conflicts",
         stats.conflicts,
         stats.workers,
@@ -153,6 +183,12 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,
+        stats.class_true_candidates,
+        stats.class_merge_artifacts,
+        stats.class_precedence_resolved,
+        stats.class_internal,
+        stats.lr1_states,
+        stats.provenance_time.as_secs_f64() * 1e3,
         wall.as_secs_f64() * 1e3,
         stats.cpu_time.as_secs_f64() * 1e3,
     )

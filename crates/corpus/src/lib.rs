@@ -30,6 +30,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lalrcex_grammar::{Grammar, GrammarError};
 
 /// Which section of Table 1 an entry belongs to.

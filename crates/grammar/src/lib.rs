@@ -29,6 +29,8 @@
 //! # Ok::<(), lalrcex_grammar::GrammarError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod analysis;
 mod derivation;
 mod grammar;

@@ -283,7 +283,7 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
             Some(Tok::Directive(_)) => {
                 let decl_line = p.peek_line();
                 let Some(Tok::Directive(d)) = p.bump() else {
-                    unreachable!()
+                    return Err(p.err("internal: directive token vanished between peek and bump"));
                 };
                 match d.as_str() {
                     "token" | "term" => {
@@ -291,7 +291,9 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
                             let name_line = p.peek_line();
                             let (Some(Tok::Ident(name)) | Some(Tok::Quoted(name))) = p.bump()
                             else {
-                                unreachable!()
+                                return Err(
+                                    p.err("internal: name token vanished between peek and bump")
+                                );
                             };
                             b.token_at(&name, name_line);
                         }
@@ -306,7 +308,9 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
                         while matches!(p.peek(), Some(Tok::Ident(_) | Tok::Quoted(_))) {
                             let (Some(Tok::Ident(name)) | Some(Tok::Quoted(name))) = p.bump()
                             else {
-                                unreachable!()
+                                return Err(
+                                    p.err("internal: name token vanished between peek and bump")
+                                );
                             };
                             names.push(name);
                         }
@@ -334,7 +338,7 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
             return Err(p.err(format!("expected rule name, found {tok:?}")));
         };
         let Some(Tok::Ident(lhs)) = p.bump() else {
-            unreachable!()
+            return Err(p.err("internal: rule-name token vanished between peek and bump"));
         };
         match p.bump() {
             Some(Tok::Colon) => {}
@@ -353,14 +357,18 @@ pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, GrammarError> {
                 match p.peek() {
                     Some(Tok::Ident(_)) => {
                         let Some(Tok::Ident(s)) = p.bump() else {
-                            unreachable!()
+                            return Err(
+                                p.err("internal: symbol token vanished between peek and bump")
+                            );
                         };
                         rhs.push(s);
                     }
                     Some(Tok::Quoted(_)) => {
                         let quoted_line = p.peek_line();
                         let Some(Tok::Quoted(s)) = p.bump() else {
-                            unreachable!()
+                            return Err(
+                                p.err("internal: quoted token vanished between peek and bump")
+                            );
                         };
                         // Quoted literals are always terminals; declaring
                         // them surfaces accidental collisions with

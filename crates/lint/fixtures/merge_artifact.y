@@ -1,0 +1,10 @@
+// L010: the textbook LALR-but-not-LR(1) grammar. Canonical LR(1) keeps
+// the post-'a' context (x before 'd', y before 'e') apart from the
+// post-'b' context (x before 'e', y before 'd'); LALR merges the two
+// states with core {x : 'c' ., y : 'c' .} and the merged lookaheads
+// collide -- a reduce/reduce conflict no grammar rewrite is needed for:
+// splitting the states removes it.
+%%
+s : 'a' x 'd' | 'b' y 'd' | 'a' y 'e' | 'b' x 'e' ;
+x : 'c' ;
+y : 'c' ;

@@ -1,0 +1,10 @@
+// L011: the dangling else. The provenance pass attaches to the conflict
+// an informational chain explaining how `else` enters the lookahead of
+// `s : 'if' e 'then' s .` -- a lookback to the goto on `s`, then the
+// direct read of `else` after it.
+%%
+s : 'if' e 'then' s 'else' s
+  | 'if' e 'then' s
+  | OTHER
+  ;
+e : ID ;

@@ -6,6 +6,8 @@
 //! lint-snapshot --table    # print the per-grammar diagnostic-count markdown table
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lalrcex_lint::snapshot::{corpus_counts, corpus_snapshot, snapshot_path};
 use std::process::ExitCode;
 

@@ -36,6 +36,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lalrcex_core::Engine;
 use lalrcex_grammar::Grammar;
 
@@ -247,10 +249,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_reports_nine_codes() {
+    fn registry_reports_eleven_codes() {
         let l = Linter::new();
         let codes: Vec<&str> = l.passes().map(|p| p.code().id).collect();
-        assert_eq!(codes.len(), 9);
+        assert_eq!(codes.len(), 11);
         let mut dedup = codes.clone();
         dedup.dedup();
         assert_eq!(codes, dedup, "codes are unique and ordered");

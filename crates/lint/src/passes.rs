@@ -7,7 +7,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use lalrcex_core::ResolutionProbe;
+use lalrcex_core::{render_chain_step, ChainStep, Classification, ResolutionProbe};
 use lalrcex_grammar::{Grammar, ProdId, SymbolId};
 
 use crate::{Diagnostic, LintCode, LintContext, LintPass, Related, Severity, Span};
@@ -24,6 +24,8 @@ pub(crate) fn all_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(NullableRepetition),
         Box::new(UnusedPrecedence),
         Box::new(ConflictMasking),
+        Box::new(MergeArtifactConflict),
+        Box::new(ConflictProvenanceInfo),
     ]
 }
 
@@ -562,6 +564,129 @@ impl LintPass for ConflictMasking {
     }
 }
 
+/// The span anchoring one provenance chain step (the production or symbol
+/// declaration the step talks about).
+fn step_span(g: &Grammar, step: &ChainStep) -> Option<Span> {
+    match *step {
+        ChainStep::Lookback { prod, .. } | ChainStep::Includes { via_prod: prod, .. } => {
+            prod_span(g, prod)
+        }
+        ChainStep::Reads { nullable_nt, .. } => sym_span(g, nullable_nt),
+        ChainStep::DirectRead { terminal, .. } => sym_span(g, terminal),
+    }
+}
+
+/// `L010` — reduce/reduce conflicts that exist only because LALR merged
+/// distinguishable LR(1) cores: an IELR/canonical generator (or manual
+/// state splitting) fixes them; rewriting the grammar does not.
+struct MergeArtifactConflict;
+
+impl LintPass for MergeArtifactConflict {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L010",
+            name: "lalr-merge-artifact",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "conflict exists only because LALR merged distinguishable LR(1) states"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let Ok(prov) = ctx.engine.provenance() else {
+            // A contained provenance fault degrades this pass to silence;
+            // the conflicts themselves are still reported by the engine.
+            return;
+        };
+        for p in prov
+            .conflicts
+            .iter()
+            .filter_map(|o| o.provenance())
+            .filter(|p| p.classification == Classification::MergeArtifact)
+        {
+            let c = &p.conflict;
+            let variants = p.merge.as_ref().map_or(0, |m| m.variant_count);
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Warning,
+                message: format!(
+                    "reduce/reduce conflict on `{}` (state #{}) is an LALR merge artifact: \
+                     the state merges {} canonical LR(1) variants whose lookaheads distinguish \
+                     `{}` from `{}` — splitting states fixes this, rewriting the grammar does not",
+                    g.display_name(c.terminal),
+                    c.state.index(),
+                    variants,
+                    g.format_prod(c.reduce_prod),
+                    g.format_prod(c.other_item(g).prod()),
+                ),
+                span: prod_span(g, c.reduce_prod),
+                related: vec![Related {
+                    message: format!(
+                        "competing reduction `{}` defined here",
+                        g.format_prod(c.other_item(g).prod()),
+                    ),
+                    span: prod_span(g, c.other_item(g).prod()),
+                }],
+            });
+        }
+    }
+}
+
+/// `L011` — informational provenance for every unresolved conflict: its
+/// classification and the concrete chain of `lookback`/`includes`/`reads`
+/// edges that carried the conflict terminal into the lookahead.
+struct ConflictProvenanceInfo;
+
+impl LintPass for ConflictProvenanceInfo {
+    fn code(&self) -> LintCode {
+        LintCode {
+            id: "L011",
+            name: "conflict-provenance",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "lookahead provenance attached to an unresolved conflict"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let g = ctx.facts.grammar;
+        let Ok(prov) = ctx.engine.provenance() else {
+            return;
+        };
+        for p in prov.conflicts.iter().filter_map(|o| o.provenance()) {
+            let c = &p.conflict;
+            let related = p
+                .chain
+                .iter()
+                .map(|step| Related {
+                    message: render_chain_step(g, step),
+                    span: step_span(g, step),
+                })
+                .collect();
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Info,
+                message: format!(
+                    "conflict on `{}` (state #{}) classified {}: lookahead `{}` reaches \
+                     `{}` through {} relation step{}",
+                    g.display_name(c.terminal),
+                    c.state.index(),
+                    p.classification.label(),
+                    g.display_name(c.terminal),
+                    g.format_prod(c.reduce_prod),
+                    p.chain.len(),
+                    if p.chain.len() == 1 { "" } else { "s" },
+                ),
+                span: prod_span(g, c.reduce_prod),
+                related,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +830,63 @@ mod tests {
         assert!(mask.message.contains("two parses"), "{}", mask.message);
         assert_eq!(mask.span, Some(Span { line: 3 }), "points at e : e '+' e");
         assert_eq!(mask.related[0].span, Some(Span { line: 1 }));
+    }
+
+    #[test]
+    fn merge_artifact_flagged_with_competing_reduction() {
+        // The textbook LALR-but-not-LR(1) grammar: canonical LR(1) keeps
+        // the post-'a' and post-'b' contexts apart; LALR merges them.
+        let g = Grammar::parse(
+            "%%\ns : 'a' x 'd' | 'b' y 'd' | 'a' y 'e' | 'b' x 'e' ;\nx : 'c' ;\ny : 'c' ;",
+        )
+        .unwrap();
+        let d = lint(&g);
+        let merge = d
+            .iter()
+            .find(|x| x.code.name == "lalr-merge-artifact")
+            .expect("merge artifact flagged");
+        assert_eq!(merge.severity, Severity::Warning);
+        assert!(merge.message.contains("splitting states fixes this"));
+        assert_eq!(merge.related.len(), 1);
+        assert!(merge.related[0].message.contains("competing reduction"));
+        // The dangling-else conflict is NOT a merge artifact.
+        let g2 =
+            Grammar::parse("%% s : 'if' e 'then' s 'else' s | 'if' e 'then' s | OTHER ; e : ID ;")
+                .unwrap();
+        assert!(lint(&g2)
+            .iter()
+            .all(|x| x.code.name != "lalr-merge-artifact"));
+    }
+
+    #[test]
+    fn provenance_info_attached_to_every_conflict() {
+        let g = Grammar::parse(
+            "%%\ns : 'if' e 'then' s 'else' s | 'if' e 'then' s | OTHER ;\ne : ID ;",
+        )
+        .unwrap();
+        let d = lint(&g);
+        let prov: Vec<_> = d
+            .iter()
+            .filter(|x| x.code.name == "conflict-provenance")
+            .collect();
+        assert_eq!(prov.len(), 1, "one unresolved conflict: {d:?}");
+        assert_eq!(prov[0].severity, Severity::Info);
+        assert!(prov[0].message.contains("true-ambiguity-candidate"));
+        assert!(
+            !prov[0].related.is_empty(),
+            "chain steps ride along as related spans"
+        );
+        assert!(prov[0]
+            .related
+            .last()
+            .unwrap()
+            .message
+            .contains("shifts `else`"));
+        // A conflict-free grammar gets no provenance diagnostics.
+        let g2 = Grammar::parse("%% s : s 'a' | 'a' ;").unwrap();
+        assert!(lint(&g2)
+            .iter()
+            .all(|x| x.code.name != "conflict-provenance"));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub struct Fixture {
     pub text: &'static str,
 }
 
-/// The fixture set, one per diagnostic code L001–L009, in code order.
+/// The fixture set, one per diagnostic code L001–L011, in code order.
 pub fn fixtures() -> Vec<Fixture> {
     vec![
         Fixture {
@@ -72,6 +72,16 @@ pub fn fixtures() -> Vec<Fixture> {
             name: "masked_ambiguity",
             expect: "L009",
             text: include_str!("../fixtures/masked_ambiguity.y"),
+        },
+        Fixture {
+            name: "merge_artifact",
+            expect: "L010",
+            text: include_str!("../fixtures/merge_artifact.y"),
+        },
+        Fixture {
+            name: "provenance",
+            expect: "L011",
+            text: include_str!("../fixtures/provenance.y"),
         },
     ]
 }
@@ -212,6 +222,22 @@ mod tests {
         assert!(
             corpus_part.contains("conflict-masking-resolution/L009"),
             "expected >= 1 L009 finding over the corpus"
+        );
+    }
+
+    /// ISSUE acceptance: at least one Table 1 corpus conflict is an LALR
+    /// merge artifact, pinned here with its merged-core provenance.
+    #[test]
+    fn corpus_has_a_merge_artifact() {
+        let snap = cached();
+        let corpus_part = snap.split("== corpus:").skip(1).collect::<String>();
+        assert!(
+            corpus_part.contains("lalr-merge-artifact/L010"),
+            "expected >= 1 L010 finding over the corpus"
+        );
+        assert!(
+            corpus_part.contains("canonical LR(1) variants"),
+            "merge evidence (merged cores) rides in the message"
         );
     }
 

@@ -31,6 +31,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod automaton;
 mod conflict;
 pub mod glr;

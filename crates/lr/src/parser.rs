@@ -1,6 +1,6 @@
 //! Deterministic table-driven LR parsing.
 //!
-//! Parses a token stream with the resolved [`Tables`](crate::Tables),
+//! Parses a token stream with the resolved [`Tables`],
 //! producing a [`Derivation`] tree. Because unresolved conflicts are given
 //! yacc defaults during table construction, this parser is total over the
 //! table — but the point of the toolkit is that those defaults may not be

@@ -38,6 +38,12 @@ cargo test -q -p lalrcex-cli --test cli
 echo "==> panic gate (engine non-test code)"
 scripts/panic_gate.sh
 
+echo "==> unsafe gate (forbid everywhere; scoped allows in cli sigint + core cache)"
+scripts/unsafe_gate.sh
+
+echo "==> rustdoc (no warnings, no broken intra-doc links)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --lib -q
+
 echo "==> chaos suite (deterministic fault injection)"
 cargo test -q --features failpoints --test chaos
 

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Gate: no new `panic!(` or `.unwrap()` in the conflict engine's non-test
-# code (crates/core/src). The engine's containment boundaries turn panics
-# into structured `EngineError`s, but the cheapest contained panic is the
-# one never written: internal failures should be `EngineError` values
-# (crates/core/src/error.rs), and fallible lookups should return
-# `Option`/`Result`. Documented invariants may use `.expect("why")`.
+# Gate: no new `panic!(`, `.unwrap()`, `.expect(`, `unreachable!(`, or
+# `todo!(` in the engine crates' non-test code (crates/grammar, crates/lr,
+# crates/core). The engine's containment boundaries turn panics into
+# structured `EngineError`s, but the cheapest contained panic is the one
+# never written: internal failures should be `EngineError` values
+# (crates/core/src/error.rs) or `GrammarError`s, and fallible lookups
+# should return `Option`/`Result`.
 #
 # Test modules (everything from the first `#[cfg(test)]` to EOF, the
 # repo's convention) are exempt. Genuinely intended occurrences — the
-# fault-injection probes whose entire job is to panic — are listed in
-# scripts/panic_allowlist.txt as `file|substring` lines.
+# fault-injection probes whose entire job is to panic, and `.expect`s
+# documenting structural invariants whose violation *is* the bug a
+# containment boundary should catch loudly — are listed in
+# scripts/panic_allowlist.txt as `file|substring` lines, each with a
+# justification comment.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,10 +21,11 @@ allowlist="scripts/panic_allowlist.txt"
 found="$(mktemp)"
 trap 'rm -f "$found"' EXIT
 
-for f in crates/core/src/*.rs; do
+for f in crates/grammar/src/*.rs crates/lr/src/*.rs crates/core/src/*.rs; do
   awk -v file="$f" '
     /^#\[cfg\(test\)\]/ || /^#\[cfg\(all\(test/ { exit }
-    $0 !~ /^[[:space:]]*\/\// && /panic!\(|\.unwrap\(\)/ {
+    $0 !~ /^[[:space:]]*\/\// && \
+      (/panic!\(/ || /\.unwrap\(\)/ || /\.expect\(/ || /unreachable!\(/ || /todo!\(/) {
       printf "%s:%d: %s\n", file, FNR, $0
     }' "$f" >> "$found"
 done
@@ -37,7 +42,7 @@ while IFS= read -r hit; do
     fi
   done < "$allowlist"
   if [[ "$ok" -eq 0 ]]; then
-    echo "panic-gate: forbidden panic!/unwrap() in engine non-test code:" >&2
+    echo "panic-gate: forbidden panic!/unwrap()/expect()/unreachable!/todo! in engine non-test code:" >&2
     echo "  $hit" >&2
     bad=1
   fi
@@ -45,8 +50,10 @@ done < "$found"
 
 if [[ "$bad" -ne 0 ]]; then
   echo "panic-gate: return a structured EngineError (crates/core/src/error.rs)" >&2
-  echo "instead, or add a \`file|substring\` line to $allowlist if the panic" >&2
-  echo "is genuinely intended (e.g. a fault-injection probe)." >&2
+  echo "or GrammarError instead, or add a \`file|substring\` line with a" >&2
+  echo "justification comment to $allowlist if the occurrence is genuinely" >&2
+  echo "intended (a fault-injection probe, or an invariant whose violation" >&2
+  echo "should trip a containment boundary loudly)." >&2
   exit 1
 fi
 echo "panic-gate: OK ($(grep -c . "$found" || true) allowlisted occurrences)"

@@ -36,14 +36,18 @@
 pub mod json;
 mod report_json;
 
-pub use report_json::{report_document, SCHEMA_VERSION};
+pub use report_json::{explain_document, report_document, SCHEMA_VERSION};
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
-use lalrcex_core::cache::{BuildError, CacheStats, CachedEngine, EngineCache};
-use lalrcex_core::{CancelToken, CexConfig, EngineError, GrammarReport};
+use lalrcex_core::cache::{BuildError, CacheEntryStats, CacheStats, CachedEngine, EngineCache};
+use lalrcex_core::{
+    format_provenance, CancelToken, CexConfig, EngineError, GrammarProvenance, GrammarReport,
+    ProvenanceOutcome,
+};
 use lalrcex_grammar::GrammarError;
 use lalrcex_lint::{Diagnostic, Linter};
 
@@ -260,6 +264,106 @@ impl AnalysisReply {
     }
 }
 
+/// The result of [`Session::explain`]: the full analysis reply plus the
+/// lookahead-provenance classification of every conflict and resolution.
+pub struct ExplainReply {
+    cached: Arc<CachedEngine>,
+    /// Per-grammar provenance: one classified (or contained-fault) slot per
+    /// conflict, one record per silenced resolution, exploration counters.
+    pub provenance: Arc<GrammarProvenance>,
+    /// The §5 report the classifications are corroborated against.
+    pub report: GrammarReport,
+    /// Whether the engine came from the session cache.
+    pub cache_hit: bool,
+    label: String,
+}
+
+impl ExplainReply {
+    /// The parsed grammar.
+    pub fn grammar(&self) -> &lalrcex_grammar::Grammar {
+        self.cached.grammar()
+    }
+
+    /// The engine (automaton, tables, state-item graph, spine memo).
+    pub fn engine(&self) -> &lalrcex_core::Engine<'_> {
+        self.cached.engine()
+    }
+
+    /// Whether the §5 search corroborated conflict `i` with a unifying
+    /// example (a proof the candidate is genuinely ambiguous).
+    pub fn corroborated(&self, i: usize) -> bool {
+        self.report
+            .reports
+            .get(i)
+            .is_some_and(|r| r.unifying.is_some())
+    }
+
+    /// The schema-v1 JSON document with the `provenance` block attached to
+    /// every conflict and resolution (see [`explain_document`]).
+    pub fn to_json(&self) -> json::Json {
+        explain_document(
+            &self.label,
+            self.grammar(),
+            self.engine().automaton().state_count(),
+            self.engine().tables().resolutions(),
+            &self.report,
+            &self.provenance,
+        )
+    }
+
+    /// Renders the deterministic text explanation, optionally restricted to
+    /// one conflict index (`lalrcex explain --conflict N`).
+    ///
+    /// Byte-identical across runs, worker counts, and cache temperature:
+    /// everything rendered comes from the clock-free provenance tables and
+    /// the deterministic report.
+    pub fn render_text(&self, only: Option<usize>) -> String {
+        let g = self.grammar();
+        let counts = self.provenance.counts();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} conflict(s): {} true-ambiguity-candidate, {} merge-artifact, \
+             {} internal; {} precedence-resolved resolution(s)",
+            self.label,
+            self.provenance.conflicts.len(),
+            counts.true_candidates,
+            counts.merge_artifacts,
+            counts.internal,
+            counts.precedence_resolved,
+        );
+        for (i, outcome) in self.provenance.conflicts.iter().enumerate() {
+            if only.is_some_and(|n| n != i) {
+                continue;
+            }
+            let _ = writeln!(out, "\n== conflict #{i} ==");
+            match outcome {
+                ProvenanceOutcome::Classified(p) => {
+                    out.push_str(&format_provenance(g, p));
+                    if self.corroborated(i) {
+                        out.push_str(
+                            "Corroborated: the counterexample search found a unifying \
+                             example, proving the ambiguity is real.\n",
+                        );
+                    }
+                }
+                ProvenanceOutcome::Internal(e) => {
+                    let _ = writeln!(out, "classification failed (contained fault): {e}");
+                }
+            }
+        }
+        if only.is_none() && !self.provenance.resolutions.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{} conflict(s) silenced by precedence/associativity \
+                 (see lint L009 for masking analysis)",
+                self.provenance.resolutions.len()
+            );
+        }
+        out
+    }
+}
+
 /// The result of [`Session::lint`].
 pub struct LintReply {
     cached: Arc<CachedEngine>,
@@ -316,6 +420,13 @@ impl Session {
         self.cache.stats()
     }
 
+    /// Per-cache-entry byte breakdowns, most recently used first, with each
+    /// entry's charge re-sampled so lazily built tables (the spine memo,
+    /// the provenance tables) are accounted for.
+    pub fn cache_entry_stats(&self) -> Vec<CacheEntryStats> {
+        self.cache.entry_stats()
+    }
+
     /// Analyzes every conflict of the request's grammar. The engine comes
     /// from the session cache when the same text was analyzed before
     /// (byte-identical reports either way).
@@ -333,6 +444,35 @@ impl Session {
         report.stats.cache_evictions = cache.evictions;
         Ok(AnalysisReply {
             cached,
+            report,
+            cache_hit,
+            label: req.label.clone(),
+        })
+    }
+
+    /// Classifies every conflict of the request's grammar (true-ambiguity
+    /// candidate / LALR merge artifact / precedence-resolved) and runs the
+    /// §5 search to corroborate candidates with unifying examples.
+    ///
+    /// The provenance tables are computed once per cached engine and shared
+    /// by later `explain` calls on the same grammar text.
+    pub fn explain(&self, req: &AnalysisRequest) -> Result<ExplainReply, Error> {
+        let (cached, cache_hit) = self.cache.get_or_build(&req.grammar)?;
+        let provenance = cached.engine().provenance()?;
+        let fallback = CancelToken::new();
+        let cancel = req.cancel.as_ref().unwrap_or(&fallback);
+        let mut report =
+            cached
+                .engine()
+                .analyze_all_cancellable(&req.cfg, req.cfg.cumulative_limit, cancel);
+        let cache = self.cache.stats();
+        report.stats.cache_hits = cache.hits;
+        report.stats.cache_misses = cache.misses;
+        report.stats.cache_evictions = cache.evictions;
+        report.stats.record_provenance(&provenance);
+        Ok(ExplainReply {
+            cached,
+            provenance,
             report,
             cache_hit,
             label: req.label.clone(),

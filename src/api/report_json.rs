@@ -12,7 +12,10 @@
 //! versus cold caches. Observability data lives in the serve `stats`
 //! request and the CLI's `--stats` text output instead.
 
-use lalrcex_core::{display_item_cup, ConflictOutcome, ConflictReport, ExampleKind, GrammarReport};
+use lalrcex_core::{
+    display_item_cup, render_chain_step, ChainStep, ConflictOutcome, ConflictReport, ExampleKind,
+    GrammarProvenance, GrammarReport, ProvenanceOutcome,
+};
 use lalrcex_grammar::{Derivation, Grammar};
 use lalrcex_lr::{ConflictKind, Item, Resolution};
 
@@ -32,6 +35,33 @@ pub fn report_document(
     resolutions: &[Resolution],
     report: &GrammarReport,
 ) -> Json {
+    document(label, g, states, resolutions, report, None)
+}
+
+/// [`report_document`] with the optional `provenance` block attached to
+/// every conflict and resolution — the document `lalrcex explain` and the
+/// serve `explain` op emit. Still schema version 1: the block is purely
+/// additive, so consumers (and the committed golden) of the plain document
+/// are unaffected.
+pub fn explain_document(
+    label: &str,
+    g: &Grammar,
+    states: usize,
+    resolutions: &[Resolution],
+    report: &GrammarReport,
+    provenance: &GrammarProvenance,
+) -> Json {
+    document(label, g, states, resolutions, report, Some(provenance))
+}
+
+fn document(
+    label: &str,
+    g: &Grammar,
+    states: usize,
+    resolutions: &[Resolution],
+    report: &GrammarReport,
+    provenance: Option<&GrammarProvenance>,
+) -> Json {
     let grammar = obj()
         .push("terminals", Json::num((g.terminal_count() - 1) as u32))
         .push(
@@ -45,11 +75,15 @@ pub fn report_document(
     let resolutions = Json::Arr(
         resolutions
             .iter()
-            .map(|r| {
-                obj()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut b = obj()
                     .push("state", Json::num(r.state.index() as u32))
-                    .push("terminal", Json::str(g.display_name(r.terminal)))
-                    .build()
+                    .push("terminal", Json::str(g.display_name(r.terminal)));
+                if let Some(rp) = provenance.and_then(|p| p.resolutions.get(i)) {
+                    b = b.push("provenance", resolution_provenance_document(g, rp));
+                }
+                b.build()
             })
             .collect(),
     );
@@ -57,7 +91,8 @@ pub fn report_document(
         report
             .reports
             .iter()
-            .map(|r| conflict_document(g, r))
+            .enumerate()
+            .map(|(i, r)| conflict_document(g, r, provenance.and_then(|p| p.conflicts.get(i))))
             .collect(),
     );
     obj()
@@ -101,7 +136,112 @@ fn pretty_top(g: &Grammar, d: &Derivation) -> String {
     }
 }
 
-fn conflict_document(g: &Grammar, r: &ConflictReport) -> Json {
+/// The stable string naming a chain step's relation.
+fn step_kind(step: &ChainStep) -> &'static str {
+    match step {
+        ChainStep::Lookback { .. } => "lookback",
+        ChainStep::Includes { .. } => "includes",
+        ChainStep::Reads { .. } => "reads",
+        ChainStep::DirectRead { .. } => "direct-read",
+    }
+}
+
+/// Renders a provenance chain as an array of `{relation, text}` objects.
+fn chain_document(g: &Grammar, chain: &[ChainStep]) -> Json {
+    Json::Arr(
+        chain
+            .iter()
+            .map(|s| {
+                obj()
+                    .push("relation", Json::str(step_kind(s)))
+                    .push("text", Json::str(render_chain_step(g, s)))
+                    .build()
+            })
+            .collect(),
+    )
+}
+
+/// Renders a dense terminal-index set as an array of display names.
+fn lookahead_document(g: &Grammar, tindices: &[usize]) -> Json {
+    Json::Arr(
+        tindices
+            .iter()
+            .map(|&t| Json::str(g.display_name(g.terminal(t))))
+            .collect(),
+    )
+}
+
+/// The optional `provenance` member of a conflict document.
+///
+/// `corroborated` is the §5 join: `true` when the search proved the
+/// candidate genuinely ambiguous with a unifying example.
+fn conflict_provenance_document(
+    g: &Grammar,
+    outcome: &ProvenanceOutcome,
+    corroborated: bool,
+) -> Json {
+    let p = match outcome {
+        ProvenanceOutcome::Classified(p) => p,
+        ProvenanceOutcome::Internal(e) => {
+            return obj()
+                .push("classification", Json::Null)
+                .push(
+                    "internal",
+                    obj()
+                        .push("phase", Json::str(e.phase))
+                        .push("message", Json::str(&e.message))
+                        .build(),
+                )
+                .build();
+        }
+    };
+    obj()
+        .push("classification", Json::str(p.classification.label()))
+        .push("lr1_checked", Json::Bool(p.lr1_checked))
+        .push("corroborated", Json::Bool(corroborated))
+        .push("chain", chain_document(g, &p.chain))
+        .push(
+            "merge",
+            match &p.merge {
+                Some(m) => obj()
+                    .push("merged_state", Json::num(m.merged_state.index() as u32))
+                    .push("variant_count", Json::num(m.variant_count as u32))
+                    .push(
+                        "variants",
+                        Json::Arr(
+                            m.variants
+                                .iter()
+                                .map(|v| {
+                                    obj()
+                                        .push(
+                                            "reduce_lookahead",
+                                            lookahead_document(g, &v.reduce_lookahead),
+                                        )
+                                        .push(
+                                            "other_lookahead",
+                                            lookahead_document(g, &v.other_lookahead),
+                                        )
+                                        .build()
+                                })
+                                .collect(),
+                        ),
+                    )
+                    .build(),
+                None => Json::Null,
+            },
+        )
+        .build()
+}
+
+/// The `provenance` member of a resolution document.
+fn resolution_provenance_document(g: &Grammar, rp: &lalrcex_core::ResolutionProvenance) -> Json {
+    obj()
+        .push("classification", Json::str(rp.classification.label()))
+        .push("chain", chain_document(g, &rp.chain))
+        .build()
+}
+
+fn conflict_document(g: &Grammar, r: &ConflictReport, prov: Option<&ProvenanceOutcome>) -> Json {
     let c = &r.conflict;
     let (kind, other_item) = match c.kind {
         ConflictKind::ShiftReduce { shift_item } => {
@@ -177,6 +317,13 @@ fn conflict_document(g: &Grammar, r: &ConflictReport) -> Json {
             None => Json::Null,
         },
     );
+
+    if let Some(outcome) = prov {
+        b = b.push(
+            "provenance",
+            conflict_provenance_document(g, outcome, r.unifying.is_some()),
+        );
+    }
 
     b.build()
 }

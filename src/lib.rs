@@ -24,6 +24,8 @@
 //! surface: they are `#[doc(hidden)]` and excluded from the public-API
 //! gate (`scripts/api_gate.sh`), and may change shape between releases.
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod prng;
 pub mod service;

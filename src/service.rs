@@ -11,22 +11,28 @@
 //! {"op":"analyze","id":"r1","grammar":"%% ...","file":"g.y",
 //!  "time_limit_ms":5000,"total_limit_ms":120000,"workers":0,
 //!  "extended":false,"max_live_mb":0}
-//! {"op":"lint","id":"r2","grammar":"%% ...","file":"g.y"}
-//! {"op":"cancel","id":"r3","target":"r1"}
-//! {"op":"stats","id":"r4"}
-//! {"op":"shutdown","id":"r5"}
+//! {"op":"explain","id":"r2","grammar":"%% ...","file":"g.y"}
+//! {"op":"lint","id":"r3","grammar":"%% ...","file":"g.y"}
+//! {"op":"cancel","id":"r4","target":"r1"}
+//! {"op":"stats","id":"r5"}
+//! {"op":"shutdown","id":"r6"}
 //! ```
 //!
 //! Every response line carries `protocol:1`, the request `id` (`null`
 //! when the request was too malformed to have one), and `ok`. `analyze`
 //! responses embed the schema-v1 report document (see
-//! [`crate::api::report_document`]); `lint` responses embed the same
-//! diagnostic objects as `lalrcex lint --format json`.
+//! [`crate::api::report_document`]); `explain` responses embed the same
+//! document with a `provenance` classification block on every conflict
+//! and resolution (see [`crate::api::explain_document`]); `lint`
+//! responses embed the same diagnostic objects as
+//! `lalrcex lint --format json`. The `stats` response lists per-cache-
+//! entry byte breakdowns (total charge and the provenance-table share),
+//! re-sampled at snapshot time so lazily built tables are visible.
 //!
 //! # Execution model
 //!
-//! `analyze` and `lint` requests run concurrently, each on its own
-//! scoped thread; `cancel`, `stats`, and `shutdown` are answered inline
+//! `analyze`, `explain`, and `lint` requests run concurrently, each on
+//! its own scoped thread; `cancel`, `stats`, and `shutdown` are answered inline
 //! by the reader, so they can overtake long analyses (that is what makes
 //! `cancel` useful). Responses therefore arrive in *completion* order —
 //! match them to requests by `id`.
@@ -102,6 +108,7 @@ pub struct ServeSummary {
 
 struct Counters {
     analyze: AtomicU64,
+    explain: AtomicU64,
     lint: AtomicU64,
     cancel: AtomicU64,
     stats: AtomicU64,
@@ -318,6 +325,63 @@ fn handle_analyze<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: Ca
     }
 }
 
+fn handle_explain<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: CancelToken) {
+    shared.counters.explain.fetch_add(1, Ordering::Relaxed);
+    let Some(grammar) = req.get("grammar").and_then(Json::as_str) else {
+        shared.respond(
+            error_response(Some(id), "protocol", "explain requires a `grammar` string"),
+            false,
+        );
+        return;
+    };
+    let request = analysis_request(req, grammar.to_owned(), shared.worker_share())
+        .cancel_token(cancel.clone());
+    let started = Instant::now();
+    let outcome = contain("serve.request", || shared.session.explain(&request));
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        Ok(Ok(reply)) => {
+            let cancelled = cancel.is_hard_cancelled() || reply.report.cancelled_count() > 0;
+            let counts = reply.provenance.counts();
+            let response = envelope(Some(id), true)
+                .push("op", Json::str("explain"))
+                .push(
+                    "cache",
+                    Json::str(if reply.cache_hit { "hit" } else { "miss" }),
+                )
+                .push("elapsed_ms", Json::Num(elapsed_ms))
+                .push("cancelled", Json::Bool(cancelled))
+                .push(
+                    "classification",
+                    obj()
+                        .push(
+                            "true_ambiguity_candidates",
+                            Json::num(counts.true_candidates as f64),
+                        )
+                        .push("merge_artifacts", Json::num(counts.merge_artifacts as f64))
+                        .push(
+                            "precedence_resolved",
+                            Json::num(counts.precedence_resolved as f64),
+                        )
+                        .push("internal", Json::num(counts.internal as f64))
+                        .build(),
+                )
+                .push("report", reply.to_json())
+                .build();
+            shared.respond(response, true);
+        }
+        Ok(Err(e)) => {
+            shared.respond(error_response(Some(id), e.kind(), &e.to_string()), false);
+        }
+        Err(e) => {
+            shared.respond(
+                error_response(Some(id), "internal", &Error::Engine(e).to_string()),
+                false,
+            );
+        }
+    }
+}
+
 fn handle_lint<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
     shared.counters.lint.fetch_add(1, Ordering::Relaxed);
     let Some(grammar) = req.get("grammar").and_then(Json::as_str) else {
@@ -364,6 +428,25 @@ fn handle_lint<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
 
 fn handle_stats<W: Write>(shared: &Shared<W>, id: &str) {
     shared.counters.stats.fetch_add(1, Ordering::Relaxed);
+    // Per-entry breakdowns re-sample each engine's estimated bytes, so
+    // provenance tables built since the entry's insertion show up both
+    // here and in the cache's own eviction accounting. Sampled before the
+    // counter snapshot so `live_bytes` agrees with the entries listed.
+    let entries = Json::Arr(
+        shared
+            .session
+            .cache_entry_stats()
+            .iter()
+            .map(|e| {
+                obj()
+                    .push("key", Json::str(format!("{:016x}", e.key)))
+                    .push("text_bytes", Json::num(e.text_bytes as f64))
+                    .push("bytes", Json::num(e.bytes as f64))
+                    .push("provenance_bytes", Json::num(e.provenance_bytes as f64))
+                    .build()
+            })
+            .collect(),
+    );
     let cache = shared.session.cache_stats();
     let budget = if cache.budget_bytes == usize::MAX {
         Json::Null
@@ -383,12 +466,17 @@ fn handle_stats<W: Write>(shared: &Shared<W>, id: &str) {
                 .push("budget_bytes", budget)
                 .build(),
         )
+        .push("entries", entries)
         .push(
             "requests",
             obj()
                 .push(
                     "analyze",
                     Json::num(shared.counters.analyze.load(Ordering::Relaxed) as f64),
+                )
+                .push(
+                    "explain",
+                    Json::num(shared.counters.explain.load(Ordering::Relaxed) as f64),
                 )
                 .push(
                     "lint",
@@ -471,6 +559,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
         worker_budget,
         counters: Counters {
             analyze: AtomicU64::new(0),
+            explain: AtomicU64::new(0),
             lint: AtomicU64::new(0),
             cancel: AtomicU64::new(0),
             stats: AtomicU64::new(0),
@@ -558,7 +647,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                 continue;
             };
             match op.as_str() {
-                "analyze" | "lint" => {
+                "analyze" | "explain" | "lint" => {
                     let cancel = CancelToken::new();
                     {
                         let mut inflight = shared
@@ -582,10 +671,10 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     shared.inflight_count.fetch_add(1, Ordering::Relaxed);
                     let shared = &shared;
                     scope.spawn(move || {
-                        if op == "analyze" {
-                            handle_analyze(shared, &id, &req, cancel);
-                        } else {
-                            handle_lint(shared, &id, &req);
+                        match op.as_str() {
+                            "analyze" => handle_analyze(shared, &id, &req, cancel),
+                            "explain" => handle_explain(shared, &id, &req, cancel),
+                            _ => handle_lint(shared, &id, &req),
                         }
                         shared
                             .inflight
@@ -613,8 +702,8 @@ pub fn serve<R: BufRead, W: Write + Send>(
                             Some(&id),
                             "protocol",
                             &format!(
-                                "unknown op `{other}` \
-                                 (expected analyze, lint, cancel, stats, or shutdown)"
+                                "unknown op `{other}` (expected analyze, \
+                                 explain, lint, cancel, stats, or shutdown)"
                             ),
                         ),
                         false,

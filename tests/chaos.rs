@@ -381,3 +381,78 @@ fn cli_exits_with_partial_failure_code() {
     let bad = run(Some("not-a-plan"), "1");
     assert_eq!(bad.status.code(), Some(2), "typo'd fault plan exits 2");
 }
+
+/// The provenance precomputation contains its own faults at both
+/// boundaries. A trigger *scoped to one conflict slot* degrades exactly
+/// that slot to `Internal` (phase `"provenance.compute"`) and leaves every
+/// other slot's rendered provenance byte-identical to a clean engine's. An
+/// *unscoped* trigger fails the whole query — and because errors are not
+/// memoized, the next call on the same engine recomputes clean.
+#[test]
+fn provenance_probe_contains_its_fault() {
+    use lalrcex::core::{format_provenance, ProvenanceOutcome};
+
+    let g = load("figure1");
+
+    let clean: Vec<String> = {
+        let engine = Engine::new(&g);
+        let p = engine.provenance().expect("clean run");
+        assert_eq!(p.counts().internal, 0);
+        p.conflicts
+            .iter()
+            .map(|o| match o {
+                ProvenanceOutcome::Classified(cp) => format_provenance(&g, cp),
+                ProvenanceOutcome::Internal(e) => panic!("clean run faulted: {e}"),
+            })
+            .collect()
+    };
+    assert_eq!(clean.len(), 3, "figure1 has three conflicts");
+
+    // Scoped fault: only slot 1 degrades.
+    {
+        let engine = Engine::new(&g);
+        let _guard =
+            install(FaultPlan::new().trigger(1, "provenance.compute", 1, FaultAction::Panic));
+        let p = engine.provenance().expect("slot faults are contained");
+        assert_eq!(p.counts().internal, 1);
+        for (i, o) in p.conflicts.iter().enumerate() {
+            match o {
+                ProvenanceOutcome::Internal(e) => {
+                    assert_eq!(i, 1, "only the scoped slot faults");
+                    assert_eq!(e.phase, "provenance.compute");
+                }
+                ProvenanceOutcome::Classified(cp) => {
+                    assert_eq!(format_provenance(&g, cp), clean[i], "slot {i} untouched");
+                }
+            }
+        }
+    }
+
+    // Unscoped fault: the whole query fails — and because errors are not
+    // memoized, the same engine recomputes clean once the plan is gone
+    // (an any-scope trigger would re-fire at each slot's first hit, so
+    // the guard must drop before the retry).
+    {
+        let engine = Engine::new(&g);
+        {
+            let _guard = install(FaultPlan::new().trigger(
+                NO_SCOPE,
+                "provenance.compute",
+                1,
+                FaultAction::Panic,
+            ));
+            let err = engine.provenance().expect_err("whole-query fault");
+            assert_eq!(err.phase, "provenance.compute");
+        }
+        let p = engine.provenance().expect("retry after fault is clean");
+        let again: Vec<String> = p
+            .conflicts
+            .iter()
+            .map(|o| match o {
+                ProvenanceOutcome::Classified(cp) => format_provenance(&g, cp),
+                ProvenanceOutcome::Internal(e) => panic!("retry faulted: {e}"),
+            })
+            .collect();
+        assert_eq!(again, clean, "retry matches the never-faulted engine");
+    }
+}

@@ -138,3 +138,56 @@ fn partial_budget_never_loses_nonunifying() {
         );
     }
 }
+
+/// The explain surface inherits the engine's determinism end to end: the
+/// rendered text and the schema-v1 JSON document are byte-identical at
+/// workers 1 vs 4, and a warm-cache run (second explain of the same
+/// grammar text through the same `Session`) matches the cold run exactly.
+#[test]
+fn explain_is_deterministic_across_workers_and_cache_state() {
+    use lalrcex::{AnalysisRequest, Session};
+
+    let entry = lalrcex::corpus::by_name("figure1").expect("corpus entry");
+    let text = entry.text();
+    let req = |workers: usize| {
+        AnalysisRequest::new(&text)
+            .label("figure1.y")
+            .time_limit(Duration::from_secs(30))
+            .cumulative_limit(Duration::from_secs(600))
+            .workers(workers)
+    };
+
+    let session = Session::new();
+    let cold = session.explain(&req(1)).expect("cold explain");
+    assert!(!cold.cache_hit, "first explain misses the cache");
+    let warm = session.explain(&req(1)).expect("warm explain");
+    assert!(warm.cache_hit, "second explain hits the cache");
+    assert_eq!(
+        cold.render_text(None),
+        warm.render_text(None),
+        "cold vs warm cache"
+    );
+    assert_eq!(
+        cold.to_json().to_string(),
+        warm.to_json().to_string(),
+        "cold vs warm cache (json)"
+    );
+
+    // A fresh session at a different worker count: byte-identical still.
+    let wide = Session::new().explain(&req(4)).expect("workers=4 explain");
+    assert_eq!(
+        cold.render_text(None),
+        wide.render_text(None),
+        "workers=1 vs workers=4"
+    );
+    assert_eq!(
+        cold.to_json().to_string(),
+        wide.to_json().to_string(),
+        "workers=1 vs workers=4 (json)"
+    );
+
+    // Single-conflict rendering is a strict filter of the full rendering.
+    let one = cold.render_text(Some(0));
+    assert!(cold.render_text(None).contains("== conflict #0 =="));
+    assert!(one.contains("== conflict #0 ==") && !one.contains("== conflict #1 =="));
+}

@@ -184,3 +184,54 @@ fn sql_rows_match_paper_shape() {
         );
     }
 }
+
+#[test]
+fn provenance_classifies_corpus_and_agrees_with_the_search() {
+    // Small/medium rows (the big grammars run in the benchmark harness).
+    // Two soundness obligations tie the static classification to the
+    // dynamic search: every conflict gets a classification (no internal
+    // faults on the corpus), and any conflict the §5 search *proved*
+    // ambiguous with a unifying example must be a true-ambiguity
+    // candidate — a merge artifact vanishes under canonical LR(1), so a
+    // unifying proof would contradict the classification.
+    use lalrcex::core::{Classification, ProvenanceOutcome};
+    for name in ["figure1", "figure7", "simp2", "xi", "eqn", "abcd", "SQL.1"] {
+        let entry = lalrcex::corpus::by_name(name).expect("corpus entry");
+        let g = entry.load().expect("grammar loads");
+        let mut analyzer = Analyzer::new(&g);
+        let report = analyzer.analyze_all(&cfg());
+        let p = analyzer.engine().provenance().expect("no faults");
+        assert_eq!(
+            p.conflicts.len(),
+            report.reports.len(),
+            "{name}: one provenance slot per conflict, table order"
+        );
+        assert_eq!(p.counts().internal, 0, "{name}: all conflicts classified");
+        for (r, o) in report.reports.iter().zip(&p.conflicts) {
+            let ProvenanceOutcome::Classified(cp) = o else {
+                panic!("{name}: unclassified conflict");
+            };
+            assert_eq!(
+                (cp.conflict.state, cp.conflict.terminal),
+                (r.conflict.state, r.conflict.terminal),
+                "{name}: provenance and report slots are index-aligned"
+            );
+            if r.unifying.is_some() {
+                assert_eq!(
+                    cp.classification,
+                    Classification::TrueAmbiguityCandidate,
+                    "{name}: a proven ambiguity cannot be a merge artifact"
+                );
+            }
+        }
+        for res in &p.resolutions {
+            assert_eq!(res.classification, Classification::PrecedenceResolved);
+        }
+        if name == "eqn" {
+            assert!(
+                !p.resolutions.is_empty(),
+                "eqn's precedence declarations silence conflicts"
+            );
+        }
+    }
+}

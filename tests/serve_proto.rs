@@ -369,3 +369,77 @@ fn eof_drains_in_flight_requests() {
         "the in-flight analysis is drained, not dropped"
     );
 }
+
+/// The `explain` op classifies every conflict, its report carries the
+/// schema-v1 `provenance` blocks, and a follow-up `stats` op surfaces the
+/// per-entry provenance table bytes the computation added to the cached
+/// engine's footprint.
+#[test]
+fn explain_op_classifies_and_stats_reports_provenance_bytes() {
+    let text = corpus_text("figure1");
+    let g = Json::str(&text).to_string();
+    let h = Harness::start(ServeOptions::default());
+    h.send(&format!(
+        r#"{{"op":"explain","id":"e1","grammar":{g},"file":"figure1.y"}}"#
+    ));
+    h.wait_responses(1);
+    h.send(r#"{"op":"stats","id":"s"}"#);
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, summary) = h.finish();
+
+    let e1 = by_id(&rs, "e1");
+    assert_eq!(e1.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(e1.get("op").and_then(Json::as_str), Some("explain"));
+    let class = e1.get("classification").expect("classification counts");
+    let count = |k: &str| class.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        count("true_ambiguity_candidates") + count("merge_artifacts") + count("internal"),
+        3,
+        "every figure1 conflict is classified"
+    );
+    assert_eq!(count("internal"), 0);
+
+    let report = e1.get("report").expect("report document");
+    let conflicts = report
+        .get("conflicts")
+        .and_then(Json::as_arr)
+        .expect("conflicts array");
+    assert_eq!(conflicts.len(), 3);
+    for c in conflicts {
+        let p = c.get("provenance").expect("explain adds provenance");
+        let label = p.get("classification").and_then(Json::as_str).unwrap();
+        assert!(
+            label == "true-ambiguity-candidate" || label == "merge-artifact",
+            "unexpected classification {label}"
+        );
+        assert!(p.get("chain").and_then(Json::as_arr).is_some());
+    }
+
+    let stats = by_id(&rs, "s");
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("explain"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    let entries = stats
+        .get("entries")
+        .and_then(Json::as_arr)
+        .expect("per-entry stats");
+    assert_eq!(entries.len(), 1, "one cached engine");
+    let prov_bytes = entries[0]
+        .get("provenance_bytes")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        prov_bytes > 0,
+        "explain populated the provenance tables, so the re-sampled \
+         entry footprint must charge for them"
+    );
+    assert!(
+        entries[0].get("bytes").and_then(Json::as_u64).unwrap() >= prov_bytes,
+        "total entry bytes include the provenance share"
+    );
+    assert_eq!(summary.served, 3);
+}
