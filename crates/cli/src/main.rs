@@ -30,7 +30,8 @@
 //! fail the run unless `--deny-warnings`), 1 otherwise, 2 usage or parse
 //! errors.
 //!
-//! Exit status (serve): 0 on `shutdown` or EOF.
+//! Exit status (serve): 0 on `shutdown`, EOF, or peer hangup (a failed
+//! response write cancels in-flight work and drains).
 
 // `deny` rather than `forbid`: the signal module below needs one scoped,
 // documented `allow` for the raw `signal(2)` FFI.
@@ -65,6 +66,7 @@ mod sigint {
     const SIGINT: i32 = 2;
     const SIGPIPE: i32 = 13;
     const SIG_DFL: usize = 0;
+    const SIG_IGN: usize = 1;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -91,6 +93,16 @@ mod sigint {
     pub fn default_sigpipe() {
         unsafe {
             signal(SIGPIPE, SIG_DFL);
+        }
+    }
+
+    /// Ignores SIGPIPE again (undoing [`default_sigpipe`]). `serve` wants
+    /// the opposite convention from the one-shot commands: a write to a
+    /// hung-up peer must come back as an `EPIPE` error the loop can turn
+    /// into an orderly cancel-and-drain, not kill the process mid-request.
+    pub fn ignore_sigpipe() {
+        unsafe {
+            signal(SIGPIPE, SIG_IGN);
         }
     }
 }
@@ -665,12 +677,25 @@ usage: lalrcex serve [OPTIONS]
 
 Speaks the JSON-Lines analysis protocol (v1) on stdin/stdout: one request
 object per line in, one response object per line out. Requests: analyze,
-explain, lint, cancel, stats, shutdown. See DESIGN.md `Service layer`.
+explain, lint, cancel, stats, health, shutdown. See DESIGN.md `Service
+layer`.
 
   --workers N          worker-thread budget shared across in-flight
                        requests (default 0 = one per CPU)
   --cache-mb MB        engine-cache byte budget (default 256; 0 = unlimited)
-  --max-line BYTES     maximum request-line length (default 4194304)";
+  --max-line BYTES     maximum request-line length (default 4194304)
+  --max-inflight N     admission cap on concurrent analyze/explain/lint
+                       requests; excess submissions are shed with a
+                       structured `overloaded` error and a retry_after_ms
+                       hint (default 0 = unbounded)
+  --max-grammar-bytes N
+                       admission cap on one request's grammar size;
+                       larger grammars are shed with a structured
+                       `too_large` error (default 0 = unbounded)
+  --default-deadline-ms MS
+                       end-to-end deadline applied to requests that carry
+                       no deadline_ms of their own; expiry degrades to a
+                       partial report, never an error (default 0 = none)";
 
 fn run_serve(args: Vec<String>) -> ExitCode {
     let mut p = ArgScan::new(args, "serve", SERVE_USAGE);
@@ -681,9 +706,15 @@ fn run_serve(args: Vec<String>) -> ExitCode {
             "--workers" => opts.workers = p.num("--workers"),
             "--cache-mb" => opts.cache_mb = p.num("--cache-mb"),
             "--max-line" => opts.max_line_bytes = p.num("--max-line"),
+            "--max-inflight" => opts.max_inflight = p.num("--max-inflight"),
+            "--max-grammar-bytes" => opts.max_grammar_bytes = p.num("--max-grammar-bytes"),
+            "--default-deadline-ms" => opts.default_deadline_ms = p.num("--default-deadline-ms"),
             other => p.unknown(other),
         }
     }
+    // The serve loop handles peer hangups itself (cancel in-flight work,
+    // drain, exit 0); dying on the first EPIPE would drop that work.
+    sigint::ignore_sigpipe();
     let stdin = std::io::stdin();
     serve(stdin.lock(), std::io::stdout(), &opts);
     ExitCode::SUCCESS
@@ -698,7 +729,10 @@ usage: lalrcex batch [OPTIONS] MANIFEST
 Analyzes every grammar listed in MANIFEST through one shared session (so
 repeated texts hit the engine cache). Each manifest line is a grammar file
 path, `corpus:NAME` for a bundled corpus grammar, or `corpus:*` for the
-whole corpus; blank lines and `#` comments are skipped.
+whole corpus; blank lines and `#` comments are skipped. A bad entry
+(unreadable file, unknown corpus name, grammar parse error) is reported
+and skipped — the rest of the run continues, an end-of-run summary counts
+the failures, and the exit code is nonzero iff any entry failed.
 
   --format text|json   per-grammar report format (default text; json emits
                        one schema-v1 document per line)
@@ -744,9 +778,10 @@ fn run_batch(args: Vec<String>) -> ExitCode {
         }
     };
 
-    // Resolve manifest lines to (label, grammar text) before analyzing, so
-    // a bad entry fails the whole run up front (exit 2, nothing analyzed).
-    let mut items: Vec<(String, String)> = Vec::new();
+    // Resolve manifest lines to (label, grammar text or error) up front.
+    // Per-entry failures are isolated: a bad entry is carried as an error,
+    // reported in order, and counted — it never aborts the rest of the run.
+    let mut items: Vec<(String, Result<String, String>)> = Vec::new();
     for line in listing.lines() {
         let entry = line.trim();
         if entry.is_empty() || entry.starts_with('#') {
@@ -754,45 +789,60 @@ fn run_batch(args: Vec<String>) -> ExitCode {
         }
         if entry == "corpus:*" {
             for e in lalrcex_corpus::all() {
-                items.push((format!("corpus:{}", e.name), e.text().to_owned()));
+                items.push((format!("corpus:{}", e.name), Ok(e.text().to_owned())));
             }
         } else if let Some(name) = entry.strip_prefix("corpus:") {
             match lalrcex_corpus::by_name(name) {
-                Some(e) => items.push((entry.to_owned(), e.text().to_owned())),
-                None => {
-                    eprintln!("lalrcex: {manifest}: unknown corpus grammar `{name}`");
-                    return ExitCode::from(2);
-                }
+                Some(e) => items.push((entry.to_owned(), Ok(e.text().to_owned()))),
+                None => items.push((
+                    entry.to_owned(),
+                    Err(format!("unknown corpus grammar `{name}`")),
+                )),
             }
         } else {
             match std::fs::read_to_string(entry) {
-                Ok(t) => items.push((entry.to_owned(), t)),
-                Err(e) => {
-                    eprintln!("lalrcex: cannot read {entry}: {e}");
-                    return ExitCode::from(2);
-                }
+                Ok(t) => items.push((entry.to_owned(), Ok(t))),
+                Err(e) => items.push((entry.to_owned(), Err(format!("cannot read: {e}")))),
             }
         }
     }
 
     let session = Session::with_cache_mb(cache_mb);
     let cancel = interruptible_token();
+    let total = items.len();
+    let mut analyzed = 0usize;
+    let mut failed = 0usize;
     let mut worst = 0u8;
+    let summary = |analyzed: usize, failed: usize| {
+        eprintln!("lalrcex batch: {analyzed}/{total} entries analyzed, {failed} failed");
+    };
     for (label, text) in items {
+        let text = match text {
+            Ok(t) => t,
+            Err(msg) => {
+                eprintln!("lalrcex: {label}: {msg}");
+                failed += 1;
+                worst = worst.max(2);
+                continue;
+            }
+        };
         let request = analysis_request(text, &label, &opts, &cancel);
         let reply = match session.analyze(&request) {
             Ok(r) => r,
             Err(Error::Grammar(e)) => {
                 eprintln!("lalrcex: {label}: {e}");
+                failed += 1;
                 worst = worst.max(2);
                 continue;
             }
             Err(e) => {
                 eprintln!("lalrcex: {label}: {e}");
+                failed += 1;
                 worst = worst.max(3);
                 continue;
             }
         };
+        analyzed += 1;
         if opts.json {
             println!("{}", reply.to_json());
         } else {
@@ -807,10 +857,12 @@ fn run_batch(args: Vec<String>) -> ExitCode {
         let code = report_exit(cancel.is_hard_cancelled(), &reply.report);
         if code == 130 {
             // Interrupted: report what finished, skip the rest.
+            summary(analyzed, failed);
             return ExitCode::from(130);
         }
         worst = worst.max(code);
     }
+    summary(analyzed, failed);
     if opts.stats {
         let c = session.cache_stats();
         eprintln!(

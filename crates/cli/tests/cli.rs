@@ -107,11 +107,11 @@ fn serve_end_to_end_over_stdio() {
         .expect("spawn lalrcex serve");
     let mut stdin = child.stdin.take().unwrap();
     let grammar = Json::str(FIG1).to_string();
-    write!(
+    writeln!(
         stdin,
         "{{\"op\":\"analyze\",\"id\":\"a\",\"grammar\":{grammar},\"file\":\"fig1.y\"}}\n\
          not json\n\
-         {{\"op\":\"shutdown\",\"id\":\"z\"}}\n"
+         {{\"op\":\"shutdown\",\"id\":\"z\"}}"
     )
     .unwrap();
     drop(stdin);
@@ -178,8 +178,153 @@ fn batch_shares_one_cache_across_manifest_entries() {
         stderr.contains("1 hits / 1 misses"),
         "--stats surfaces the cache counters; stderr: {stderr}"
     );
-    // Unknown corpus entries and unreadable files fail the whole run.
-    let bad = write_temp("manifest-bad.txt", "corpus:no-such-grammar\n");
-    let out = run(&["batch", bad.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr.contains("2/2 entries analyzed, 0 failed"),
+        "end-of-run summary; stderr: {stderr}"
+    );
+}
+
+/// Satellite: one bad manifest entry no longer aborts the run. Failed
+/// entries are reported and counted in the end-of-run summary, the good
+/// entries still analyze, and the exit code is nonzero iff any entry
+/// failed.
+#[test]
+fn batch_isolates_per_entry_failures() {
+    let mixed = write_temp(
+        "manifest-mixed.txt",
+        "corpus:figure1\n\
+         corpus:no-such-grammar\n\
+         /nonexistent/lalrcex-batch-test.y\n\
+         corpus:figure1\n",
+    );
+    let out = run(&["batch", "--format", "json", mixed.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "failed entries dominate the exit code"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.lines().count(),
+        2,
+        "both good entries around the failures still analyze"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("unknown corpus grammar"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("2/4 entries analyzed, 2 failed"),
+        "end-of-run summary; stderr: {stderr}"
+    );
+    // An all-good run with conflicts keeps the conflict exit code.
+    let good = write_temp("manifest-good.txt", "corpus:figure1\n");
+    let out = run(&["batch", good.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "conflicts, no failed entries");
+}
+
+/// The admission flags end to end: an over-cap grammar is shed with a
+/// structured `too_large` error, `health` answers inline, and a request
+/// carrying `deadline_ms` far in the past of any real budget degrades to
+/// `ok:true` with `deadline_expired`.
+#[test]
+fn serve_admission_flags_end_to_end() {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--max-inflight", "4", "--max-grammar-bytes", "64"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lalrcex serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let big = Json::str(format!("%%\ne : e '+' e | NUM ; // {}", "x".repeat(80))).to_string();
+    let small = Json::str(FIG1).to_string();
+    writeln!(
+        stdin,
+        "{{\"op\":\"analyze\",\"id\":\"big\",\"grammar\":{big}}}\n\
+         {{\"op\":\"health\",\"id\":\"h\"}}\n\
+         {{\"op\":\"analyze\",\"id\":\"ok\",\"grammar\":{small},\"deadline_ms\":1}}\n\
+         {{\"op\":\"shutdown\",\"id\":\"z\"}}"
+    )
+    .unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let responses: Vec<Json> = stdout
+        .lines()
+        .map(|l| json::parse(l).expect("response lines are JSON"))
+        .collect();
+    let by_id = |id: &str| {
+        responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no response {id}"))
+    };
+    let big = by_id("big");
+    assert_eq!(big.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        big.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("too_large")
+    );
+    let health = by_id("h");
+    assert_eq!(health.get("op").and_then(Json::as_str), Some("health"));
+    assert_eq!(health.get("max_inflight").and_then(Json::as_u64), Some(4));
+    let ok = by_id("ok");
+    assert_eq!(
+        ok.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "deadline expiry degrades, never errors"
+    );
+}
+
+/// Satellite: the serve loop notices a dead peer. With the reader end of
+/// its stdout closed mid-analysis, the next response write fails, the
+/// hour-budget search is hard-cancelled, and the process exits 0 promptly
+/// instead of finishing work nobody will read.
+#[test]
+fn serve_exits_promptly_when_reader_dies_mid_analysis() {
+    use std::time::{Duration, Instant};
+
+    let java = lalrcex::corpus::by_name("Java.2")
+        .expect("corpus entry")
+        .text();
+    let mut child = Command::new(BIN)
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn lalrcex serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let grammar = Json::str(&java).to_string();
+    // An hour-budget extended search: without hangup detection the drain
+    // would run it to completion.
+    writeln!(
+        stdin,
+        "{{\"op\":\"analyze\",\"id\":\"slow\",\"grammar\":{grammar},\
+         \"extended\":true,\"time_limit_ms\":3600000,\"total_limit_ms\":3600000}}"
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    // Kill the reader: the next response write comes back EPIPE.
+    drop(child.stdout.take());
+    writeln!(stdin, "{{\"op\":\"stats\",\"id\":\"s\"}}").unwrap();
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(90);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("serve did not exit after its peer hung up");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(status.code(), Some(0), "hangup is an orderly exit");
 }

@@ -1,0 +1,600 @@
+//! Deterministic chaos soak harness (ISSUE 8, tentpole 4): seeded
+//! multi-request storms against a real `lalrcex serve` process over piped
+//! stdio, mixing analyze/explain/lint/cancel/stats/health traffic with
+//! slot-scoped fault plans, admission-control overload, and expiring
+//! deadlines.
+//!
+//! Compiled and run only with the `failpoints` feature (the fault legs
+//! need the probes in the binary):
+//!
+//! ```text
+//! cargo test -p lalrcex-cli --features failpoints --test soak
+//! ```
+//!
+//! The invariants under soak:
+//!
+//! 1. **Every request is answered** — exactly one response per id, no
+//!    hangs, under faults and under shedding alike.
+//! 2. **Clean replays are byte-identical** — the same seeded storm run
+//!    twice produces canonically identical transcripts, even across
+//!    different worker counts.
+//! 3. **One-shot faults heal** — retried slots report `Completed`, never
+//!    `Internal`, and the healed reports match a never-faulted run.
+//! 4. **Shedding is structured and local** — overloaded submissions get
+//!    `overloaded` replies with `retry_after_ms`, while admitted requests
+//!    complete byte-identically to an unloaded run.
+//! 5. **Deadlines degrade** — expiry yields partial reports through the
+//!    engine's degradation ladder, cold and warm cache, never an error.
+//!
+//! Determinism discipline: requests are *paced* (each waits for its
+//! response before the next is sent) wherever byte-identity is asserted,
+//! because fault-plan hit counters are global per probe and the engine
+//! cache's hit/miss sequence depends on completion order. Overload legs
+//! rely on the reader admitting (inserting into the in-flight map) before
+//! it reads the next line, which makes shedding deterministic by
+//! construction; where a slot must *free up* mid-storm, the test polls
+//! the inline `health` op instead of sleeping.
+
+#![cfg(feature = "failpoints")]
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lalrcex::api::json::{self, Json};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lalrcex");
+
+/// A grammar pool with deterministic, quickly-completing searches (so
+/// byte-identity never depends on the clock).
+const EXPR: &str = "%%\ne : e '+' e | NUM ;\n";
+const CHAIN: &str = "%%\ns : 'a' s | 'b' ;\n";
+
+/// Per-request limits high enough that every search in the pool finishes
+/// by exhaustion or discovery, never by timeout.
+const HUGE: &str = r#","time_limit_ms":3600000,"total_limit_ms":3600000"#;
+
+fn corpus(name: &str) -> String {
+    lalrcex::corpus::by_name(name).expect("corpus entry").text()
+}
+
+/// One `lalrcex serve` child on piped stdio, with a reader thread
+/// draining stdout so the child never blocks on a full pipe.
+struct Server {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    lines: Arc<Mutex<Vec<String>>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    fn start(args: &[&str], fault_plan: Option<&str>) -> Server {
+        let mut cmd = Command::new(BIN);
+        cmd.arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        cmd.env_remove("LALRCEX_FAULT_PLAN");
+        if let Some(p) = fault_plan {
+            cmd.env("LALRCEX_FAULT_PLAN", p);
+        }
+        let mut child = cmd.spawn().expect("spawn lalrcex serve");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = child.stdout.take().unwrap();
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        let reader = std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(l) => sink.lock().unwrap().push(l),
+                    Err(_) => break,
+                }
+            }
+        });
+        Server {
+            child,
+            stdin: Some(stdin),
+            lines,
+            reader: Some(reader),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stdin.as_mut().unwrap(), "{line}").unwrap();
+    }
+
+    fn responses(&self) -> Vec<Json> {
+        self.lines
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|l| json::parse(l).expect("every response line is valid JSON"))
+            .collect()
+    }
+
+    /// Blocks until a response with `id` exists, then returns it.
+    fn wait_for(&self, id: &str) -> Json {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if let Some(r) = self
+                .responses()
+                .into_iter()
+                .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+            {
+                return r;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for response {id}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Blocks until `n` responses exist.
+    fn wait_count(&self, n: usize) -> Vec<Json> {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let rs = self.responses();
+            if rs.len() >= n {
+                return rs;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {n} responses; have {}",
+                rs.len()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Sends `shutdown`, waits for a prompt exit, and returns the full
+    /// transcript.
+    fn shutdown(mut self) -> Vec<Json> {
+        self.send(r#"{"op":"shutdown","id":"__down"}"#);
+        drop(self.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert_eq!(status.code(), Some(0), "serve exits cleanly");
+                    break;
+                }
+                None if Instant::now() >= deadline => {
+                    let _ = self.child.kill();
+                    panic!("serve did not exit after shutdown — something hung");
+                }
+                None => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        self.reader.take().unwrap().join().expect("reader thread");
+        self.responses()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+    }
+}
+
+/// Exactly one response per id, and none unaccounted for.
+fn assert_all_answered(responses: &[Json], ids: &[String]) {
+    for id in ids {
+        let n = responses
+            .iter()
+            .filter(|r| r.get("id").and_then(Json::as_str) == Some(id))
+            .count();
+        assert_eq!(n, 1, "request {id} must be answered exactly once");
+    }
+}
+
+/// A canonical, volatile-free rendering of one response: fixed member
+/// order, wall-clock members (`elapsed_ms`) dropped, `stats` payloads
+/// reduced to their identity (their byte breakdowns re-sample allocator
+/// estimates). Everything else — report documents, diagnostics,
+/// classification counts, error kinds, cache hit/miss — must replay
+/// byte-for-byte.
+fn canonical(r: &Json) -> String {
+    let op = r.get("op").and_then(Json::as_str).unwrap_or("");
+    let mut s = String::new();
+    let keys: &[&str] = if op == "stats" {
+        &["id", "op", "ok"]
+    } else {
+        &[
+            "id",
+            "op",
+            "ok",
+            "cache",
+            "cancelled",
+            "deadline_expired",
+            "retried_slots",
+            "internal_count",
+            "target",
+            "found",
+            "status",
+            "inflight",
+            "max_inflight",
+            "worst",
+            "classification",
+            "diagnostics",
+            "report",
+            "error",
+        ]
+    };
+    for k in keys {
+        if let Some(v) = r.get(k) {
+            s.push_str(k);
+            s.push('=');
+            s.push_str(&v.to_string());
+            s.push(';');
+        }
+    }
+    s
+}
+
+/// Sorted canonical transcript: completion order is scheduling, identity
+/// is not.
+fn canonical_transcript(responses: &[Json]) -> String {
+    let mut lines: Vec<String> = responses.iter().map(canonical).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// The splitmix64 step — a tiny deterministic PRNG for storm scripts.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Runs one seeded, paced storm and returns the full transcript plus the
+/// ids it used. Pacing (wait for each response before the next request)
+/// is what makes the cache hit/miss sequence — and therefore the whole
+/// transcript — a pure function of the seed.
+fn run_storm(seed: u64, workers: &str, requests: usize) -> (Vec<Json>, Vec<String>) {
+    let pool = [
+        ("figure1", corpus("figure1")),
+        ("SQL.2", corpus("SQL.2")),
+        ("expr", EXPR.to_owned()),
+        ("chain", CHAIN.to_owned()),
+    ];
+    let mut server = Server::start(&["--workers", workers], None);
+    let mut rng = Rng(seed);
+    let mut ids = Vec::new();
+    for i in 0..requests {
+        let id = format!("r{i}");
+        let (label, text) = &pool[rng.pick(pool.len())];
+        let grammar = Json::str(text).to_string();
+        let line = match rng.pick(6) {
+            0 | 1 => format!(
+                r#"{{"op":"analyze","id":"{id}","grammar":{grammar},"file":"{label}.y"{HUGE}}}"#
+            ),
+            2 => format!(
+                r#"{{"op":"explain","id":"{id}","grammar":{grammar},"file":"{label}.y"{HUGE}}}"#
+            ),
+            3 => format!(r#"{{"op":"lint","id":"{id}","grammar":{grammar},"file":"{label}.y"}}"#),
+            4 if i > 0 => {
+                // Cancel a *completed* request: paced traffic makes the
+                // `found:false` answer deterministic.
+                let target = format!("r{}", rng.pick(i));
+                format!(r#"{{"op":"cancel","id":"{id}","target":"{target}"}}"#)
+            }
+            4 => r#"{"op":"health","id":"r0"}"#.replace("r0", &id),
+            _ => {
+                if rng.pick(2) == 0 {
+                    format!(r#"{{"op":"stats","id":"{id}"}}"#)
+                } else {
+                    format!(r#"{{"op":"health","id":"{id}"}}"#)
+                }
+            }
+        };
+        server.send(&line);
+        server.wait_for(&id);
+        ids.push(id);
+    }
+    let responses = server.shutdown();
+    (responses, ids)
+}
+
+/// Invariants 1 and 2: the same seeded storm, run twice — and at two
+/// different worker counts, which the engine guarantees cannot change
+/// payloads — answers every request and replays byte-identically.
+#[test]
+fn seeded_storm_replays_byte_identical() {
+    let seed = 0x5eed_0008;
+    let (run_a, ids_a) = run_storm(seed, "1", 24);
+    let (run_b, ids_b) = run_storm(seed, "4", 24);
+    assert_eq!(ids_a, ids_b);
+    assert_all_answered(&run_a, &ids_a);
+    assert_all_answered(&run_b, &ids_b);
+    assert!(
+        run_a
+            .iter()
+            .all(|r| r.get("ok").and_then(Json::as_bool).is_some()),
+        "every response carries ok"
+    );
+    assert_eq!(
+        canonical_transcript(&run_a),
+        canonical_transcript(&run_b),
+        "clean replays must be byte-identical"
+    );
+}
+
+/// Invariant 3: a storm under slot-scoped one-shot fault plans. Every
+/// request is answered, retried slots report `Completed` (internal_count
+/// 0 after supervision), and healed reports are byte-identical to a
+/// never-faulted server's.
+#[test]
+fn one_shot_faults_heal_under_storm() {
+    // Slot 0's unifying search and slot 1's spine each panic exactly
+    // once, on the first request that reaches them.
+    let plan = "0:unify.expand:1:panic;1:engine.conflict:1:panic";
+    let text = corpus("figure1");
+    let grammar = Json::str(&text).to_string();
+    let analyze = |id: &str| {
+        format!(r#"{{"op":"analyze","id":"{id}","grammar":{grammar},"file":"f.y"{HUGE}}}"#)
+    };
+
+    let mut faulted = Server::start(&["--workers", "1"], Some(plan));
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        let id = format!("f{i}");
+        faulted.send(&analyze(&id));
+        faulted.wait_for(&id);
+        ids.push(id);
+    }
+    let rs = faulted.shutdown();
+    assert_all_answered(&rs, &ids);
+
+    let mut clean = Server::start(&["--workers", "1"], None);
+    clean.send(&analyze("c"));
+    clean.wait_for("c");
+    let clean_rs = clean.shutdown();
+    let clean_report = clean_rs
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("c"))
+        .unwrap()
+        .get("report")
+        .unwrap()
+        .to_string();
+
+    for (i, id) in ids.iter().enumerate() {
+        let r = rs
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some(id.as_str()))
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{id}");
+        assert_eq!(
+            r.get("internal_count").and_then(Json::as_u64),
+            Some(0),
+            "{id}: retried slots report Completed, not Internal"
+        );
+        let retried = r.get("retried_slots").and_then(Json::as_u64).unwrap();
+        if i == 0 {
+            assert_eq!(retried, 2, "first request absorbs both one-shot faults");
+        } else {
+            assert_eq!(retried, 0, "spent triggers stay spent");
+        }
+        assert_eq!(
+            r.get("report").unwrap().to_string(),
+            clean_report,
+            "{id}: healed report is byte-identical to a never-faulted run"
+        );
+    }
+}
+
+/// Invariant 4: an overload storm against `--max-inflight`. Saturating
+/// traffic is shed with structured `overloaded` replies carrying the
+/// deterministic `retry_after_ms` hint; the admitted request — analyzed
+/// while the server is fully loaded — produces a report byte-identical to
+/// an unloaded run, at workers 1 and 4.
+#[test]
+fn overload_storm_sheds_structurally_and_admitted_work_is_unperturbed() {
+    let slow_text = corpus("Java.2");
+    let slow_grammar = Json::str(&slow_text).to_string();
+    let fig = corpus("figure1");
+    let fig_grammar = Json::str(&fig).to_string();
+
+    let mut unloaded_reports = Vec::new();
+    let mut loaded_reports = Vec::new();
+    for workers in ["1", "4"] {
+        let mut server = Server::start(&["--workers", workers, "--max-inflight", "3"], None);
+        // Three hour-budget searches fill every admission slot. The reader
+        // inserts each into the in-flight map before reading the next
+        // line, so the burst below is shed deterministically.
+        for i in 0..3 {
+            server.send(&format!(
+                r#"{{"op":"analyze","id":"slow{i}","grammar":{slow_grammar},"extended":true{HUGE}}}"#
+            ));
+        }
+        let mut ids: Vec<String> = (0..3).map(|i| format!("slow{i}")).collect();
+        for i in 0..4 {
+            let id = format!("shed{i}");
+            server.send(&format!(
+                r#"{{"op":"analyze","id":"{id}","grammar":{fig_grammar}}}"#
+            ));
+            ids.push(id);
+        }
+        let rs = server.wait_count(4);
+        for i in 0..4 {
+            let shed = rs
+                .iter()
+                .find(|r| r.get("id").and_then(Json::as_str) == Some(&format!("shed{i}")[..]))
+                .expect("shed responses arrive while the slows run");
+            assert_eq!(shed.get("ok").and_then(Json::as_bool), Some(false));
+            let err = shed.get("error").unwrap();
+            assert_eq!(err.get("kind").and_then(Json::as_str), Some("overloaded"));
+            assert_eq!(err.get("inflight").and_then(Json::as_u64), Some(3));
+            assert_eq!(err.get("limit").and_then(Json::as_u64), Some(3));
+            assert_eq!(
+                err.get("retry_after_ms").and_then(Json::as_u64),
+                Some(300),
+                "deterministic backoff hint"
+            );
+        }
+        // Free one slot and wait (via the inline health op) until the
+        // in-flight count reflects it, then admit real work into the
+        // still-loaded server.
+        server.send(r#"{"op":"cancel","id":"c0","target":"slow0"}"#);
+        server.wait_for("slow0");
+        let mut polls = 0;
+        loop {
+            let id = format!("hp{polls}");
+            server.send(&format!(r#"{{"op":"health","id":"{id}"}}"#));
+            let h = server.wait_for(&id);
+            if h.get("inflight").and_then(Json::as_u64) == Some(2) {
+                break;
+            }
+            polls += 1;
+            assert!(polls < 1000, "slow0 never left the in-flight map");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.send(&format!(
+            r#"{{"op":"analyze","id":"adm","grammar":{fig_grammar},"file":"f.y"{HUGE}}}"#
+        ));
+        ids.push("adm".to_owned());
+        let adm = server.wait_for("adm");
+        assert_eq!(
+            adm.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "admitted under load"
+        );
+        loaded_reports.push(adm.get("report").unwrap().to_string());
+        server.send(r#"{"op":"cancel","id":"c1","target":"slow1"}"#);
+        server.send(r#"{"op":"cancel","id":"c2","target":"slow2"}"#);
+        ids.extend(["c0", "c1", "c2"].map(str::to_owned));
+        let rs = server.shutdown();
+        assert_all_answered(&rs, &ids);
+        for i in 0..3 {
+            let slow = rs
+                .iter()
+                .find(|r| {
+                    r.get("id").and_then(Json::as_str) == Some(&format!("slow{i}")[..])
+                        && r.get("op").and_then(Json::as_str) == Some("analyze")
+                })
+                .unwrap();
+            assert_eq!(
+                slow.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "admitted requests are answered, never shed"
+            );
+        }
+
+        // The unloaded baseline at the same worker count.
+        let mut base = Server::start(&["--workers", workers], None);
+        base.send(&format!(
+            r#"{{"op":"analyze","id":"b","grammar":{fig_grammar},"file":"f.y"{HUGE}}}"#
+        ));
+        base.wait_for("b");
+        let base_rs = base.shutdown();
+        unloaded_reports.push(
+            base_rs
+                .iter()
+                .find(|r| r.get("id").and_then(Json::as_str) == Some("b"))
+                .unwrap()
+                .get("report")
+                .unwrap()
+                .to_string(),
+        );
+    }
+    assert_eq!(
+        loaded_reports[0], unloaded_reports[0],
+        "workers=1: loaded == unloaded"
+    );
+    assert_eq!(
+        loaded_reports[1], unloaded_reports[1],
+        "workers=4: loaded == unloaded"
+    );
+    assert_eq!(
+        loaded_reports[0], loaded_reports[1],
+        "worker count never changes payloads"
+    );
+}
+
+/// Invariant 5: a deadline storm under `--default-deadline-ms 1`. Expiry
+/// degrades to partial reports (skipped unifying searches, nonunifying
+/// fallbacks constructed) cold and warm; a per-request `deadline_ms`
+/// override restores the full budget.
+#[test]
+fn deadline_storm_degrades_cold_and_warm() {
+    let text = corpus("Java.2");
+    let grammar = Json::str(&text).to_string();
+    let mut server = Server::start(&["--default-deadline-ms", "1"], None);
+    let mut ids = Vec::new();
+    for id in ["cold", "warm"] {
+        server.send(&format!(
+            r#"{{"op":"analyze","id":"{id}","grammar":{grammar},"extended":true{HUGE}}}"#
+        ));
+        server.wait_for(id);
+        ids.push(id.to_owned());
+    }
+    // The override escapes the server default entirely (tiny search
+    // limits keep the request quick — only the deadline flag matters).
+    server.send(&format!(
+        r#"{{"op":"analyze","id":"free","grammar":{grammar},"deadline_ms":3600000,"time_limit_ms":50,"total_limit_ms":200}}"#
+    ));
+    server.wait_for("free");
+    ids.push("free".to_owned());
+    let rs = server.shutdown();
+    assert_all_answered(&rs, &ids);
+
+    for id in ["cold", "warm"] {
+        let r = rs
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+            .unwrap();
+        assert_eq!(
+            r.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{id}: expiry is degradation, not an error"
+        );
+        assert_eq!(
+            r.get("deadline_expired").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(r.get("internal_count").and_then(Json::as_u64), Some(0));
+        let conflicts = r
+            .get("report")
+            .and_then(|d| d.get("conflicts"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        let skipped = conflicts
+            .iter()
+            .filter(|c| c.get("outcome").and_then(Json::as_str) == Some("nonunifying-skipped"))
+            .count();
+        assert!(skipped > 0, "{id}: expired budget skips unifying searches");
+        for c in conflicts {
+            let outcome = c.get("outcome").and_then(Json::as_str).unwrap();
+            assert_ne!(outcome, "internal", "{id}");
+            assert_ne!(outcome, "cancelled", "{id}");
+            if outcome == "nonunifying-skipped" {
+                assert!(
+                    !matches!(c.get("nonunifying"), None | Some(&Json::Null)),
+                    "{id}: skipped slots keep their nonunifying fallback"
+                );
+            }
+        }
+    }
+    let free = rs
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("free"))
+        .unwrap();
+    assert_eq!(
+        free.get("deadline_expired").and_then(Json::as_bool),
+        Some(false),
+        "a generous per-request deadline overrides the server default"
+    );
+}

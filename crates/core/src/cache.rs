@@ -298,6 +298,29 @@ impl EngineCache {
         }
     }
 
+    /// Drops the entry for exactly `text`, if resident, counting it as
+    /// an eviction. Returns `true` when an entry was dropped.
+    ///
+    /// This is the fault-retry supervision hook: when a contained fault
+    /// hit an entry's precomputation or lazily built state, the entry may
+    /// be poisoned, and evicting it guarantees the retry rebuilds from
+    /// scratch instead of re-serving the same engine. Holders of the
+    /// `Arc` keep the evicted engine alive until they drop, as with any
+    /// eviction.
+    pub fn evict_text(&self, text: &str) -> bool {
+        let key = content_hash(text);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match inner.map.get(&key) {
+            Some(e) if e.engine.text() == text => {}
+            _ => return false,
+        }
+        if let Some(e) = inner.map.remove(&key) {
+            inner.live_bytes -= e.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
     /// A point-in-time snapshot of the counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
@@ -457,6 +480,24 @@ mod tests {
         assert_eq!(s.entries, 0);
         assert_eq!(s.live_bytes, 0);
         assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn evict_text_drops_exactly_one_entry() {
+        let cache = EngineCache::with_budget_mb(64);
+        cache.get_or_build(EXPR).unwrap();
+        cache.get_or_build(EXPR2).unwrap();
+        assert!(!cache.evict_text(FIG1), "absent text evicts nothing");
+        assert!(cache.evict_text(EXPR));
+        assert!(!cache.evict_text(EXPR), "already gone");
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.evictions, 1);
+        // The survivor still hits; the evicted text rebuilds.
+        let (_, hit2) = cache.get_or_build(EXPR2).unwrap();
+        assert!(hit2);
+        let (_, hit) = cache.get_or_build(EXPR).unwrap();
+        assert!(!hit, "evicted entry rebuilds from scratch");
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct SearchStats {
     pub spine_nodes: u64,
     /// Whether the spine was served from the per-grammar memo.
     pub spine_memo_hit: bool,
+    /// Supervised re-runs of this conflict slot after a contained fault
+    /// (the service layer's fault-retry supervision). Zero on first
+    /// runs; filled by the supervisor, not by the engine.
+    pub retries: u64,
     /// Time locating (or fetching) the spine.
     pub time_spine: Duration,
     /// Time in the unifying search.
@@ -109,6 +113,13 @@ pub struct GrammarStats {
     /// Conflict slots whose classification faulted (contained); see
     /// [`Self::class_true_candidates`].
     pub class_internal: u64,
+    /// Conflict slots re-run by fault-retry supervision after a
+    /// contained `Internal` fault. Filled by the session layer (like the
+    /// cache counters), not by `absorb`.
+    pub slot_retries: u64,
+    /// Retried slots whose re-run completed (the fault was transient —
+    /// e.g. a one-shot injected fault — and the slot recovered).
+    pub slots_recovered: u64,
     /// Canonical LR(1) states explored by the merge-artifact check.
     pub lr1_states: u64,
     /// Time spent in the provenance analysis (zero on a memoized engine).
@@ -165,6 +176,7 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
          \u{20} spine memo: {} hits / {} misses ({} LSSI nodes expanded)\n\
          \u{20} unifying search: {} explored, {} enqueued, {} deduped, frontier peak {}\n\
          \u{20} memory: live-bytes peak {}, {} sheds\n\
+         \u{20} supervision: {} slot retries / {} recovered\n\
          \u{20} engine cache: {} hits / {} misses / {} evictions\n\
          \u{20} provenance: {} true-ambiguity / {} merge-artifact / {} precedence-resolved / {} internal (lr1 states {}, {:.1}ms)\n\
          \u{20} time: {:.1}ms wall, {:.1}ms cpu across conflicts",
@@ -180,6 +192,8 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
         stats.search.frontier_peak,
         stats.search.live_bytes_peak,
         stats.search.sheds,
+        stats.slot_retries,
+        stats.slots_recovered,
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,

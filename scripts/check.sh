@@ -47,6 +47,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --lib -q
 echo "==> chaos suite (deterministic fault injection)"
 cargo test -q --features failpoints --test chaos
 
+echo "==> overload/chaos soak (seeded storms, wall-clock capped)"
+timeout 600 cargo test -q -p lalrcex-cli --features failpoints --test soak
+
 echo "==> corpus lint snapshot"
 cargo run -q --release -p lalrcex-lint --bin lint-snapshot -- --check
 

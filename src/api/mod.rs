@@ -41,7 +41,7 @@ pub use report_json::{explain_document, report_document, SCHEMA_VERSION};
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lalrcex_core::cache::{BuildError, CacheEntryStats, CacheStats, CachedEngine, EngineCache};
 use lalrcex_core::{
@@ -74,6 +74,27 @@ pub enum Error {
         /// The offending value.
         actual: usize,
     },
+    /// The service shed the request at admission: too many already in
+    /// flight (the admission-control tier of the degradation ladder).
+    /// Already-admitted requests are unaffected and complete
+    /// byte-identically to an unloaded run.
+    Overloaded {
+        /// Requests in flight when this one was shed.
+        inflight: usize,
+        /// The configured admission cap.
+        limit: usize,
+        /// Deterministic hint: how long the client should wait before
+        /// resubmitting, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's grammar text exceeds the service's per-request
+    /// admission cap (checked before any work is spent on it).
+    TooLarge {
+        /// The enforced cap in bytes.
+        limit: usize,
+        /// The submitted grammar's size in bytes.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -88,6 +109,19 @@ impl fmt::Display for Error {
                 limit,
                 actual,
             } => write!(f, "budget exceeded: {what} {actual} > limit {limit}"),
+            Error::Overloaded {
+                inflight,
+                limit,
+                retry_after_ms,
+            } => write!(
+                f,
+                "overloaded: {inflight} request(s) in flight (admission cap {limit}); \
+                 retry in {retry_after_ms} ms"
+            ),
+            Error::TooLarge { limit, actual } => write!(
+                f,
+                "grammar too large: {actual} bytes > admission cap {limit}"
+            ),
         }
     }
 }
@@ -139,6 +173,8 @@ impl Error {
             Error::Io(_) => "io",
             Error::Protocol(_) => "protocol",
             Error::Budget { .. } => "budget",
+            Error::Overloaded { .. } => "overloaded",
+            Error::TooLarge { .. } => "too_large",
         }
     }
 }
@@ -151,6 +187,7 @@ pub struct AnalysisRequest {
     label: String,
     cfg: CexConfig,
     cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
 }
 
 impl AnalysisRequest {
@@ -161,6 +198,7 @@ impl AnalysisRequest {
             label: "<memory>".to_owned(),
             cfg: CexConfig::default(),
             cancel: None,
+            deadline: None,
         }
     }
 
@@ -207,6 +245,17 @@ impl AnalysisRequest {
         self
     }
 
+    /// An absolute end-to-end deadline for the whole analysis. The
+    /// effective search budget becomes `min(cumulative_limit, time
+    /// remaining)`, so expiry rides the engine's degradation ladder —
+    /// skipped unifying searches with their nonunifying fallbacks still
+    /// constructed — and an already-expired deadline yields an immediate
+    /// partial report, never an error.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Escape hatch: a full [`CexConfig`].
     pub fn config(mut self, cfg: CexConfig) -> Self {
         self.cfg = cfg;
@@ -226,6 +275,22 @@ impl AnalysisRequest {
     /// The effective engine configuration.
     pub fn effective_config(&self) -> &CexConfig {
         &self.cfg
+    }
+
+    /// The configured end-to-end deadline, if any.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The cumulative search budget left once the deadline is applied.
+    fn effective_budget(&self) -> Duration {
+        match self.deadline {
+            Some(d) => self
+                .cfg
+                .cumulative_limit
+                .min(d.saturating_duration_since(Instant::now())),
+            None => self.cfg.cumulative_limit,
+        }
     }
 }
 
@@ -437,7 +502,7 @@ impl Session {
         let mut report =
             cached
                 .engine()
-                .analyze_all_cancellable(&req.cfg, req.cfg.cumulative_limit, cancel);
+                .analyze_all_cancellable(&req.cfg, req.effective_budget(), cancel);
         let cache = self.cache.stats();
         report.stats.cache_hits = cache.hits;
         report.stats.cache_misses = cache.misses;
@@ -464,7 +529,7 @@ impl Session {
         let mut report =
             cached
                 .engine()
-                .analyze_all_cancellable(&req.cfg, req.cfg.cumulative_limit, cancel);
+                .analyze_all_cancellable(&req.cfg, req.effective_budget(), cancel);
         let cache = self.cache.stats();
         report.stats.cache_hits = cache.hits;
         report.stats.cache_misses = cache.misses;
@@ -479,6 +544,40 @@ impl Session {
         })
     }
 
+    /// Drops the cached engine for exactly `grammar_text`, if resident.
+    ///
+    /// The fault-retry supervision hook: after a contained fault that may
+    /// have hit an engine's precomputation or lazily built state, evicting
+    /// guarantees the retry rebuilds from scratch — a possibly poisoned
+    /// engine is never re-served. Returns `true` when an entry was dropped.
+    pub fn evict(&self, grammar_text: &str) -> bool {
+        self.cache.evict_text(grammar_text)
+    }
+
+    /// Fault-retry supervision over an [`AnalysisReply`]: re-runs, once,
+    /// every conflict slot whose outcome is a contained
+    /// [`lalrcex_core::ConflictOutcome::Internal`] fault, replacing the
+    /// slot's report with the re-run's. Retries run under the original
+    /// slot's fault-injection scope, so a one-shot injected fault — its
+    /// trigger already spent on the first run — recovers to a `Completed`
+    /// outcome; a persistent fault stays `Internal`. Returns the number of
+    /// slots retried; the grammar-wide stats record retries and recoveries.
+    pub fn retry_internal_slots(&self, reply: &mut AnalysisReply, req: &AnalysisRequest) -> u64 {
+        retry_slots(&reply.cached, &mut reply.report, req)
+    }
+
+    /// [`Session::retry_internal_slots`] for an [`ExplainReply`]. Only the
+    /// §5 search slots are retried; a faulted provenance *build* already
+    /// surfaces as an error from [`Session::explain`] (never memoized), so
+    /// the caller's whole-request retry path covers it.
+    pub fn retry_internal_explain_slots(
+        &self,
+        reply: &mut ExplainReply,
+        req: &AnalysisRequest,
+    ) -> u64 {
+        retry_slots(&reply.cached, &mut reply.report, req)
+    }
+
     /// Runs every lint pass over the grammar, reusing a cached engine (and
     /// its memoized spines) when one exists.
     pub fn lint(&self, grammar_text: &str) -> Result<LintReply, Error> {
@@ -490,4 +589,53 @@ impl Session {
             cache_hit,
         })
     }
+}
+
+/// Shared body of the [`Session`] fault-retry supervision: re-runs every
+/// `Internal` slot of `report` once, in slot order, under the slot's
+/// original fault-injection scope.
+fn retry_slots(cached: &CachedEngine, report: &mut GrammarReport, req: &AnalysisRequest) -> u64 {
+    use lalrcex_core::{ConflictOutcome, MemoryGovernor, SearchSession};
+    let engine = cached.engine();
+    let conflicts = engine.tables().conflicts().to_vec();
+    let fallback = CancelToken::new();
+    let cancel = req.cancel.as_ref().unwrap_or(&fallback);
+    let governor = MemoryGovernor::with_limit_mb(req.cfg.max_live_mb);
+    let session = SearchSession {
+        cancel,
+        governor: &governor,
+    };
+    let mut retried = 0;
+    for (i, slot) in report.reports.iter_mut().enumerate() {
+        if !matches!(slot.outcome, ConflictOutcome::Internal(_)) || cancel.is_hard_cancelled() {
+            continue;
+        }
+        // One per-slot search budget, further clipped by any request
+        // deadline so a retry never outlives the request it serves.
+        let budget = req.cfg.search.time_limit.min(match req.deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()),
+            None => req.cfg.search.time_limit,
+        });
+        // Same slot scope as the original run: a one-shot fault plan has
+        // already spent its trigger there, so the retry runs clean.
+        let mut fresh = lalrcex_core::faultpoint::with_scope(i as u64, || {
+            engine.analyze_conflict_cancellable(
+                &conflicts[i],
+                &req.cfg,
+                Instant::now() + budget,
+                &session,
+            )
+        });
+        retried += 1;
+        report.stats.slot_retries += 1;
+        if matches!(fresh.outcome, ConflictOutcome::Completed(_)) {
+            report.stats.slots_recovered += 1;
+        }
+        report.stats.search.merge(&fresh.stats.search);
+        report.stats.cpu_time +=
+            fresh.stats.time_spine + fresh.stats.time_unifying + fresh.stats.time_nonunifying;
+        fresh.stats.retries = slot.stats.retries + 1;
+        *slot = fresh;
+    }
+    retried
 }

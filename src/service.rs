@@ -10,12 +10,13 @@
 //! ```text
 //! {"op":"analyze","id":"r1","grammar":"%% ...","file":"g.y",
 //!  "time_limit_ms":5000,"total_limit_ms":120000,"workers":0,
-//!  "extended":false,"max_live_mb":0}
+//!  "extended":false,"max_live_mb":0,"deadline_ms":0}
 //! {"op":"explain","id":"r2","grammar":"%% ...","file":"g.y"}
 //! {"op":"lint","id":"r3","grammar":"%% ...","file":"g.y"}
 //! {"op":"cancel","id":"r4","target":"r1"}
 //! {"op":"stats","id":"r5"}
-//! {"op":"shutdown","id":"r6"}
+//! {"op":"health","id":"r6"}
+//! {"op":"shutdown","id":"r7"}
 //! ```
 //!
 //! Every response line carries `protocol:1`, the request `id` (`null`
@@ -27,15 +28,46 @@
 //! responses embed the same diagnostic objects as
 //! `lalrcex lint --format json`. The `stats` response lists per-cache-
 //! entry byte breakdowns (total charge and the provenance-table share),
-//! re-sampled at snapshot time so lazily built tables are visible.
+//! re-sampled at snapshot time so lazily built tables are visible, plus
+//! the supervision counters; `health` is a cheap inline liveness probe
+//! reporting `ok`/`shedding`/`draining` and the in-flight count.
 //!
 //! # Execution model
 //!
 //! `analyze`, `explain`, and `lint` requests run concurrently, each on
-//! its own scoped thread; `cancel`, `stats`, and `shutdown` are answered inline
-//! by the reader, so they can overtake long analyses (that is what makes
-//! `cancel` useful). Responses therefore arrive in *completion* order —
-//! match them to requests by `id`.
+//! its own scoped thread; `cancel`, `stats`, `health`, and `shutdown`
+//! are answered inline by the reader, so they can overtake long analyses
+//! (that is what makes `cancel` useful and `health` honest under load).
+//! Responses therefore arrive in *completion* order — match them to
+//! requests by `id`.
+//!
+//! **Admission control.** Work is bounded *before* it starts: a grammar
+//! larger than [`ServeOptions::max_grammar_bytes`] answers with a
+//! structured `too_large` error, and a submission arriving while
+//! [`ServeOptions::max_inflight`] requests are already running answers
+//! with a structured `overloaded` error carrying a deterministic
+//! `retry_after_ms` backoff hint. Shedding happens at admission only:
+//! already-admitted requests keep their full budgets and complete
+//! byte-identically to an unloaded run.
+//!
+//! **Deadlines.** A request's optional `deadline_ms` (or the server-wide
+//! [`ServeOptions::default_deadline_ms`]) starts counting at *admission*,
+//! so queue and spawn delay are charged to the request and a request
+//! whose deadline lapses while queued expires before doing any search
+//! work. Expiry is not an error: the remaining time clips the engine's
+//! cumulative search budget, so an expired deadline lands on the
+//! degradation ladder — unifying searches are skipped, nonunifying
+//! fallbacks are still constructed — and the response reports
+//! `deadline_expired:true` alongside a partial report.
+//!
+//! **Fault-retry supervision.** A contained engine fault is retried once
+//! at the finest grain that can absorb it: a conflict slot that reported
+//! an `Internal` outcome is re-run under its original fault-injection
+//! scope (transient faults — e.g. one-shot injected ones — recover to a
+//! completed outcome), and a whole-request fault first evicts the
+//! grammar's cache entry so a possibly poisoned engine is never
+//! re-served. Responses report `retried_slots`; `stats` and `health`
+//! expose the cumulative retry/shed/expiry counters.
 //!
 //! **Fairness.** The service's worker budget (`ServeOptions::workers`,
 //! default one per CPU) is divided evenly across in-flight requests: a
@@ -47,10 +79,12 @@
 //! (on top of the engine's own per-phase containment): a faulted request
 //! answers with a structured `internal` error and the loop keeps serving.
 //! Malformed and oversized request lines likewise answer with structured
-//! errors; nothing short of I/O failure on the response stream stops the
-//! loop. A request hard-cancelled via `cancel` answers with
+//! errors. A request hard-cancelled via `cancel` answers with
 //! `"cancelled":true` and stub conflict entries, mirroring Ctrl-C in the
-//! CLI.
+//! CLI. A failed *response* write means the peer hung up: the loop
+//! hard-cancels everything in flight, drains, and returns with
+//! [`ServeSummary::hangup`] set rather than burning CPU for a dead
+//! client.
 //!
 //! **Caching.** All requests share the session's grammar-keyed engine
 //! cache: re-analyzing unchanged text skips automaton/table/state-graph
@@ -59,8 +93,8 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use lalrcex_core::{contain, CancelReason, CancelToken};
@@ -83,6 +117,18 @@ pub struct ServeOptions {
     /// Maximum accepted request-line length in bytes; longer lines are
     /// answered with a structured `budget` error and discarded.
     pub max_line_bytes: usize,
+    /// Admission cap on concurrently in-flight analyze/explain/lint
+    /// requests (`0` = unbounded). A submission arriving at the cap is
+    /// shed with a structured `overloaded` error carrying a
+    /// `retry_after_ms` hint; admitted requests are never shed.
+    pub max_inflight: usize,
+    /// Admission cap on one request's grammar size in bytes
+    /// (`0` = unbounded); larger grammars are shed with a structured
+    /// `too_large` error before any work is spent on them.
+    pub max_grammar_bytes: usize,
+    /// Server-wide default end-to-end deadline in milliseconds, applied
+    /// to requests that carry no `deadline_ms` of their own (`0` = none).
+    pub default_deadline_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -91,6 +137,9 @@ impl Default for ServeOptions {
             workers: 0,
             cache_mb: 256,
             max_line_bytes: 4 << 20,
+            max_inflight: 0,
+            max_grammar_bytes: 0,
+            default_deadline_ms: 0,
         }
     }
 }
@@ -100,35 +149,58 @@ impl Default for ServeOptions {
 pub struct ServeSummary {
     /// Requests answered `ok:true`.
     pub served: u64,
-    /// Error responses emitted (malformed, oversized, faulted, …).
+    /// Error responses emitted (malformed, oversized, shed, faulted, …).
     pub errors: u64,
     /// `true` when the loop ended on a `shutdown` request (vs. EOF).
     pub shutdown: bool,
+    /// `true` when a response write failed (peer hung up) and the loop
+    /// cancelled its in-flight work and drained early.
+    pub hangup: bool,
 }
 
+#[derive(Default)]
 struct Counters {
     analyze: AtomicU64,
     explain: AtomicU64,
     lint: AtomicU64,
     cancel: AtomicU64,
     stats: AtomicU64,
+    health: AtomicU64,
     served: AtomicU64,
     errors: AtomicU64,
+    overloaded: AtomicU64,
+    too_large: AtomicU64,
+    expired: AtomicU64,
+    slot_retries: AtomicU64,
+    request_retries: AtomicU64,
 }
 
 struct Shared<W: Write> {
     out: Mutex<W>,
     session: Session,
     inflight: Mutex<HashMap<String, CancelToken>>,
-    inflight_count: AtomicUsize,
+    peer_gone: AtomicBool,
     worker_budget: usize,
+    max_inflight: usize,
     counters: Counters,
 }
 
 impl<W: Write> Shared<W> {
+    fn lock_inflight(&self) -> MutexGuard<'_, HashMap<String, CancelToken>> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The number of requests currently in flight, from the map itself
+    /// (the one source of truth, so `stats`/`health` snapshots and the
+    /// admission decision can never disagree with it).
+    fn inflight_len(&self) -> usize {
+        self.lock_inflight().len()
+    }
+
     /// Writes one response line (serialize + newline + flush) under the
-    /// writer lock. I/O errors are swallowed: the peer hung up, and the
-    /// reader will see EOF shortly.
+    /// writer lock. A failed write means the peer hung up: flag the loop
+    /// to stop admitting and hard-cancel everything in flight, so the
+    /// drain is prompt instead of finishing analyses nobody will read.
     fn respond(&self, response: Json, ok: bool) {
         if ok {
             self.counters.served.fetch_add(1, Ordering::Relaxed);
@@ -137,18 +209,20 @@ impl<W: Write> Shared<W> {
         }
         let mut line = response.to_string();
         line.push('\n');
-        let mut out = self
-            .out
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.flush();
+        let io = {
+            let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+            out.write_all(line.as_bytes()).and_then(|()| out.flush())
+        };
+        if io.is_err() && !self.peer_gone.swap(true, Ordering::SeqCst) {
+            for token in self.lock_inflight().values() {
+                token.cancel(CancelReason::Signal);
+            }
+        }
     }
 
     /// The fair worker share for a newly started request.
     fn worker_share(&self) -> usize {
-        let inflight = self.inflight_count.load(Ordering::Relaxed).max(1);
-        (self.worker_budget / inflight).max(1)
+        (self.worker_budget / self.inflight_len().max(1)).max(1)
     }
 }
 
@@ -167,6 +241,46 @@ fn error_response(id: Option<&str>, kind: &str, message: &str) -> Json {
             obj()
                 .push("kind", Json::str(kind))
                 .push("message", Json::str(message))
+                .build(),
+        )
+        .build()
+}
+
+/// The admission-control shed response: `overloaded`, with the caps and a
+/// deterministic `retry_after_ms` backoff hint that scales with the load
+/// the client just observed.
+fn overloaded_response(id: &str, inflight: usize, limit: usize) -> Json {
+    let retry_after_ms = 100 * inflight as u64;
+    let err = Error::Overloaded {
+        inflight,
+        limit,
+        retry_after_ms,
+    };
+    envelope(Some(id), false)
+        .push(
+            "error",
+            obj()
+                .push("kind", Json::str(err.kind()))
+                .push("message", Json::str(err.to_string()))
+                .push("inflight", Json::num(inflight as f64))
+                .push("limit", Json::num(limit as f64))
+                .push("retry_after_ms", Json::num(retry_after_ms as f64))
+                .build(),
+        )
+        .build()
+}
+
+/// The admission-control shed response for an over-cap grammar.
+fn too_large_response(id: &str, actual: usize, limit: usize) -> Json {
+    let err = Error::TooLarge { limit, actual };
+    envelope(Some(id), false)
+        .push(
+            "error",
+            obj()
+                .push("kind", Json::str(err.kind()))
+                .push("message", Json::str(err.to_string()))
+                .push("limit", Json::num(limit as f64))
+                .push("actual", Json::num(actual as f64))
                 .build(),
         )
         .build()
@@ -248,7 +362,12 @@ fn read_line_bounded<R: BufRead>(
 }
 
 /// Extracts the per-request analysis settings from a parsed request.
-fn analysis_request(req: &Json, grammar: String, workers_cap: usize) -> AnalysisRequest {
+fn analysis_request(
+    req: &Json,
+    grammar: String,
+    workers_cap: usize,
+    deadline: Option<Instant>,
+) -> AnalysisRequest {
     let ms = |key: &str, default: u64| -> Duration {
         Duration::from_millis(req.get(key).and_then(Json::as_u64).unwrap_or(default))
     };
@@ -264,7 +383,7 @@ fn analysis_request(req: &Json, grammar: String, workers_cap: usize) -> Analysis
     } else {
         requested.min(workers_cap)
     };
-    AnalysisRequest::new(grammar)
+    let mut request = AnalysisRequest::new(grammar)
         .label(
             req.get("file")
                 .and_then(Json::as_str)
@@ -275,10 +394,30 @@ fn analysis_request(req: &Json, grammar: String, workers_cap: usize) -> Analysis
         .cumulative_limit(ms("total_limit_ms", 120_000))
         .workers(workers)
         .extended(req.get("extended").and_then(Json::as_bool).unwrap_or(false))
-        .max_live_mb(req.get("max_live_mb").and_then(Json::as_u64).unwrap_or(0) as usize)
+        .max_live_mb(req.get("max_live_mb").and_then(Json::as_u64).unwrap_or(0) as usize);
+    if let Some(d) = deadline {
+        request = request.deadline(d);
+    }
+    request
 }
 
-fn handle_analyze<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: CancelToken) {
+/// Marks a request's deadline as lapsed at response time and bumps the
+/// expiry counter. Called once per admitted request, as it completes.
+fn note_expiry<W: Write>(shared: &Shared<W>, deadline: Option<Instant>) -> bool {
+    let expired = deadline.is_some_and(|d| Instant::now() >= d);
+    if expired {
+        shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+    }
+    expired
+}
+
+fn handle_analyze<W: Write>(
+    shared: &Shared<W>,
+    id: &str,
+    req: &Json,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+) {
     shared.counters.analyze.fetch_add(1, Ordering::Relaxed);
     let Some(grammar) = req.get("grammar").and_then(Json::as_str) else {
         shared.respond(
@@ -287,15 +426,45 @@ fn handle_analyze<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: Ca
         );
         return;
     };
-    let request = analysis_request(req, grammar.to_owned(), shared.worker_share())
+    let request = analysis_request(req, grammar.to_owned(), shared.worker_share(), deadline)
         .cancel_token(cancel.clone());
     let started = Instant::now();
     // Containment on top of the engine's per-phase boundaries: whatever a
     // faulted request does, the serve loop answers and keeps going.
-    let outcome = contain("serve.request", || shared.session.analyze(&request));
-    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut outcome = contain("serve.request", || {
+        lalrcex_core::fail_point!("serve.request");
+        shared.session.analyze(&request)
+    });
+    // Whole-request fault-retry supervision: a contained fault that hit
+    // engine construction or escaped the per-slot boundaries may have
+    // left poisoned state in the cache, so evict the grammar's entry
+    // before the one supervised re-run — a possibly poisoned engine is
+    // never re-served.
+    if matches!(outcome, Ok(Err(Error::Engine(_))) | Err(_)) && !cancel.is_hard_cancelled() {
+        shared.session.evict(grammar);
+        shared
+            .counters
+            .request_retries
+            .fetch_add(1, Ordering::Relaxed);
+        outcome = contain("serve.request", || {
+            lalrcex_core::fail_point!("serve.request");
+            shared.session.analyze(&request)
+        });
+    }
     match outcome {
-        Ok(Ok(reply)) => {
+        Ok(Ok(mut reply)) => {
+            // Slot-level supervision: re-run each contained `Internal`
+            // conflict slot once; transient faults recover in place.
+            let mut retried_slots = 0;
+            if reply.report.internal_count() > 0 && !cancel.is_hard_cancelled() {
+                retried_slots = shared.session.retry_internal_slots(&mut reply, &request);
+                shared
+                    .counters
+                    .slot_retries
+                    .fetch_add(retried_slots, Ordering::Relaxed);
+            }
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            let expired = note_expiry(shared, deadline);
             let cancelled = cancel.is_hard_cancelled() || reply.report.cancelled_count() > 0;
             let response = envelope(Some(id), true)
                 .push("op", Json::str("analyze"))
@@ -305,6 +474,8 @@ fn handle_analyze<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: Ca
                 )
                 .push("elapsed_ms", Json::Num(elapsed_ms))
                 .push("cancelled", Json::Bool(cancelled))
+                .push("deadline_expired", Json::Bool(expired))
+                .push("retried_slots", Json::num(retried_slots as f64))
                 .push(
                     "internal_count",
                     Json::num(reply.report.internal_count() as u32),
@@ -325,7 +496,13 @@ fn handle_analyze<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: Ca
     }
 }
 
-fn handle_explain<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: CancelToken) {
+fn handle_explain<W: Write>(
+    shared: &Shared<W>,
+    id: &str,
+    req: &Json,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+) {
     shared.counters.explain.fetch_add(1, Ordering::Relaxed);
     let Some(grammar) = req.get("grammar").and_then(Json::as_str) else {
         shared.respond(
@@ -334,13 +511,41 @@ fn handle_explain<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: Ca
         );
         return;
     };
-    let request = analysis_request(req, grammar.to_owned(), shared.worker_share())
+    let request = analysis_request(req, grammar.to_owned(), shared.worker_share(), deadline)
         .cancel_token(cancel.clone());
     let started = Instant::now();
-    let outcome = contain("serve.request", || shared.session.explain(&request));
-    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut outcome = contain("serve.request", || {
+        lalrcex_core::fail_point!("serve.request");
+        shared.session.explain(&request)
+    });
+    // Whole-request supervision also covers a faulted provenance build:
+    // provenance errors are never memoized, and evicting the entry
+    // guarantees the retry rebuilds every table from scratch.
+    if matches!(outcome, Ok(Err(Error::Engine(_))) | Err(_)) && !cancel.is_hard_cancelled() {
+        shared.session.evict(grammar);
+        shared
+            .counters
+            .request_retries
+            .fetch_add(1, Ordering::Relaxed);
+        outcome = contain("serve.request", || {
+            lalrcex_core::fail_point!("serve.request");
+            shared.session.explain(&request)
+        });
+    }
     match outcome {
-        Ok(Ok(reply)) => {
+        Ok(Ok(mut reply)) => {
+            let mut retried_slots = 0;
+            if reply.report.internal_count() > 0 && !cancel.is_hard_cancelled() {
+                retried_slots = shared
+                    .session
+                    .retry_internal_explain_slots(&mut reply, &request);
+                shared
+                    .counters
+                    .slot_retries
+                    .fetch_add(retried_slots, Ordering::Relaxed);
+            }
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            let expired = note_expiry(shared, deadline);
             let cancelled = cancel.is_hard_cancelled() || reply.report.cancelled_count() > 0;
             let counts = reply.provenance.counts();
             let response = envelope(Some(id), true)
@@ -351,6 +556,8 @@ fn handle_explain<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: Ca
                 )
                 .push("elapsed_ms", Json::Num(elapsed_ms))
                 .push("cancelled", Json::Bool(cancelled))
+                .push("deadline_expired", Json::Bool(expired))
+                .push("retried_slots", Json::num(retried_slots as f64))
                 .push(
                     "classification",
                     obj()
@@ -382,7 +589,7 @@ fn handle_explain<W: Write>(shared: &Shared<W>, id: &str, req: &Json, cancel: Ca
     }
 }
 
-fn handle_lint<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
+fn handle_lint<W: Write>(shared: &Shared<W>, id: &str, req: &Json, deadline: Option<Instant>) {
     shared.counters.lint.fetch_add(1, Ordering::Relaxed);
     let Some(grammar) = req.get("grammar").and_then(Json::as_str) else {
         shared.respond(
@@ -391,9 +598,24 @@ fn handle_lint<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
         );
         return;
     };
-    let outcome = contain("serve.request", || shared.session.lint(grammar));
+    let mut outcome = contain("serve.request", || {
+        lalrcex_core::fail_point!("serve.request");
+        shared.session.lint(grammar)
+    });
+    if matches!(outcome, Ok(Err(Error::Engine(_))) | Err(_)) {
+        shared.session.evict(grammar);
+        shared
+            .counters
+            .request_retries
+            .fetch_add(1, Ordering::Relaxed);
+        outcome = contain("serve.request", || {
+            lalrcex_core::fail_point!("serve.request");
+            shared.session.lint(grammar)
+        });
+    }
     match outcome {
         Ok(Ok(reply)) => {
+            let expired = note_expiry(shared, deadline);
             let worst = reply
                 .diagnostics
                 .iter()
@@ -406,6 +628,7 @@ fn handle_lint<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
                     "cache",
                     Json::str(if reply.cache_hit { "hit" } else { "miss" }),
                 )
+                .push("deadline_expired", Json::Bool(expired))
                 .push(
                     "diagnostics",
                     Json::Arr(reply.diagnostics.iter().map(diagnostic_json).collect()),
@@ -453,6 +676,7 @@ fn handle_stats<W: Write>(shared: &Shared<W>, id: &str) {
     } else {
         Json::num(cache.budget_bytes as f64)
     };
+    let count = |c: &AtomicU64| Json::num(c.load(Ordering::Relaxed) as f64);
     let response = envelope(Some(id), true)
         .push("op", Json::str("stats"))
         .push(
@@ -470,35 +694,64 @@ fn handle_stats<W: Write>(shared: &Shared<W>, id: &str) {
         .push(
             "requests",
             obj()
-                .push(
-                    "analyze",
-                    Json::num(shared.counters.analyze.load(Ordering::Relaxed) as f64),
-                )
-                .push(
-                    "explain",
-                    Json::num(shared.counters.explain.load(Ordering::Relaxed) as f64),
-                )
-                .push(
-                    "lint",
-                    Json::num(shared.counters.lint.load(Ordering::Relaxed) as f64),
-                )
-                .push(
-                    "cancel",
-                    Json::num(shared.counters.cancel.load(Ordering::Relaxed) as f64),
-                )
-                .push(
-                    "stats",
-                    Json::num(shared.counters.stats.load(Ordering::Relaxed) as f64),
-                )
-                .push(
-                    "errors",
-                    Json::num(shared.counters.errors.load(Ordering::Relaxed) as f64),
-                )
+                .push("analyze", count(&shared.counters.analyze))
+                .push("explain", count(&shared.counters.explain))
+                .push("lint", count(&shared.counters.lint))
+                .push("cancel", count(&shared.counters.cancel))
+                .push("stats", count(&shared.counters.stats))
+                .push("health", count(&shared.counters.health))
+                .push("errors", count(&shared.counters.errors))
                 .build(),
         )
         .push(
-            "inflight",
-            Json::num(shared.inflight_count.load(Ordering::Relaxed) as f64),
+            "supervision",
+            obj()
+                .push("overloaded", count(&shared.counters.overloaded))
+                .push("too_large", count(&shared.counters.too_large))
+                .push("deadline_expired", count(&shared.counters.expired))
+                .push("slot_retries", count(&shared.counters.slot_retries))
+                .push("request_retries", count(&shared.counters.request_retries))
+                .build(),
+        )
+        .push("inflight", Json::num(shared.inflight_len() as f64))
+        .build();
+    shared.respond(response, true);
+}
+
+fn handle_health<W: Write>(shared: &Shared<W>, id: &str) {
+    shared.counters.health.fetch_add(1, Ordering::Relaxed);
+    let inflight = shared.inflight_len();
+    let status = if shared.peer_gone.load(Ordering::Relaxed) {
+        "draining"
+    } else if shared.max_inflight > 0 && inflight >= shared.max_inflight {
+        "shedding"
+    } else {
+        "ok"
+    };
+    let count = |c: &AtomicU64| Json::num(c.load(Ordering::Relaxed) as f64);
+    let response = envelope(Some(id), true)
+        .push("op", Json::str("health"))
+        .push("status", Json::str(status))
+        .push("inflight", Json::num(inflight as f64))
+        .push(
+            "max_inflight",
+            if shared.max_inflight == 0 {
+                Json::Null
+            } else {
+                Json::num(shared.max_inflight as f64)
+            },
+        )
+        .push(
+            "counters",
+            obj()
+                .push("served", count(&shared.counters.served))
+                .push("errors", count(&shared.counters.errors))
+                .push("overloaded", count(&shared.counters.overloaded))
+                .push("too_large", count(&shared.counters.too_large))
+                .push("deadline_expired", count(&shared.counters.expired))
+                .push("slot_retries", count(&shared.counters.slot_retries))
+                .push("request_retries", count(&shared.counters.request_retries))
+                .build(),
         )
         .build();
     shared.respond(response, true);
@@ -513,13 +766,7 @@ fn handle_cancel<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
         );
         return;
     };
-    let token = {
-        let inflight = shared
-            .inflight
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        inflight.get(target).cloned()
-    };
+    let token = shared.lock_inflight().get(target).cloned();
     let found = match token {
         Some(t) => {
             // Hard cancel, like the CLI's Ctrl-C: in-flight phases stop at
@@ -538,9 +785,10 @@ fn handle_cancel<W: Write>(shared: &Shared<W>, id: &str, req: &Json) {
     shared.respond(response, true);
 }
 
-/// Runs the serve loop until EOF or a `shutdown` request, answering every
-/// request line with exactly one response line. In-flight requests are
-/// drained (never dropped) before returning.
+/// Runs the serve loop until EOF, a `shutdown` request, or a peer hangup
+/// detected on a response write, answering every request line with
+/// exactly one response line. In-flight requests are drained (never
+/// dropped) before returning.
 pub fn serve<R: BufRead, W: Write + Send>(
     mut reader: R,
     writer: W,
@@ -555,23 +803,23 @@ pub fn serve<R: BufRead, W: Write + Send>(
         out: Mutex::new(writer),
         session: Session::with_cache_mb(opts.cache_mb),
         inflight: Mutex::new(HashMap::new()),
-        inflight_count: AtomicUsize::new(0),
+        peer_gone: AtomicBool::new(false),
         worker_budget,
-        counters: Counters {
-            analyze: AtomicU64::new(0),
-            explain: AtomicU64::new(0),
-            lint: AtomicU64::new(0),
-            cancel: AtomicU64::new(0),
-            stats: AtomicU64::new(0),
-            served: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-        },
+        max_inflight: opts.max_inflight,
+        counters: Counters::default(),
     };
     let mut shutdown = false;
     let mut buf = Vec::new();
 
     std::thread::scope(|scope| {
         loop {
+            // A failed response write means nobody is reading: stop
+            // admitting and drain. (A peer that hangs up without sending
+            // EOF on our input is only noticed at the next write; the
+            // in-flight work it cancels is already spent either way.)
+            if shared.peer_gone.load(Ordering::Relaxed) {
+                break;
+            }
             match read_line_bounded(&mut reader, &mut buf, opts.max_line_bytes) {
                 Err(_) | Ok(LineRead::Eof) => break,
                 Ok(LineRead::Oversized) => {
@@ -648,12 +896,34 @@ pub fn serve<R: BufRead, W: Write + Send>(
             };
             match op.as_str() {
                 "analyze" | "explain" | "lint" => {
+                    // Admission tier 1: the per-request grammar-byte cap,
+                    // checked before any work is spent. (A missing grammar
+                    // still admits, so the handler can answer with its
+                    // op-specific protocol error.)
+                    if opts.max_grammar_bytes > 0 {
+                        let size = req.get("grammar").and_then(Json::as_str).map(str::len);
+                        if let Some(size) = size.filter(|&s| s > opts.max_grammar_bytes) {
+                            shared.counters.too_large.fetch_add(1, Ordering::Relaxed);
+                            shared.respond(
+                                too_large_response(&id, size, opts.max_grammar_bytes),
+                                false,
+                            );
+                            continue;
+                        }
+                    }
+                    // The end-to-end deadline starts at admission, so
+                    // queue and spawn delay count against it and a
+                    // request that waits too long expires before doing
+                    // any search work.
+                    let deadline_ms = req
+                        .get("deadline_ms")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(opts.default_deadline_ms);
+                    let deadline = (deadline_ms > 0)
+                        .then(|| Instant::now() + Duration::from_millis(deadline_ms));
                     let cancel = CancelToken::new();
                     {
-                        let mut inflight = shared
-                            .inflight
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        let mut inflight = shared.lock_inflight();
                         if inflight.contains_key(&id) {
                             drop(inflight);
                             shared.respond(
@@ -666,26 +936,32 @@ pub fn serve<R: BufRead, W: Write + Send>(
                             );
                             continue;
                         }
+                        // Admission tier 2: shed at the in-flight cap,
+                        // decided under the same lock that defines the
+                        // count, so the decision and the snapshot agree.
+                        if opts.max_inflight > 0 && inflight.len() >= opts.max_inflight {
+                            let seen = inflight.len();
+                            drop(inflight);
+                            shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .respond(overloaded_response(&id, seen, opts.max_inflight), false);
+                            continue;
+                        }
                         inflight.insert(id.clone(), cancel.clone());
                     }
-                    shared.inflight_count.fetch_add(1, Ordering::Relaxed);
                     let shared = &shared;
                     scope.spawn(move || {
                         match op.as_str() {
-                            "analyze" => handle_analyze(shared, &id, &req, cancel),
-                            "explain" => handle_explain(shared, &id, &req, cancel),
-                            _ => handle_lint(shared, &id, &req),
+                            "analyze" => handle_analyze(shared, &id, &req, cancel, deadline),
+                            "explain" => handle_explain(shared, &id, &req, cancel, deadline),
+                            _ => handle_lint(shared, &id, &req, deadline),
                         }
-                        shared
-                            .inflight
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .remove(&id);
-                        shared.inflight_count.fetch_sub(1, Ordering::Relaxed);
+                        shared.lock_inflight().remove(&id);
                     });
                 }
                 "cancel" => handle_cancel(&shared, &id, &req),
                 "stats" => handle_stats(&shared, &id),
+                "health" => handle_health(&shared, &id),
                 "shutdown" => {
                     shared.respond(
                         envelope(Some(&id), true)
@@ -702,8 +978,8 @@ pub fn serve<R: BufRead, W: Write + Send>(
                             Some(&id),
                             "protocol",
                             &format!(
-                                "unknown op `{other}` (expected analyze, \
-                                 explain, lint, cancel, stats, or shutdown)"
+                                "unknown op `{other}` (expected analyze, explain, \
+                                 lint, cancel, stats, health, or shutdown)"
                             ),
                         ),
                         false,
@@ -712,13 +988,14 @@ pub fn serve<R: BufRead, W: Write + Send>(
             }
         }
         // Scope exit joins every in-flight request handler: the loop never
-        // drops work on shutdown or EOF.
+        // drops work on shutdown, EOF, or hangup.
     });
 
     ServeSummary {
         served: shared.counters.served.load(Ordering::Relaxed),
         errors: shared.counters.errors.load(Ordering::Relaxed),
         shutdown,
+        hangup: shared.peer_gone.load(Ordering::Relaxed),
     }
 }
 
@@ -727,19 +1004,19 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
-    fn run(input: &str) -> (Vec<Json>, ServeSummary) {
+    fn run_with(input: &str, opts: &ServeOptions) -> (Vec<Json>, ServeSummary) {
         let mut out = Vec::new();
-        let summary = serve(
-            Cursor::new(input.as_bytes()),
-            &mut out,
-            &ServeOptions::default(),
-        );
+        let summary = serve(Cursor::new(input.as_bytes()), &mut out, opts);
         let lines = String::from_utf8(out).unwrap();
         let responses = lines
             .lines()
             .map(|l| json::parse(l).expect("every response line is valid JSON"))
             .collect();
         (responses, summary)
+    }
+
+    fn run(input: &str) -> (Vec<Json>, ServeSummary) {
+        run_with(input, &ServeOptions::default())
     }
 
     #[test]
@@ -752,6 +1029,7 @@ mod tests {
         ));
         assert_eq!(responses.len(), 2);
         assert!(summary.shutdown);
+        assert!(!summary.hangup);
         assert_eq!(summary.served, 2);
         let analyze = responses
             .iter()
@@ -759,6 +1037,11 @@ mod tests {
             .unwrap();
         assert_eq!(analyze.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(analyze.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(
+            analyze.get("deadline_expired").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(analyze.get("retried_slots").and_then(Json::as_u64), Some(0));
         let report = analyze.get("report").unwrap();
         assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
         assert_eq!(
@@ -808,5 +1091,41 @@ mod tests {
         let err = responses[0].get("error").unwrap();
         assert_eq!(err.get("kind").and_then(Json::as_str), Some("protocol"));
         assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn oversized_grammar_is_shed_at_admission() {
+        let opts = ServeOptions {
+            max_grammar_bytes: 8,
+            ..ServeOptions::default()
+        };
+        let (responses, summary) = run_with(
+            concat!(
+                r#"{"op":"analyze","id":"big","grammar":"%% e : e '+' e | NUM ;"}"#,
+                "\n",
+            ),
+            &opts,
+        );
+        assert_eq!(summary.errors, 1);
+        let err = responses[0].get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("too_large"));
+        assert_eq!(err.get("limit").and_then(Json::as_u64), Some(8));
+        assert!(err.get("actual").and_then(Json::as_u64).unwrap() > 8);
+    }
+
+    #[test]
+    fn health_reports_ok_when_idle() {
+        let opts = ServeOptions {
+            max_inflight: 3,
+            ..ServeOptions::default()
+        };
+        let (responses, _) = run_with(concat!(r#"{"op":"health","id":"h"}"#, "\n"), &opts);
+        let h = &responses[0];
+        assert_eq!(h.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(h.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(h.get("inflight").and_then(Json::as_u64), Some(0));
+        assert_eq!(h.get("max_inflight").and_then(Json::as_u64), Some(3));
+        let counters = h.get("counters").unwrap();
+        assert_eq!(counters.get("overloaded").and_then(Json::as_u64), Some(0));
     }
 }

@@ -252,12 +252,13 @@ fn seeded_plans_are_reproducible_across_worker_counts() {
     }
 }
 
-/// The serve loop under fault injection: a plan that panics inside one
-/// conflict's unifying search still yields an `ok:true` analyze response
-/// (the fault is contained to its conflict slot and surfaced as
-/// `internal_count`), and the loop keeps serving — the follow-up request
-/// under the now-spent trigger is clean and its report matches a run that
-/// was never faulted.
+/// The serve loop under fault injection: a *persistent* plan that panics
+/// inside one conflict's unifying search (armed for the first run and the
+/// supervised retry alike) still yields an `ok:true` analyze response —
+/// the fault is contained to its conflict slot and surfaced as
+/// `internal_count` once supervision gives up — and the loop keeps
+/// serving: a fresh loop under a clean plan produces a report that
+/// matches a run that was never faulted.
 #[test]
 fn serve_contains_engine_faults_per_request() {
     use lalrcex::api::json::{self, Json};
@@ -299,12 +300,21 @@ fn serve_contains_engine_faults_per_request() {
     let clean = run_one(FaultPlan::new());
     assert_eq!(clean.get("internal_count").and_then(Json::as_u64), Some(0));
 
-    let faulted = run_one(FaultPlan::new().trigger(0, "unify.expand", 1, FaultAction::Panic));
+    let faulted = run_one(
+        FaultPlan::new()
+            .trigger(0, "unify.expand", 1, FaultAction::Panic)
+            .trigger(0, "unify.expand", 2, FaultAction::Panic),
+    );
     assert_eq!(faulted.get("ok").and_then(Json::as_bool), Some(true));
     assert_eq!(
         faulted.get("internal_count").and_then(Json::as_u64),
         Some(1),
         "the fault is contained to its conflict slot"
+    );
+    assert_eq!(
+        faulted.get("retried_slots").and_then(Json::as_u64),
+        Some(1),
+        "supervision retried once before giving up on the persistent fault"
     );
     let conflicts = faulted
         .get("report")
@@ -455,4 +465,155 @@ fn provenance_probe_contains_its_fault() {
             .collect();
         assert_eq!(again, clean, "retry matches the never-faulted engine");
     }
+}
+
+/// Fault-retry supervision at the session layer: after a one-shot fault
+/// leaves a slot `Internal`, `retry_internal_slots` re-runs it under the
+/// same slot scope — the spent trigger cannot re-fire, so the slot
+/// recovers to an outcome byte-identical to a never-faulted run, and the
+/// supervision counters record the retry and the recovery.
+#[test]
+fn supervised_slot_retry_recovers_one_shot_faults() {
+    use lalrcex::api::{AnalysisRequest, Session};
+
+    let g = load("figure1");
+    let clean = clean_run(&g, 1);
+    let text = lalrcex::corpus::by_name("figure1").unwrap().text();
+
+    let _guard = install(FaultPlan::new().trigger(0, "unify.expand", 1, FaultAction::Panic));
+    let session = Session::new();
+    let request = AnalysisRequest::new(text).config(deterministic(1));
+    let mut reply = session.analyze(&request).expect("contained fault");
+    assert_eq!(reply.report.internal_count(), 1, "slot 0 faulted");
+
+    let retried = session.retry_internal_slots(&mut reply, &request);
+    assert_eq!(retried, 1);
+    assert_eq!(
+        reply.report.internal_count(),
+        0,
+        "the one-shot fault was spent on the first run, so the retry \
+         recovers the slot"
+    );
+    assert_eq!(reply.report.stats.slot_retries, 1);
+    assert_eq!(reply.report.stats.slots_recovered, 1);
+    assert_eq!(reply.report.reports[0].stats.retries, 1);
+    assert_eq!(
+        formatted(&g, &reply.report),
+        formatted(&g, &clean),
+        "the recovered report is byte-identical to a never-faulted run"
+    );
+}
+
+/// A *persistent* fault (triggers armed for both the first run and the
+/// retry) stays `Internal` after supervision: exactly one retry is spent,
+/// nothing recovers, and the loop does not retry again.
+#[test]
+fn persistent_fault_stays_internal_after_one_retry() {
+    use lalrcex::api::{AnalysisRequest, Session};
+
+    let text = lalrcex::corpus::by_name("figure1").unwrap().text();
+    let _guard = install(
+        FaultPlan::new()
+            .trigger(0, "unify.expand", 1, FaultAction::Panic)
+            .trigger(0, "unify.expand", 2, FaultAction::Panic),
+    );
+    let session = Session::new();
+    let request = AnalysisRequest::new(text).config(deterministic(1));
+    let mut reply = session.analyze(&request).expect("contained fault");
+    assert_eq!(reply.report.internal_count(), 1);
+
+    let retried = session.retry_internal_slots(&mut reply, &request);
+    assert_eq!(retried, 1, "exactly one supervised re-run");
+    assert_eq!(reply.report.internal_count(), 1, "still faulted");
+    assert_eq!(reply.report.stats.slot_retries, 1);
+    assert_eq!(reply.report.stats.slots_recovered, 0);
+}
+
+/// `Session::evict` is the poisoned-engine hook: after eviction the next
+/// analysis of the same text rebuilds from scratch (a cache miss), so no
+/// state a fault may have corrupted is ever re-served.
+#[test]
+fn session_evict_forces_a_rebuild() {
+    use lalrcex::api::{AnalysisRequest, Session};
+
+    let _guard = install(FaultPlan::new());
+    let text = lalrcex::corpus::by_name("figure1").unwrap().text();
+    let session = Session::new();
+    let request = AnalysisRequest::new(text.clone()).config(deterministic(1));
+    assert!(!session.analyze(&request).unwrap().cache_hit);
+    assert!(session.analyze(&request).unwrap().cache_hit);
+    assert!(session.evict(&text));
+    assert!(!session.evict(&text), "second evict finds nothing");
+    assert!(
+        !session.analyze(&request).unwrap().cache_hit,
+        "the evicted engine is rebuilt, not re-served"
+    );
+}
+
+/// The serve loop's two supervision tiers, end to end. A one-shot fault in
+/// a conflict slot is healed by the slot retry: the response reports
+/// `retried_slots:1`, `internal_count:0`, and a report byte-identical to a
+/// clean run. A one-shot whole-request panic (the `serve.request` probe)
+/// is healed by the evict-and-rerun tier: same clean outcome, no error
+/// response ever emitted.
+#[test]
+fn serve_supervision_heals_one_shot_faults() {
+    use lalrcex::api::json::{self, Json};
+    use lalrcex::service::{serve, ServeOptions};
+    use std::io::Cursor;
+
+    let text = lalrcex::corpus::by_name("figure1").unwrap().text();
+    let analyze = format!(
+        r#"{{"op":"analyze","id":"a","grammar":{},"file":"figure1.y"}}"#,
+        Json::str(&text)
+    );
+    let run_one = |plan: FaultPlan| -> Json {
+        let _guard = install(plan);
+        let input = format!("{}\n{}\n", analyze, r#"{"op":"shutdown","id":"z"}"#);
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                ..ServeOptions::default()
+            },
+        );
+        assert!(summary.shutdown);
+        assert_eq!(summary.errors, 0, "supervision never leaks an error");
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| json::parse(l).expect("valid response lines"))
+            .find(|r| r.get("id").and_then(Json::as_str) == Some("a"))
+            .expect("analyze response")
+    };
+
+    let clean = run_one(FaultPlan::new());
+    let report = |r: &Json| r.get("report").unwrap().to_string();
+
+    // Tier 1: slot retry.
+    let slot = run_one(FaultPlan::new().trigger(0, "unify.expand", 1, FaultAction::Panic));
+    assert_eq!(slot.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(slot.get("retried_slots").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        slot.get("internal_count").and_then(Json::as_u64),
+        Some(0),
+        "the retried slot reports Completed, not Internal"
+    );
+    assert_eq!(
+        report(&slot),
+        report(&clean),
+        "healed run is byte-identical"
+    );
+
+    // Tier 2: whole-request evict-and-rerun.
+    let whole = run_one(FaultPlan::new().trigger(NO_SCOPE, "serve.request", 1, FaultAction::Panic));
+    assert_eq!(whole.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(whole.get("internal_count").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        report(&whole),
+        report(&clean),
+        "the evicted engine rebuilds and the re-run matches clean"
+    );
 }

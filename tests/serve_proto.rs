@@ -443,3 +443,279 @@ fn explain_op_classifies_and_stats_reports_provenance_bytes() {
     );
     assert_eq!(summary.served, 3);
 }
+
+/// A `cancel` whose target already completed reports `found:false`, and
+/// the completed id is free for reuse — only *in-flight* ids collide.
+#[test]
+fn cancel_after_completion_and_id_reuse() {
+    let text = corpus_text("figure1");
+    let h = Harness::start(ServeOptions::default());
+    h.send(&analyze_line("r", &text, ""));
+    h.wait_responses(1);
+    h.send(r#"{"op":"cancel","id":"c","target":"r"}"#);
+    let rs = h.wait_responses(2);
+    let cancel = by_id(&rs, "c");
+    assert_eq!(
+        cancel.get("found").and_then(Json::as_bool),
+        Some(false),
+        "cancel after completion finds nothing in flight"
+    );
+    // Reusing the id of a completed request is not a duplicate.
+    h.send(&analyze_line("r", &text, ""));
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, summary) = h.finish();
+    let reuse = rs
+        .iter()
+        .filter(|r| r.get("id").and_then(Json::as_str) == Some("r"))
+        .collect::<Vec<_>>();
+    assert_eq!(reuse.len(), 2);
+    assert!(reuse
+        .iter()
+        .all(|r| r.get("ok").and_then(Json::as_bool) == Some(true)));
+    assert_eq!(
+        reuse[1].get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "the reused id re-analyzes the cached grammar"
+    );
+    assert!(summary.shutdown);
+}
+
+/// `shutdown` racing a just-admitted analysis: both are answered — the
+/// admitted request is drained, never dropped.
+#[test]
+fn shutdown_races_just_admitted_request() {
+    let text = corpus_text("figure1");
+    let h = Harness::start(ServeOptions::default());
+    h.send(&analyze_line("a", &text, ""));
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, summary) = h.finish();
+    assert!(summary.shutdown);
+    assert_eq!(summary.served, 2);
+    assert_eq!(
+        by_id(&rs, "a").get("ok").and_then(Json::as_bool),
+        Some(true),
+        "the admitted analysis completes through the drain"
+    );
+    assert_eq!(
+        by_id(&rs, "z").get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+}
+
+/// An effectively already-expired deadline (1 ms on a heavy grammar)
+/// degrades to a partial report — skipped unifying searches with their
+/// nonunifying fallbacks constructed — and never a protocol error.
+/// Verified cold (engine built after expiry) and warm (cache hit).
+#[test]
+fn expired_deadline_degrades_to_partial_report_cold_and_warm() {
+    let text = corpus_text("Java.2");
+    let h = Harness::start(ServeOptions::default());
+    // Cold: building the Java.2 engine alone outlives the deadline, so
+    // every slot sees a spent budget.
+    h.send(&analyze_line(
+        "cold",
+        &text,
+        r#","extended":true,"deadline_ms":1"#,
+    ));
+    h.wait_responses(1);
+    h.send(&analyze_line(
+        "warm",
+        &text,
+        r#","extended":true,"deadline_ms":1"#,
+    ));
+    h.wait_responses(2);
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, _) = h.finish();
+
+    for id in ["cold", "warm"] {
+        let r = by_id(&rs, id);
+        assert_eq!(
+            r.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{id}: deadline expiry is degradation, not an error"
+        );
+        assert_eq!(
+            r.get("deadline_expired").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(r.get("cancelled").and_then(Json::as_bool), Some(false));
+        assert_eq!(r.get("internal_count").and_then(Json::as_u64), Some(0));
+        let conflicts = r
+            .get("report")
+            .and_then(|d| d.get("conflicts"))
+            .and_then(Json::as_arr)
+            .expect("partial report still carries every conflict");
+        assert!(!conflicts.is_empty());
+        let mut skipped = 0;
+        for c in conflicts {
+            let outcome = c.get("outcome").and_then(Json::as_str).unwrap();
+            assert!(
+                outcome.starts_with("nonunifying") || outcome == "unifying",
+                "{id}: expiry lands on the degradation ladder, got {outcome}"
+            );
+            if outcome == "nonunifying-skipped" {
+                skipped += 1;
+                assert!(
+                    !matches!(c.get("nonunifying"), None | Some(&Json::Null)),
+                    "{id}: skipped slots still carry their nonunifying fallback"
+                );
+            }
+        }
+        assert!(
+            skipped > 0,
+            "{id}: a 1 ms deadline cannot run every Java.2 unifying search"
+        );
+    }
+    assert_eq!(
+        by_id(&rs, "cold").get("cache").and_then(Json::as_str),
+        Some("miss")
+    );
+    assert_eq!(
+        by_id(&rs, "warm").get("cache").and_then(Json::as_str),
+        Some("hit")
+    );
+}
+
+/// Admission control at `max_inflight:1`: with one slow analysis running,
+/// `health` reports `shedding` and a second submission is shed with a
+/// structured `overloaded` error carrying `retry_after_ms` — while the
+/// admitted request keeps its budget and completes.
+#[test]
+fn overload_sheds_at_admission_with_retry_hint() {
+    let text = corpus_text("Java.2");
+    let h = Harness::start(ServeOptions {
+        max_inflight: 1,
+        ..ServeOptions::default()
+    });
+    // The reader admits (inserts) before reading the next line, so by the
+    // time the requests below are parsed the slot is deterministically
+    // taken.
+    h.send(&analyze_line(
+        "slow",
+        &text,
+        r#","extended":true,"time_limit_ms":3600000,"total_limit_ms":3600000"#,
+    ));
+    h.send(r#"{"op":"health","id":"h1"}"#);
+    h.send(&analyze_line("shed", "%% e : 'a' ;", ""));
+    h.send(r#"{"op":"health","id":"h2"}"#);
+    let rs = h.wait_responses(3);
+
+    let h1 = by_id(&rs, "h1");
+    assert_eq!(h1.get("status").and_then(Json::as_str), Some("shedding"));
+    assert_eq!(h1.get("inflight").and_then(Json::as_u64), Some(1));
+    assert_eq!(h1.get("max_inflight").and_then(Json::as_u64), Some(1));
+
+    let shed = by_id(&rs, "shed");
+    assert_eq!(shed.get("ok").and_then(Json::as_bool), Some(false));
+    let err = shed.get("error").expect("structured shed error");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("overloaded"));
+    assert_eq!(err.get("inflight").and_then(Json::as_u64), Some(1));
+    assert_eq!(err.get("limit").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        err.get("retry_after_ms").and_then(Json::as_u64),
+        Some(100),
+        "deterministic backoff hint"
+    );
+
+    let h2 = by_id(&rs, "h2");
+    assert_eq!(
+        h2.get("counters")
+            .and_then(|c| c.get("overloaded"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+
+    h.send(r#"{"op":"cancel","id":"c","target":"slow"}"#);
+    h.wait_responses(5);
+    h.send(r#"{"op":"stats","id":"s"}"#);
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, summary) = h.finish();
+    let slow = rs
+        .iter()
+        .find(|r| {
+            r.get("id").and_then(Json::as_str) == Some("slow")
+                && r.get("op").and_then(Json::as_str) == Some("analyze")
+        })
+        .expect("the admitted request is answered, not shed");
+    assert_eq!(slow.get("ok").and_then(Json::as_bool), Some(true));
+    let stats = by_id(&rs, "s");
+    let sup = stats.get("supervision").expect("stats supervision block");
+    assert_eq!(sup.get("overloaded").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        stats.get("inflight").and_then(Json::as_u64),
+        Some(0),
+        "stats derives inflight from the live map"
+    );
+    assert!(summary.shutdown);
+}
+
+/// A writer that starts failing on demand — the in-process stand-in for a
+/// peer that hung up (EPIPE on write).
+#[derive(Clone)]
+struct HangupWriter {
+    out: Arc<Mutex<Vec<u8>>>,
+    dead: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl Write for HangupWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe));
+        }
+        self.out.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// When the peer hangs up mid-analysis, the next failed response write
+/// hard-cancels the in-flight work and the loop drains promptly instead
+/// of burning an hour of search budget for a dead client.
+#[test]
+fn peer_hangup_cancels_in_flight_work_and_drains() {
+    let text = corpus_text("Java.2");
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let dead = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = HangupWriter {
+        out: Arc::clone(&out),
+        dead: Arc::clone(&dead),
+    };
+    let join = std::thread::spawn(move || {
+        let reader = ChannelReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        };
+        serve(reader, writer, &ServeOptions::default())
+    });
+    let send = |line: &str| {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        tx.send(bytes).unwrap();
+    };
+    // An hour-budget extended search: without the hangup fix this test
+    // would hang for the full budget at the drain.
+    send(&analyze_line(
+        "slow",
+        &text,
+        r#","extended":true,"time_limit_ms":3600000,"total_limit_ms":3600000"#,
+    ));
+    std::thread::sleep(Duration::from_millis(300));
+    dead.store(true, std::sync::atomic::Ordering::SeqCst);
+    // The peer is gone: this response write fails, which must cancel the
+    // slow analysis and flag the loop to stop.
+    send(r#"{"op":"stats","id":"s"}"#);
+    drop(tx);
+    let started = Instant::now();
+    let summary = join.join().expect("serve loop must not panic");
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "hangup must drain promptly, not run out the hour budget"
+    );
+    assert!(summary.hangup, "the summary reports the hangup");
+    assert!(!summary.shutdown);
+}
