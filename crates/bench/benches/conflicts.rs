@@ -12,6 +12,9 @@
 //!   conflict, the paper's comparison point (parenthesised column).
 //! * `lint` — the static-analysis passes: cold (engine built per run)
 //!   vs shared-facts (engine reused), quantifying the fact-sharing seam.
+//! * `search_throughput` — explored-configurations/sec of the §5 search
+//!   under a fixed configuration budget; emits the machine-readable
+//!   `BENCH_search.json` report when `LALRCEX_BENCH_JSON=<path>` is set.
 //!
 //! Filter with `cargo bench -- NAME` (substring match on `group/bench`).
 
@@ -177,6 +180,121 @@ fn lint_passes(cfg: MicroConfig, filter: Option<String>) {
     }
 }
 
+/// Search-core throughput (the data-oriented-core acceptance gate): each
+/// family runs the §5 search on its heaviest conflict under a fixed
+/// configuration budget, and the explored-configurations/sec rate is
+/// reported. A budgeted search is far too heavy for the calibrated
+/// batching harness, so this group times single bounded runs (best of N)
+/// directly; the budget makes `explored` deterministic, so the rate is
+/// comparable across machines and changes.
+///
+/// Environment knobs:
+/// * `LALRCEX_BENCH_JSON=<path>` — write the records as
+///   `BENCH_search.json` (format: `micro::throughput_json`).
+/// * `LALRCEX_BENCH_SMOKE=1` — shrink budget and samples so the check.sh
+///   bench leg finishes in seconds.
+fn search_throughput(filter: Option<String>) {
+    use std::time::Instant;
+
+    use lalrcex_bench::micro::{write_throughput_json, ThroughputRecord};
+    use lalrcex_core::{unifying_search_metered, Engine, SearchMetrics};
+
+    let smoke = std::env::var_os("LALRCEX_BENCH_SMOKE").is_some_and(|v| v != "0");
+    let budget: usize = if smoke { 20_000 } else { 200_000 };
+    let samples: usize = if smoke { 1 } else { 3 };
+    let mut records: Vec<ThroughputRecord> = Vec::new();
+    let mut printed = false;
+    for name in ["figure1", "SQL.1", "stackovf08", "stackovf10"] {
+        let full = format!("search_throughput/{name}");
+        if let Some(flt) = &filter {
+            if !full.contains(flt.as_str()) {
+                continue;
+            }
+        }
+        if !printed {
+            println!("\n== search_throughput (budget {budget} configs) ==");
+            println!(
+                "{:<28} {:>12} {:>12} {:>14} {:>12}",
+                "benchmark", "explored", "best", "configs/s", "ns/config"
+            );
+            printed = true;
+        }
+        let g = lalrcex_corpus::by_name(name).unwrap().load().unwrap();
+        let engine = Engine::new(&g);
+        // Heaviest conflict by a cheap bounded probe, as in cancel_stride:
+        // throughput on a trivially-exhausted conflict measures setup, not
+        // the search loop.
+        let probe_cfg = SearchConfig {
+            time_limit: Duration::from_secs(3600),
+            max_configs: 5_000,
+            ..SearchConfig::default()
+        };
+        let mut best: Option<(usize, u64)> = None;
+        for (i, c) in engine.tables().conflicts().iter().take(40).enumerate() {
+            let (spine, _) = engine.spine(c);
+            let mut m = SearchMetrics::default();
+            unifying_search_metered(
+                &g,
+                engine.automaton(),
+                engine.graph(),
+                c,
+                &spine.states,
+                &probe_cfg,
+                &mut m,
+            );
+            if best.is_none_or(|(_, e)| m.explored > e) {
+                best = Some((i, m.explored));
+            }
+        }
+        let (idx, _) = best.expect("corpus grammar has conflicts");
+        let conflict = engine.tables().conflicts()[idx];
+        let (spine, _) = engine.spine(&conflict);
+        let scfg = SearchConfig {
+            time_limit: Duration::from_secs(3600),
+            max_configs: budget,
+            ..SearchConfig::default()
+        };
+        let mut explored = 0u64;
+        let mut elapsed = Duration::MAX;
+        for _ in 0..samples {
+            let mut m = SearchMetrics::default();
+            let t = Instant::now();
+            unifying_search_metered(
+                &g,
+                engine.automaton(),
+                engine.graph(),
+                &conflict,
+                &spine.states,
+                &scfg,
+                &mut m,
+            );
+            let d = t.elapsed();
+            explored = m.explored;
+            elapsed = elapsed.min(d);
+        }
+        let rec = ThroughputRecord {
+            family: name.to_string(),
+            explored,
+            elapsed,
+        };
+        println!(
+            "{:<28} {:>12} {:>9.2} ms {:>14.0} {:>12.1}",
+            name,
+            rec.explored,
+            rec.elapsed.as_secs_f64() * 1e3,
+            rec.explored_per_sec(),
+            rec.ns_per_config(),
+        );
+        records.push(rec);
+    }
+    if let Ok(path) = std::env::var("LALRCEX_BENCH_JSON") {
+        if !records.is_empty() {
+            write_throughput_json(&path, &records).expect("write BENCH_search.json");
+            println!("wrote {path}");
+        }
+    }
+}
+
 fn main() {
     // `cargo bench -- FILTER` puts the filter in argv; `cargo bench` also
     // passes `--bench`, which we ignore.
@@ -193,5 +311,6 @@ fn main() {
     full_conflict(slow, filter.clone());
     baseline(slow, filter.clone());
     cancel_stride(slow, filter.clone());
-    lint_passes(slow, filter);
+    lint_passes(slow, filter.clone());
+    search_throughput(filter);
 }

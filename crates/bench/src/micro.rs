@@ -109,6 +109,72 @@ impl<'a> Group<'a> {
     }
 }
 
+/// One family's row in the machine-readable search-throughput report
+/// (`BENCH_search.json`, committed at the repo root so the perf trajectory
+/// of the §5 search is tracked across changes).
+#[derive(Clone, Debug)]
+pub struct ThroughputRecord {
+    /// Grammar family (corpus entry name).
+    pub family: String,
+    /// Configurations explored by the measured search.
+    pub explored: u64,
+    /// Best-of-samples wall time of that search.
+    pub elapsed: Duration,
+}
+
+impl ThroughputRecord {
+    /// Explored configurations per second.
+    pub fn explored_per_sec(&self) -> f64 {
+        self.explored as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Nanoseconds per explored configuration.
+    pub fn ns_per_config(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / (self.explored as f64).max(1.0)
+    }
+}
+
+/// Serializes throughput records in the committed `BENCH_search.json`
+/// format (see DESIGN.md "Search-core memory layout" for the schema
+/// contract):
+///
+/// ```json
+/// {
+///   "schema": "lalrcex.bench_search.v1",
+///   "families": [
+///     { "family": "stackovf08", "explored": 200000,
+///       "elapsed_ms": 250.0, "explored_per_sec": 800000.0,
+///       "ns_per_config": 1250.0 }
+///   ]
+/// }
+/// ```
+///
+/// Hand-rolled writer: the format is flat and the bench crate stays free
+/// of serialization dependencies.
+pub fn throughput_json(records: &[ThroughputRecord]) -> String {
+    let mut out =
+        String::from("{\n  \"schema\": \"lalrcex.bench_search.v1\",\n  \"families\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"family\": {:?}, \"explored\": {}, \"elapsed_ms\": {:.3}, \
+             \"explored_per_sec\": {:.1}, \"ns_per_config\": {:.1} }}{sep}\n",
+            r.family,
+            r.explored,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.explored_per_sec(),
+            r.ns_per_config(),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`throughput_json`] to `path`.
+pub fn write_throughput_json(path: &str, records: &[ThroughputRecord]) -> std::io::Result<()> {
+    std::fs::write(path, throughput_json(records))
+}
+
 /// Formats a duration with an adaptive unit.
 fn fmt(d: Duration) -> String {
     let ns = d.as_nanos();

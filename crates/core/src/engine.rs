@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 use lalrcex_grammar::{Analysis, Grammar};
 use lalrcex_lr::{Automaton, Conflict, ConflictKind, Resolution, StateId, Tables};
 
-use crate::cancel::{CancelToken, MemoryGovernor, SearchSession};
+use crate::cancel::{CancelToken, MemoryGovernor, SearchSession, ShardBudget};
 use crate::contain::contain;
 use crate::error::EngineError;
 use crate::lssi::{self, LsNode};
@@ -102,15 +102,22 @@ pub enum ResolutionProbe {
     Internal(EngineError),
 }
 
-/// Resolves a configured worker count: `0` means one worker per available
-/// CPU; the result is clamped to `[1, conflicts]`.
-pub fn resolve_workers(configured: usize, conflicts: usize) -> usize {
-    let hw = if configured > 0 {
+/// The total worker-pool size implied by a configured worker count: `0`
+/// means one per available CPU. Outer per-conflict workers and
+/// intra-conflict shard workers are both drawn from this one pool.
+pub fn hardware_workers(configured: usize) -> usize {
+    if configured > 0 {
         configured
     } else {
         std::thread::available_parallelism().map_or(1, |n| n.get())
-    };
-    hw.clamp(1, conflicts.max(1))
+    }
+}
+
+/// Resolves a configured worker count to the number of *outer* per-conflict
+/// workers: [`hardware_workers`] clamped to `[1, conflicts]`. Pool capacity
+/// beyond the conflict count is lent to heavy searches as a [`ShardBudget`].
+pub fn resolve_workers(configured: usize, conflicts: usize) -> usize {
+    hardware_workers(configured).clamp(1, conflicts.max(1))
 }
 
 impl<'g> Engine<'g> {
@@ -314,9 +321,12 @@ impl<'g> Engine<'g> {
             };
             let cancel = CancelToken::new();
             let governor = MemoryGovernor::unlimited();
+            // No shard budget: probe results feed lint snapshots, and a
+            // single-threaded probe keeps its wall-clock profile flat.
             let session = SearchSession {
                 cancel: &cancel,
                 governor: &governor,
+                shards: None,
             };
             let mut metrics = crate::stats::SearchMetrics::default();
             match unifying_search_session(
@@ -393,9 +403,12 @@ impl<'g> Engine<'g> {
     ) -> ConflictReport {
         let cancel = CancelToken::new();
         let governor = MemoryGovernor::with_limit_mb(cfg.max_live_mb);
+        // A lone conflict gets the whole pool minus the thread running it.
+        let shards = ShardBudget::new(hardware_workers(cfg.workers).saturating_sub(1));
         let session = SearchSession {
             cancel: &cancel,
             governor: &governor,
+            shards: Some(&shards),
         };
         self.analyze_conflict_cancellable(conflict, cfg, deadline, &session)
     }
@@ -567,9 +580,16 @@ impl<'g> Engine<'g> {
         let deadline = started + budget;
         let workers = resolve_workers(cfg.workers, n);
         let governor = MemoryGovernor::with_limit_mb(cfg.max_live_mb);
+        // Pool capacity not consumed by outer workers is lent to heavy
+        // searches for intra-conflict frontier sharding; each outer worker
+        // returns its own permit below when it runs out of conflicts, so a
+        // late heavy search (the stackovf08/xi pattern) can recruit the
+        // idle cores instead of waiting out its timeout alone.
+        let shards = ShardBudget::new(hardware_workers(cfg.workers).saturating_sub(workers));
         let session = SearchSession {
             cancel,
             governor: &governor,
+            shards: Some(&shards),
         };
 
         let mut slots: Vec<Option<ConflictReport>> = (0..n).map(|_| None).collect();
@@ -593,12 +613,16 @@ impl<'g> Engine<'g> {
                     let tx = tx.clone();
                     let next = &next;
                     let conflicts = &conflicts;
+                    let shards = &shards;
                     scope.spawn(move || loop {
                         if session.cancel.is_hard_cancelled() {
                             break;
                         }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
+                            // Out of conflicts: lend this worker to any
+                            // still-running heavy search.
+                            shards.release(1);
                             break;
                         }
                         let report = crate::faultpoint::with_scope(i as u64, || {

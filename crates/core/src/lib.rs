@@ -51,14 +51,17 @@ mod nonunifying;
 pub mod provenance;
 mod report;
 mod search;
+mod soa;
 mod state_graph;
 pub mod stats;
 pub mod validate;
 
 pub use cache::{content_hash, BuildError, CacheStats, CachedEngine, EngineCache};
-pub use cancel::{CancelReason, CancelToken, GovernorLease, MemoryGovernor, SearchSession};
+pub use cancel::{
+    CancelReason, CancelToken, GovernorLease, MemoryGovernor, SearchSession, ShardBudget,
+};
 pub use contain::contain;
-pub use engine::{resolve_workers, Engine, Facts, ResolutionProbe, Spine};
+pub use engine::{hardware_workers, resolve_workers, Engine, Facts, ResolutionProbe, Spine};
 pub use error::EngineError;
 pub use nonunifying::{nonunifying_example, NonunifyingExample};
 pub use provenance::{

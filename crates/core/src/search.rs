@@ -10,25 +10,49 @@
 //! penalises production steps and repeated items (§5.4), and terminates
 //! when both parsers have derived the same nonterminal with structurally
 //! distinct derivations — a proof of ambiguity.
+//!
+//! # Data-oriented core
+//!
+//! Configurations are struct-of-arrays records (see [`crate::soa`]): item
+//! sequences and derivation lists are persistent double-ended sequences
+//! ([`Seq`]) sharing immutable cons cells in arena storage, derivations
+//! are DAG nodes whose child lists are spans in a word pool, pending
+//! lookahead constraints are interned set ids, the cost queue is a
+//! radix-by-cost bucket ring with *explicit* FIFO order within a cost, and
+//! the visited set is an open-addressing table that never copies keys.
+//!
+//! Every Figure 10 action edits a sequence at one end, so a successor
+//! costs O(edit): a couple of cons cells plus an incremental update of the
+//! positional sequence hash (appends multiply, prepends add at weight
+//! `SEQ_X^len`, reduction pops divide — see [`crate::soa::SEQ_X`]). This
+//! matters beyond constant factors: the former representations (owned
+//! vectors per configuration, then flat span copies) were *quadratic* in
+//! search depth, and the Stack Overflow grammars drive deep, narrow
+//! frontiers whose item sequences grow to thousands of entries — flat
+//! copies turned a 200k-configuration search into gigabytes of memcpy and
+//! page faults.
+//!
+//! The frontier is processed one cost *bucket* at a time: every action
+//! costs at least 1, so the current bucket can never receive new entries
+//! while it is being expanded. Bucket expansion is side-effect-free and is
+//! chunked across any extra workers the engine's [`ShardBudget`](crate::cancel::ShardBudget) lends
+//! (intra-conflict frontier sharding); the results are then merged into the
+//! arenas in canonical batch order, so the search's outcome *and* all of
+//! its deterministic counters are byte-identical at any worker count.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
 use std::time::{Duration, Instant};
 
-use lalrcex_grammar::{Derivation, Grammar, SymbolId, SymbolKind, TerminalSet};
+use lalrcex_grammar::{Grammar, SymbolId, SymbolKind, TerminalSet};
 use lalrcex_lr::{Automaton, Conflict, ConflictKind, StateId};
 
 use crate::cancel::{CancelToken, GovernorLease, MemoryGovernor, SearchSession};
 use crate::error::EngineError;
-use crate::state_graph::{StateGraph, StateItemId};
+use crate::soa::{
+    itemh, mix, wpow, BucketQueue, CellArena, DerivArena, FactMap, Pool, Seq, SetInterner, Visited,
+    DOT, NIL, NO_PENDING, SEQ_X, SEQ_XINV,
+};
+use crate::state_graph::{NodeSet, StateGraph, StateItemId};
 use crate::stats::SearchMetrics;
-
-/// Rough per-configuration live-memory estimate (arena slot, core vectors,
-/// derivations, visited-set key) used for the soft memory governor's
-/// frontier accounting.
-///
-/// An estimate, not allocator truth — the governor is a *soft* limit.
-const APPROX_CONFIG_BYTES: usize = 384;
 
 /// Cost of a joint transition.
 const TRANSITION_COST: u32 = 1;
@@ -44,6 +68,8 @@ const REDUCE_COST: u32 = 1;
 /// sequence — §5.4: "the search algorithm must postpone such an expansion
 /// until other configurations have been considered".
 const DUPLICATE_PENALTY: u32 = 8;
+/// Hard ceiling on extra workers one frontier batch will recruit.
+const MAX_SHARDS: usize = 15;
 
 /// Tunable knobs for the unifying search.
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +96,12 @@ pub struct SearchConfig {
     /// per node (the `cancel_stride` bench group quantifies the overhead).
     /// Rounded up to a power of two; `1` polls on every pop.
     pub cancel_stride: u32,
+    /// Smallest frontier batch worth sharding across extra workers from
+    /// the session's [`ShardBudget`](crate::cancel::ShardBudget) — below it the per-batch thread-spawn
+    /// overhead dominates. Sharding never changes results or deterministic
+    /// counters, only wall-clock, so this is purely a throughput knob
+    /// (tests pin determinism with `1` to force sharding on tiny batches).
+    pub shard_min: u32,
 }
 
 impl Default for SearchConfig {
@@ -80,6 +112,7 @@ impl Default for SearchConfig {
             max_configs: 1 << 21,
             max_cost: u32::MAX,
             cancel_stride: 256,
+            shard_min: 256,
         }
     }
 }
@@ -91,9 +124,9 @@ pub struct UnifyingExample {
     /// derivations unify).
     pub nonterminal: SymbolId,
     /// Derivation taking the conflict reduction.
-    pub derivation1: Derivation,
+    pub derivation1: lalrcex_grammar::Derivation,
     /// Derivation taking the conflict shift (or second reduction).
-    pub derivation2: Derivation,
+    pub derivation2: lalrcex_grammar::Derivation,
 }
 
 impl UnifyingExample {
@@ -115,19 +148,204 @@ pub enum SearchOutcome {
     TimedOut,
 }
 
-/// The dedup key of a configuration: everything that determines its future.
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct Core {
-    items: [Vec<StateItemId>; 2],
-    pending: [Option<TerminalSet>; 2],
-    reduced: [bool; 2],
+/// All search-owned storage: the configuration arenas plus their shared
+/// pools. Cells are only allocated at initialization and during the
+/// sequential merge phase, so everything here grows deterministically with
+/// the (worker-invariant) insertion sequence — the governor lease derived
+/// from actual capacities is reproducible across runs and worker counts.
+struct Mem {
+    /// Item-sequence cons cells.
+    icell: CellArena,
+    /// Derivation-list cons cells.
+    dcell: CellArena,
+    /// Materialized child spans of reduction nodes.
+    kids: Pool,
+    /// Derivation DAG nodes.
+    nodes: DerivArena,
+    /// Interned pending lookahead constraints.
+    sets: SetInterner,
+    // --- configuration record columns ---
+    cost: Vec<u32>,
+    /// Bit 0: parser 0 has reduced; bit 1: parser 1 has reduced.
+    flags: Vec<u8>,
+    pend: Vec<[u32; 2]>,
+    /// Per-parser item sequences.
+    iseq: Vec<[Seq; 2]>,
+    /// Cached first item per parser (only prepends change it — a
+    /// reduction always keeps at least one item).
+    ifirst: Vec<[u32; 2]>,
+    /// Positional hash of each parser's item sequence.
+    ihash: Vec<[u64; 2]>,
+    /// Per-parser derivation lists.
+    dseq: Vec<[Seq; 2]>,
 }
 
-#[derive(Clone)]
-struct Config {
-    core: Core,
-    derivs: [Vec<Derivation>; 2],
+impl Mem {
+    fn new(symbols: usize) -> Mem {
+        Mem {
+            icell: CellArena::new(),
+            dcell: CellArena::new(),
+            kids: Pool::new(),
+            nodes: DerivArena::new(symbols),
+            sets: SetInterner::new(),
+            cost: Vec::new(),
+            flags: Vec::new(),
+            pend: Vec::new(),
+            iseq: Vec::new(),
+            ifirst: Vec::new(),
+            ihash: Vec::new(),
+            dseq: Vec::new(),
+        }
+    }
+
+    /// Configurations stored.
+    fn len(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// Both sequence lengths of configuration `idx`.
+    fn ilen(&self, idx: usize) -> [u32; 2] {
+        [self.iseq[idx][0].len(), self.iseq[idx][1].len()]
+    }
+
+    /// Estimated allocated bytes, derived from actual capacities (feeds
+    /// the memory governor's lease).
+    fn approx_bytes(&self, terminal_count: usize, visited: &Visited, queue: &BucketQueue) -> usize {
+        self.icell.capacity_bytes()
+            + self.dcell.capacity_bytes()
+            + self.kids.capacity() * 4
+            + self.nodes.capacity_bytes()
+            + self.sets.capacity_bytes(terminal_count)
+            + self.cost.capacity() * 4
+            + self.flags.capacity()
+            + self.pend.capacity() * 8
+            + self.iseq.capacity() * std::mem::size_of::<[Seq; 2]>()
+            + self.ifirst.capacity() * 8
+            + self.ihash.capacity() * 16
+            + self.dseq.capacity() * std::mem::size_of::<[Seq; 2]>()
+            + visited.capacity_bytes()
+            + queue.capacity_bytes()
+    }
+}
+
+/// Appends item `v` to a positional sequence hash.
+#[inline]
+fn h_append(h: u64, v: u32) -> u64 {
+    h.wrapping_mul(SEQ_X).wrapping_add(itemh(v))
+}
+
+/// Prepends item `v` to the hash of a length-`len` sequence.
+#[inline]
+fn h_prepend(h: u64, v: u32, len: u32) -> u64 {
+    h.wrapping_add(itemh(v).wrapping_mul(wpow(SEQ_X, len as u64)))
+}
+
+/// Removes the trailing items whose values are given last-first.
+fn h_pop_back(h: u64, vals: &[u32]) -> u64 {
+    let mut sub = 0u64;
+    let mut pw = 1u64;
+    for &v in vals {
+        sub = sub.wrapping_add(itemh(v).wrapping_mul(pw));
+        pw = pw.wrapping_mul(SEQ_X);
+    }
+    h.wrapping_sub(sub)
+        .wrapping_mul(wpow(SEQ_XINV, vals.len() as u64))
+}
+
+/// The dedup hash of a configuration, before pending ids are mixed in.
+fn cand_hash(len: [u32; 2], flags: u8, h: [u64; 2]) -> u64 {
+    let seed = mix(mix(mix(0x5EED, len[0] as u64), len[1] as u64), flags as u64);
+    mix(mix(seed, h[0]), h[1])
+}
+
+/// How a successor's pending constraint derives from its parent's.
+#[derive(Clone, Copy)]
+enum PendRef {
+    /// Same id as the parent.
+    Keep,
+    /// An explicit id ([`NO_PENDING`] or an already-interned id).
+    Id(u32),
+    /// A freshly built set, stored in the expansion buffer; interned at
+    /// merge time so ids stay in canonical insertion order.
+    New(u32),
+}
+
+/// How a successor's item sequence derives from its parent's.
+#[derive(Clone, Copy)]
+enum ItemOp {
+    /// Share the parent's sequence.
+    Keep,
+    /// `[item] ++ parent` (reverse transition / reverse production step).
+    Prepend(u32),
+    /// `parent ++ [item]` (joint transition / production step).
+    Append(u32),
+    /// Pop the last `pops` items and append the goto item.
+    Reduce { pops: u32, goto_item: u32 },
+}
+
+/// How a successor's derivation list derives from its parent's.
+#[derive(Clone, Copy)]
+enum DerivDesc {
+    /// Share the parent's list (pure item-sequence actions).
+    Keep,
+    /// `[leaf] ++ parent` (reverse transition).
+    Prepend(u32),
+    /// `parent ++ [leaf]` (joint transition).
+    Append(u32),
+    /// Reduction: pop the last `pops` entries (dot markers included), wrap
+    /// them in a new node of `lhs`, and append that node.
+    Reduce { pops: u32, lhs: SymbolId },
+}
+
+/// A successor candidate produced by (possibly parallel) expansion; merge
+/// resolves it against the visited set and commits it to the arenas.
+/// Candidates are pure *edit descriptors* — expansion allocates no cells,
+/// so it can run sharded without touching shared state.
+struct Cand {
+    parent: u32,
     cost: u32,
+    flags: u8,
+    pend: [PendRef; 2],
+    /// Per-parser item-sequence edit.
+    op: [ItemOp; 2],
+    /// Resulting item-sequence lengths.
+    len: [u32; 2],
+    /// Resulting positional item-sequence hashes.
+    h: [u64; 2],
+    /// Hash over lengths, flags, and items; pending ids are mixed in at
+    /// merge time (after interning).
+    hash: u64,
+    dd: [DerivDesc; 2],
+}
+
+/// Per-worker expansion output; cleared per batch, so its transient
+/// capacity is deliberately *excluded* from the governor lease. The
+/// membership memo is excluded for a second reason: each worker grows its
+/// own, so its size is the one piece of state that *does* vary with the
+/// worker count — leasing it would move the governor's shed point.
+#[derive(Default)]
+struct ExpandBuf {
+    cands: Vec<Cand>,
+    new_sets: Vec<TerminalSet>,
+    /// Transient back-read values (reduction predecessors).
+    vals: Vec<u32>,
+    /// Transient cell-walk scratch.
+    scratch: Vec<u32>,
+    /// Memoized §5.4 duplicate-check facts; persists across batches
+    /// (cells are immutable, so facts never go stale).
+    memo: FactMap,
+}
+
+impl ExpandBuf {
+    fn clear(&mut self) {
+        self.cands.clear();
+        self.new_sets.clear();
+    }
+}
+
+#[inline]
+fn si(w: u32) -> StateItemId {
+    StateItemId::from_index(w as usize)
 }
 
 struct Search<'a> {
@@ -139,186 +357,253 @@ struct Search<'a> {
     /// Reduce/reduce conflict? (Both parsers start on reduce items.)
     rr: bool,
     /// States allowed as reverse-transition targets (`None` = extended).
-    allowed: Option<HashSet<StateId>>,
+    allowed: Option<NodeSet>,
 }
 
 impl Search<'_> {
-    fn item(&self, si: StateItemId) -> lalrcex_lr::Item {
-        self.graph.item(si)
+    fn item(&self, w: u32) -> lalrcex_lr::Item {
+        self.graph.item(si(w))
     }
 
-    fn lookahead(&self, si: StateItemId) -> &TerminalSet {
-        self.graph.lookahead(self.auto, si)
+    fn lookahead(&self, id: StateItemId) -> &TerminalSet {
+        self.graph.lookahead(self.auto, id)
     }
 
-    fn successors(&self, c: &Config, out: &mut Vec<Config>) {
+    /// Finalizes a candidate from its edit descriptors.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        buf: &mut ExpandBuf,
+        parent: u32,
+        cost: u32,
+        flags: u8,
+        pend: [PendRef; 2],
+        op: [ItemOp; 2],
+        len: [u32; 2],
+        h: [u64; 2],
+        dd: [DerivDesc; 2],
+    ) {
+        let hash = cand_hash(len, flags, h);
+        buf.cands.push(Cand {
+            parent,
+            cost,
+            flags,
+            pend,
+            op,
+            len,
+            h,
+            hash,
+            dd,
+        });
+    }
+
+    /// Emits all Figure 10 successors of configuration `idx`.
+    fn successors(&self, mem: &Mem, idx: u32, buf: &mut ExpandBuf) {
+        let i = idx as usize;
         let red = [
-            self.item(*c.core.items[0].last().expect("nonempty"))
-                .is_reduce(self.g),
-            self.item(*c.core.items[1].last().expect("nonempty"))
-                .is_reduce(self.g),
+            self.item(mem.iseq[i][0].last(&mem.icell)).is_reduce(self.g),
+            self.item(mem.iseq[i][1].last(&mem.icell)).is_reduce(self.g),
         ];
         for (p, &is_red) in red.iter().enumerate() {
             if is_red {
-                self.reduce_or_prep(c, p, out);
+                self.reduce_or_prep(mem, idx, p, buf);
             }
         }
         if !red[0] && !red[1] {
-            self.forward(c, out);
+            self.forward(mem, idx, buf);
         }
     }
 
-    fn reduce_or_prep(&self, c: &Config, p: usize, out: &mut Vec<Config>) {
-        let items = &c.core.items[p];
-        let m = items.len();
-        let it = self.item(*items.last().expect("nonempty"));
+    fn reduce_or_prep(&self, mem: &Mem, idx: u32, p: usize, buf: &mut ExpandBuf) {
+        let i = idx as usize;
+        let m = mem.iseq[i][p].len() as usize;
+        let it = self.item(mem.iseq[i][p].last(&mem.icell));
         let l = self.g.prod(it.prod()).rhs().len();
         if m >= l + 2 {
-            self.reduce(c, p, out);
+            self.reduce(mem, idx, p, buf);
         } else if m == l + 1 {
             // Figure 10(d): reverse production step on parser p.
-            debug_assert_eq!(self.item(items[0]).dot(), 0);
-            for &pre in self.graph.reverse_production_steps(items[0]) {
-                let mut n = c.clone();
-                n.core.items[p].insert(0, pre);
-                n.cost += REVERSE_PRODUCTION_COST
-                    + if c.core.items[p].contains(&pre) {
-                        DUPLICATE_PENALTY
-                    } else {
-                        0
-                    };
-                out.push(n);
-            }
+            debug_assert_eq!(self.item(mem.ifirst[i][p]).dot(), 0);
+            self.rev_prod_steps(mem, idx, p, buf);
         } else {
             // m < l+1: parser p's first item has dot > 0.
-            debug_assert!(self.item(items[0]).dot() > 0);
+            debug_assert!(self.item(mem.ifirst[i][p]).dot() > 0);
             let q = 1 - p;
-            if self.item(c.core.items[q][0]).dot() == 0 {
+            if self.item(mem.ifirst[i][q]).dot() == 0 {
                 // Figure 10(e): reverse production step on the other parser.
-                for &pre in self.graph.reverse_production_steps(c.core.items[q][0]) {
-                    let mut n = c.clone();
-                    n.core.items[q].insert(0, pre);
-                    n.cost += REVERSE_PRODUCTION_COST
-                        + if c.core.items[q].contains(&pre) {
-                            DUPLICATE_PENALTY
-                        } else {
-                            0
-                        };
-                    out.push(n);
-                }
+                self.rev_prod_steps(mem, idx, q, buf);
             } else {
-                self.reverse_transitions(c, out);
+                self.reverse_transitions(mem, idx, buf);
             }
+        }
+    }
+
+    /// Reverse production steps prepending to parser `p` (Figure 10(d,e)).
+    fn rev_prod_steps(&self, mem: &Mem, idx: u32, p: usize, buf: &mut ExpandBuf) {
+        let i = idx as usize;
+        let cost = mem.cost[i];
+        let flags = mem.flags[i];
+        let oldlen = mem.iseq[i][p].len();
+        for &pre in self.graph.reverse_production_steps(si(mem.ifirst[i][p])) {
+            let pre = pre.index() as u32;
+            let dup = mem.iseq[i][p].contains_memo(&mem.icell, pre, false, &mut buf.memo);
+            let mut op = [ItemOp::Keep, ItemOp::Keep];
+            op[p] = ItemOp::Prepend(pre);
+            let mut len = mem.ilen(i);
+            len[p] += 1;
+            let mut h = mem.ihash[i];
+            h[p] = h_prepend(h[p], pre, oldlen);
+            self.emit(
+                buf,
+                idx,
+                cost + REVERSE_PRODUCTION_COST + if dup { DUPLICATE_PENALTY } else { 0 },
+                flags,
+                [PendRef::Keep, PendRef::Keep],
+                op,
+                len,
+                h,
+                [DerivDesc::Keep, DerivDesc::Keep],
+            );
         }
     }
 
     /// Figure 10(c): prepend matching predecessors to both parsers.
-    fn reverse_transitions(&self, c: &Config, out: &mut Vec<Config>) {
-        let h = [c.core.items[0][0], c.core.items[1][0]];
+    fn reverse_transitions(&self, mem: &Mem, idx: u32, buf: &mut ExpandBuf) {
+        let i = idx as usize;
+        let [f0, f1] = mem.ifirst[i];
+        let flags = mem.flags[i];
+        let cost = mem.cost[i] + REVERSE_TRANSITION_COST;
+        let lens = mem.ilen(i);
         let sym = self
-            .item(h[0])
+            .item(f0)
             .prev_symbol(self.g)
             .expect("reverse transition requires dot > 0");
-        for &p0 in self.graph.reverse_transitions(h[0]) {
+        let leaf = mem.nodes.leaf(sym);
+        for &p0 in self.graph.reverse_transitions(si(f0)) {
             let state = self.graph.state(p0);
             if let Some(allowed) = &self.allowed {
-                if !allowed.contains(&state) {
+                if !allowed.contains(state.index()) {
                     continue;
                 }
             }
             // §5.3: the item prepended to the first parser must keep the
             // conflict terminal viable until Stage 1 completes.
-            if !c.core.reduced[0] && !self.lookahead(p0).contains(self.t_idx) {
+            if flags & 1 == 0 && !self.lookahead(p0).contains(self.t_idx) {
                 continue;
             }
-            for &p1 in self.graph.reverse_transitions(h[1]) {
+            for &p1 in self.graph.reverse_transitions(si(f1)) {
                 if self.graph.state(p1) != state {
                     continue;
                 }
-                if self.rr && !c.core.reduced[1] && !self.lookahead(p1).contains(self.t_idx) {
+                if self.rr && flags & 2 == 0 && !self.lookahead(p1).contains(self.t_idx) {
                     continue;
                 }
-                let mut n = c.clone();
-                n.core.items[0].insert(0, p0);
-                n.core.items[1].insert(0, p1);
-                n.derivs[0].insert(0, Derivation::Leaf(sym));
-                n.derivs[1].insert(0, Derivation::Leaf(sym));
-                n.cost += REVERSE_TRANSITION_COST;
-                out.push(n);
+                let w0 = p0.index() as u32;
+                let w1 = p1.index() as u32;
+                let h = [
+                    h_prepend(mem.ihash[i][0], w0, lens[0]),
+                    h_prepend(mem.ihash[i][1], w1, lens[1]),
+                ];
+                self.emit(
+                    buf,
+                    idx,
+                    cost,
+                    flags,
+                    [PendRef::Keep, PendRef::Keep],
+                    [ItemOp::Prepend(w0), ItemOp::Prepend(w1)],
+                    [lens[0] + 1, lens[1] + 1],
+                    h,
+                    [DerivDesc::Prepend(leaf), DerivDesc::Prepend(leaf)],
+                );
             }
         }
     }
 
     /// Figure 10(f): reduction on parser p (which has enough items).
-    fn reduce(&self, c: &Config, p: usize, out: &mut Vec<Config>) {
-        let items = &c.core.items[p];
-        let m = items.len();
-        let last = *items.last().expect("nonempty");
-        let it = self.item(last);
+    fn reduce(&self, mem: &Mem, idx: u32, p: usize, buf: &mut ExpandBuf) {
+        let i = idx as usize;
+        let seq = mem.iseq[i][p];
+        let m = seq.len() as usize;
+        let last_w = seq.last(&mem.icell);
+        let it = self.item(last_w);
         let prod = it.prod();
         let l = self.g.prod(prod).rhs().len();
         let lhs = self.g.prod(prod).lhs();
 
-        let pred = items[m - l - 2];
-        debug_assert_eq!(self.item(pred).next_symbol(self.g), Some(lhs));
+        // The last `l+2` item words, last first (valid since `m >= l+2`):
+        // the goto predecessor sits just before the reduced span.
+        seq.read_back(&mem.icell, (l + 2) as u32, &mut buf.vals, &mut buf.scratch);
+        let pred = si(buf.vals[l + 1]);
+        debug_assert_eq!(self.graph.item(pred).next_symbol(self.g), Some(lhs));
         let Some(goto_si) = self.graph.transition(pred) else {
             return;
         };
 
         // Lookahead viability: intersect the pending constraint with the
         // reduce item's lookahead set.
-        let la = self.lookahead(last);
-        let pending = match &c.core.pending[p] {
-            Some(pn) => {
-                let mut x = pn.clone();
-                x.intersect_with(la);
-                x
+        let la = self.lookahead(si(last_w));
+        let pid = mem.pend[i][p];
+        let pend_p = if pid == NO_PENDING {
+            let slot = buf.new_sets.len() as u32;
+            buf.new_sets.push(la.clone());
+            PendRef::New(slot)
+        } else {
+            let pn = mem.sets.get(pid);
+            let mut x = pn.clone();
+            x.intersect_with(la);
+            if x.is_empty() {
+                return;
             }
-            None => la.clone(),
+            if &x == pn {
+                PendRef::Keep
+            } else {
+                let slot = buf.new_sets.len() as u32;
+                buf.new_sets.push(x);
+                PendRef::New(slot)
+            }
         };
-        if pending.is_empty() {
-            return;
-        }
 
-        // Wrap the last `l` symbol derivations (keeping dot markers inline).
-        let mut derivs = c.derivs[p].clone();
-        let mut popped = Vec::new();
-        if l == 0 && !c.core.reduced[p] {
-            // An ε-reduction at the conflict point keeps the dot inside.
-            if matches!(derivs.last(), Some(Derivation::Dot)) {
-                popped.push(derivs.pop().expect("just checked"));
-            }
-        }
-        let mut need = l;
-        while need > 0 {
-            let d = derivs.pop().expect("derivations match transitions");
-            if !matches!(d, Derivation::Dot) {
-                need -= 1;
-            }
-            popped.push(d);
-        }
-        popped.reverse();
-        derivs.push(Derivation::Node(lhs, popped));
+        let flags = mem.flags[i];
+        let dpops = dlist_pops(mem, i, p, l, flags, &mut buf.scratch);
 
-        let mut n = c.clone();
-        n.core.items[p].truncate(m - l - 1);
-        n.core.items[p].push(goto_si);
-        n.core.pending[p] = Some(pending);
-        n.core.reduced[p] = true;
-        n.derivs[p] = derivs;
-        n.cost += REDUCE_COST;
-        out.push(n);
+        let goto_w = goto_si.index() as u32;
+        let mut op = [ItemOp::Keep, ItemOp::Keep];
+        op[p] = ItemOp::Reduce {
+            pops: (l + 1) as u32,
+            goto_item: goto_w,
+        };
+        let mut len = mem.ilen(i);
+        len[p] = (m - l - 1) as u32 + 1;
+        let mut h = mem.ihash[i];
+        h[p] = h_append(h_pop_back(h[p], &buf.vals[..=l]), goto_w);
+        let mut pend = [PendRef::Keep, PendRef::Keep];
+        pend[p] = pend_p;
+        let mut dd = [DerivDesc::Keep, DerivDesc::Keep];
+        dd[p] = DerivDesc::Reduce { pops: dpops, lhs };
+        self.emit(
+            buf,
+            idx,
+            mem.cost[i] + REDUCE_COST,
+            flags | (1 << p),
+            pend,
+            op,
+            len,
+            h,
+            dd,
+        );
     }
 
     /// Joint transitions and forward production steps (Figure 10(a), (b)).
-    fn forward(&self, c: &Config, out: &mut Vec<Config>) {
+    fn forward(&self, mem: &Mem, idx: u32, buf: &mut ExpandBuf) {
+        let i = idx as usize;
+        let lens = mem.ilen(i);
         let last = [
-            *c.core.items[0].last().expect("nonempty"),
-            *c.core.items[1].last().expect("nonempty"),
+            si(mem.iseq[i][0].last(&mem.icell)),
+            si(mem.iseq[i][1].last(&mem.icell)),
         ];
         let next = [
-            self.item(last[0]).next_symbol(self.g),
-            self.item(last[1]).next_symbol(self.g),
+            self.graph.item(last[0]).next_symbol(self.g),
+            self.graph.item(last[1]).next_symbol(self.g),
         ];
         if next[0] == next[1] {
             if let (Some(sym), Some(t0), Some(t1)) = (
@@ -326,17 +611,24 @@ impl Search<'_> {
                 self.graph.transition(last[0]),
                 self.graph.transition(last[1]),
             ) {
-                let p0 = self.pending_after(&c.core.pending[0], sym);
-                let p1 = self.pending_after(&c.core.pending[1], sym);
+                let p0 = self.pending_after(mem, mem.pend[i][0], sym);
+                let p1 = self.pending_after(mem, mem.pend[i][1], sym);
                 if let (Some(p0), Some(p1)) = (p0, p1) {
-                    let mut n = c.clone();
-                    n.core.items[0].push(t0);
-                    n.core.items[1].push(t1);
-                    n.core.pending = [p0, p1];
-                    n.derivs[0].push(Derivation::Leaf(sym));
-                    n.derivs[1].push(Derivation::Leaf(sym));
-                    n.cost += TRANSITION_COST;
-                    out.push(n);
+                    let w0 = t0.index() as u32;
+                    let w1 = t1.index() as u32;
+                    let leaf = mem.nodes.leaf(sym);
+                    let h = [h_append(mem.ihash[i][0], w0), h_append(mem.ihash[i][1], w1)];
+                    self.emit(
+                        buf,
+                        idx,
+                        mem.cost[i] + TRANSITION_COST,
+                        mem.flags[i],
+                        [PendRef::Id(p0), PendRef::Id(p1)],
+                        [ItemOp::Append(w0), ItemOp::Append(w1)],
+                        [lens[0] + 1, lens[1] + 1],
+                        h,
+                        [DerivDesc::Append(leaf), DerivDesc::Append(leaf)],
+                    );
                 }
             }
         }
@@ -346,44 +638,50 @@ impl Search<'_> {
                 continue;
             }
             for &tgt in self.graph.production_steps(last[p]) {
-                let mut n = c.clone();
-                n.core.items[p].push(tgt);
-                n.cost += PRODUCTION_COST
-                    + if c.core.items[p].contains(&tgt) {
-                        DUPLICATE_PENALTY
-                    } else {
-                        0
-                    };
-                out.push(n);
+                let tgt = tgt.index() as u32;
+                let dup = mem.iseq[i][p].contains_memo(&mem.icell, tgt, true, &mut buf.memo);
+                let mut op = [ItemOp::Keep, ItemOp::Keep];
+                op[p] = ItemOp::Append(tgt);
+                let mut len = lens;
+                len[p] += 1;
+                let mut h = mem.ihash[i];
+                h[p] = h_append(h[p], tgt);
+                self.emit(
+                    buf,
+                    idx,
+                    mem.cost[i] + PRODUCTION_COST + if dup { DUPLICATE_PENALTY } else { 0 },
+                    mem.flags[i],
+                    [PendRef::Keep, PendRef::Keep],
+                    op,
+                    len,
+                    h,
+                    [DerivDesc::Keep, DerivDesc::Keep],
+                );
             }
         }
     }
 
     /// Outcome of shifting `sym` against a pending lookahead constraint:
-    /// `None` = forbidden, `Some(p)` = allowed with new pending `p`.
-    #[allow(clippy::option_option)]
-    fn pending_after(
-        &self,
-        pending: &Option<TerminalSet>,
-        sym: SymbolId,
-    ) -> Option<Option<TerminalSet>> {
-        let Some(p) = pending else {
-            return Some(None);
-        };
+    /// `None` = forbidden, `Some(id)` = allowed with new pending `id`.
+    fn pending_after(&self, mem: &Mem, pid: u32, sym: SymbolId) -> Option<u32> {
+        if pid == NO_PENDING {
+            return Some(NO_PENDING);
+        }
+        let p = mem.sets.get(pid);
         match self.g.kind(sym) {
             SymbolKind::Terminal => {
                 if p.contains(self.g.tindex(sym)) {
-                    Some(None)
+                    Some(NO_PENDING)
                 } else {
                     None
                 }
             }
             SymbolKind::Nonterminal => {
                 if self.auto.analysis().first(sym).intersects(p) {
-                    Some(None)
+                    Some(NO_PENDING)
                 } else if self.auto.analysis().nullable(sym) {
                     // The constraint survives a nullable nonterminal.
-                    Some(Some(p.clone()))
+                    Some(pid)
                 } else {
                     None
                 }
@@ -394,40 +692,128 @@ impl Search<'_> {
     /// §5.4 completion: both item sequences have the shape
     /// `[? -> α · A β, ? -> α A · β]` over the same nonterminal `A`, with
     /// structurally distinct derivations of `A`.
-    fn completed(&self, c: &Config) -> Option<UnifyingExample> {
-        if c.core.items[0].len() != 2 || c.core.items[1].len() != 2 {
+    fn completed(&self, mem: &Mem, idx: usize) -> Option<UnifyingExample> {
+        if mem.ilen(idx) != [2, 2] {
             return None;
         }
         let mut nts = [None, None];
         for (p, nt) in nts.iter_mut().enumerate() {
-            let head = c.core.items[p][0];
-            if self.graph.transition(head) != Some(c.core.items[p][1]) {
+            let head = si(mem.ifirst[idx][p]);
+            if self.graph.transition(head).map(StateItemId::index)
+                != Some(mem.iseq[idx][p].last(&mem.icell) as usize)
+            {
                 return None;
             }
-            *nt = self.item(head).next_symbol(self.g);
+            *nt = self.graph.item(head).next_symbol(self.g);
         }
         let a = nts[0]?;
         if nts[1] != Some(a) || self.g.kind(a) != SymbolKind::Nonterminal {
             return None;
         }
-        let d0 = single_derivation(&c.derivs[0])?;
-        let d1 = single_derivation(&c.derivs[1])?;
-        if d0.strip_dots() == d1.strip_dots() {
+        // Past the cheap rejects; materializing the two (tiny) derivation
+        // lists off the hot path is fine.
+        let mut scratch = Vec::new();
+        let mut list0 = Vec::new();
+        let mut list1 = Vec::new();
+        mem.dseq[idx][0].materialize(&mem.dcell, &mut list0, &mut scratch);
+        mem.dseq[idx][1].materialize(&mem.dcell, &mut list1, &mut scratch);
+        let d0 = single_derivation(&list0)?;
+        let d1 = single_derivation(&list1)?;
+        if mem.nodes.strip_eq(&mem.kids, d0, d1) {
             return None;
         }
         Some(UnifyingExample {
             nonterminal: a,
-            derivation1: d0.clone(),
-            derivation2: d1.clone(),
+            derivation1: mem.nodes.materialize(&mem.kids, d0),
+            derivation2: mem.nodes.materialize(&mem.kids, d1),
         })
     }
 }
 
+/// How many trailing derivation-list entries (dot markers included) a
+/// reduction of `l` symbols on parser `p` wraps into its new node: the
+/// children are exactly a suffix of the parent's list, found by counting
+/// entries back from the end until `l` non-dots have been seen.
+fn dlist_pops(mem: &Mem, i: usize, p: usize, l: usize, flags: u8, scratch: &mut Vec<u32>) -> u32 {
+    let ds = mem.dseq[i][p];
+    if l == 0 {
+        // An ε-reduction at the conflict point keeps the dot inside.
+        return if flags & (1 << p) == 0 && ds.last(&mem.dcell) == DOT {
+            1
+        } else {
+            0
+        };
+    }
+    let mut need = l;
+    let mut pops = 0u32;
+    let mut cell = ds.back;
+    for _ in 0..ds.blen {
+        if need == 0 {
+            return pops;
+        }
+        pops += 1;
+        if mem.dcell.val(cell) != DOT {
+            need -= 1;
+        }
+        cell = mem.dcell.next(cell);
+    }
+    if need == 0 {
+        return pops;
+    }
+    // The walk spills past the back stack: materialize the front (in
+    // sequence order) and keep counting from its end.
+    scratch.clear();
+    let mut cell = ds.front;
+    for _ in 0..ds.flen {
+        scratch.push(mem.dcell.val(cell));
+        cell = mem.dcell.next(cell);
+    }
+    let mut k = scratch.len();
+    while need > 0 {
+        assert!(k > 0, "derivations match transitions");
+        k -= 1;
+        pops += 1;
+        if scratch[k] != DOT {
+            need -= 1;
+        }
+    }
+    pops
+}
+
+/// Full-content check behind the merge's fingerprint equality (debug
+/// builds only): rebuild the candidate's item sequences (parent plus edit)
+/// and compare against configuration `o` cell by cell. The local
+/// allocations are irrelevant off the release path.
+fn cand_items_eq(mem: &Mem, cand: &Cand, o: usize) -> bool {
+    let mut scratch = Vec::new();
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for p in 0..2 {
+        a.clear();
+        mem.iseq[cand.parent as usize][p].materialize(&mem.icell, &mut a, &mut scratch);
+        match cand.op[p] {
+            ItemOp::Keep => {}
+            ItemOp::Prepend(v) => a.insert(0, v),
+            ItemOp::Append(v) => a.push(v),
+            ItemOp::Reduce { pops, goto_item } => {
+                a.truncate(a.len() - pops as usize);
+                a.push(goto_item);
+            }
+        }
+        b.clear();
+        mem.iseq[o][p].materialize(&mem.icell, &mut b, &mut scratch);
+        if a != b {
+            return false;
+        }
+    }
+    true
+}
+
 /// The unique non-dot derivation in a list, if there is exactly one.
-fn single_derivation(derivs: &[Derivation]) -> Option<&Derivation> {
+fn single_derivation(list: &[u32]) -> Option<u32> {
     let mut found = None;
-    for d in derivs {
-        if matches!(d, Derivation::Dot) {
+    for &d in list {
+        if d == DOT {
             continue;
         }
         if found.is_some() {
@@ -457,8 +843,10 @@ pub fn unifying_search(
 
 /// [`unifying_search`] with observability: fills `metrics` with the
 /// explored/enqueued/deduped configuration counts and the frontier
-/// high-water mark. The counters are deterministic for a given conflict
-/// and configuration (the search itself is sequential and ordered).
+/// high-water mark. The counters count *arena records* (configurations
+/// accepted into the frontier) and are deterministic for a given conflict
+/// and configuration at any worker count — expansion is merged in
+/// canonical batch order however it was sharded.
 #[allow(clippy::too_many_arguments)]
 pub fn unifying_search_metered(
     g: &Grammar,
@@ -474,6 +862,7 @@ pub fn unifying_search_metered(
     let session = SearchSession {
         cancel: &cancel,
         governor: &governor,
+        shards: None,
     };
     unifying_search_session(
         g,
@@ -504,10 +893,12 @@ pub fn conflict_on<'a>(
 
 /// [`unifying_search_metered`] under a shared [`SearchSession`]: the
 /// search polls `session.cancel` (plus its own wall-clock deadline) every
-/// [`SearchConfig::cancel_stride`] pops, and reports its estimated live
-/// frontier bytes to `session.governor`, *shedding* — tightening its cost
-/// cap to the cost of the configuration it just popped so the frontier
-/// drains — when the grammar-wide soft memory limit is exceeded.
+/// [`SearchConfig::cancel_stride`] pops, reports its live frontier bytes
+/// (derived from actual arena capacities) to `session.governor`, *shedding*
+/// — tightening its cost cap to the cost of the bucket it is draining so
+/// the frontier empties — when the grammar-wide soft memory limit is
+/// exceeded, and recruits extra expansion workers from `session.shards`
+/// for heavy frontier batches.
 ///
 /// Cancellation and shedding both surface as [`SearchOutcome::TimedOut`]:
 /// the caller falls back to the nonunifying construction exactly as for a
@@ -540,95 +931,271 @@ pub fn unifying_search_session(
         allowed: if cfg.extended {
             None
         } else {
-            Some(slsp_states.iter().copied().collect())
+            let mut set = NodeSet::new(auto.state_count());
+            for s in slsp_states {
+                set.insert(s.index());
+            }
+            Some(set)
         },
     };
+    let mut mem = Mem::new(g.symbol_count());
+    let outcome = search_loop(&search, &mut mem, conflict, cfg, session, metrics);
+    metrics.arena_cells += (mem.icell.len() + mem.dcell.len()) as u64;
+    outcome
+}
 
+/// The bucket-at-a-time main loop; see the module docs for the phase
+/// structure (walk → expand → merge).
+fn search_loop(
+    search: &Search<'_>,
+    mem: &mut Mem,
+    conflict: &Conflict,
+    cfg: &SearchConfig,
+    session: &SearchSession<'_>,
+    metrics: &mut SearchMetrics,
+) -> SearchOutcome {
+    let g = search.g;
+    let graph = search.graph;
     let item1 = graph.node(conflict.state, conflict.reduce_item(g));
     let item2 = graph.node(conflict.state, conflict.other_item(g));
-    let t_set = TerminalSet::singleton(g.terminal_count(), g.tindex(t));
-    let init = Config {
-        core: Core {
-            items: [vec![item1], vec![item2]],
-            pending: [Some(t_set.clone()), if rr { Some(t_set) } else { None }],
-            reduced: [false, !rr],
-        },
-        derivs: [vec![Derivation::Dot], vec![Derivation::Dot]],
-        cost: 0,
-    };
+    let t_set = TerminalSet::singleton(g.terminal_count(), g.tindex(conflict.terminal));
+    let pid = mem.sets.intern(t_set);
+
+    // The initial configuration (Figure 8). Both derivation lists share
+    // one dot cell.
+    let i1 = item1.index() as u32;
+    let i2 = item2.index() as u32;
+    let iseq0 = [
+        Seq::singleton(&mut mem.icell, i1),
+        Seq::singleton(&mut mem.icell, i2),
+    ];
+    let dot = mem.dcell.cons(DOT, NIL);
+    let dseq0 = [Seq {
+        front: NIL,
+        back: dot,
+        flen: 0,
+        blen: 1,
+    }; 2];
+    mem.cost.push(0);
+    mem.flags.push(if search.rr { 0 } else { 2 });
+    mem.pend
+        .push([pid, if search.rr { pid } else { NO_PENDING }]);
+    mem.iseq.push(iseq0);
+    mem.ifirst.push([i1, i2]);
+    mem.ihash.push([itemh(i1), itemh(i2)]);
+    mem.dseq.push(dseq0);
+
+    let mut visited = Visited::new();
+    let mut queue = BucketQueue::new();
+    {
+        let h = cand_hash([1, 1], mem.flags[0], mem.ihash[0]);
+        let h = mix(mix(h, mem.pend[0][0] as u64), mem.pend[0][1] as u64);
+        visited.insert_with(h, 0, |_| false);
+    }
+    queue.push(0, 0);
+    metrics.enqueued += 1;
 
     let deadline = Instant::now() + cfg.time_limit;
-    let mut heap: BinaryHeap<Reverse<(u32, u64)>> = BinaryHeap::new();
-    let mut arena: Vec<Config> = Vec::new();
-    let mut visited: HashSet<Core> = HashSet::new();
-    visited.insert(init.core.clone());
-    arena.push(init);
-    heap.push(Reverse((0, 0)));
-
-    metrics.enqueued += 1;
     // Stride mask: poll when `pops & mask == 0`. Rounded up to a power of
     // two so the check is one AND instead of a division.
     let mask = cfg.cancel_stride.max(1).next_power_of_two() - 1;
+    let shard_min = cfg.shard_min.max(1) as usize;
     let mut lease = GovernorLease::new(session.governor);
     let mut effective_max_cost = cfg.max_cost;
-    let mut scratch = Vec::new();
     let mut pops: u32 = 0;
     let mut cost_pruned = false;
-    while let Some(Reverse((cost, idx))) = heap.pop() {
-        pops += 1;
-        metrics.explored += 1;
-        if pops & mask == 0 {
-            if session.cancel.is_cancelled() || Instant::now() > deadline {
+    let mut batch: Vec<u32> = Vec::new();
+    let mut bufs: Vec<ExpandBuf> = vec![ExpandBuf::default()];
+    // Merge-phase scratch (cell walks and popped derivation children).
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut popped: Vec<u32> = Vec::new();
+
+    while let Some(cost) = queue.pop_bucket(&mut batch) {
+        // Walk phase: canonical FIFO order over the drained bucket. Every
+        // action costs at least 1, so nothing merged later this iteration
+        // could have belonged to this bucket.
+        for &idx in &batch {
+            pops += 1;
+            metrics.explored += 1;
+            if pops & mask == 0 {
+                if session.cancel.is_cancelled() || Instant::now() > deadline {
+                    return SearchOutcome::TimedOut;
+                }
+                // Report this search's frontier footprint (actual arena
+                // capacities), then shed if the grammar-wide total is over
+                // the soft limit: no deeper successors get enqueued, so
+                // the frontier drains deterministically into `TimedOut`
+                // instead of growing.
+                let est = mem.approx_bytes(g.terminal_count(), &visited, &queue);
+                lease.set(est);
+                metrics.live_bytes_peak = metrics.live_bytes_peak.max(est as u64);
+                if session.governor.over_limit() && effective_max_cost > cost {
+                    effective_max_cost = cost;
+                    cost_pruned = true;
+                    metrics.sheds += 1;
+                    session.governor.note_shed();
+                }
+            }
+            #[cfg(feature = "failpoints")]
+            if let Some(action) = crate::faultpoint::hit("unify.expand") {
+                match action {
+                    crate::faultpoint::FaultAction::Panic => {
+                        panic!("failpoint `unify.expand` injected panic")
+                    }
+                    crate::faultpoint::FaultAction::BudgetZero
+                    | crate::faultpoint::FaultAction::ClockJump => return SearchOutcome::TimedOut,
+                }
+            }
+            if mem.len() > cfg.max_configs {
                 return SearchOutcome::TimedOut;
             }
-            // Report this search's estimated frontier footprint, then shed
-            // if the grammar-wide total is over the soft limit: no deeper
-            // successors get enqueued, so the frontier drains
-            // deterministically into `TimedOut` instead of growing.
-            let est = arena.len().saturating_mul(APPROX_CONFIG_BYTES);
-            lease.set(est);
-            metrics.live_bytes_peak = metrics.live_bytes_peak.max(est as u64);
-            if session.governor.over_limit() && effective_max_cost > cost {
-                effective_max_cost = cost;
-                cost_pruned = true;
-                metrics.sheds += 1;
-                session.governor.note_shed();
+            if let Some(ex) = search.completed(mem, idx as usize) {
+                return SearchOutcome::Unifying(Box::new(ex));
             }
         }
-        #[cfg(feature = "failpoints")]
-        if let Some(action) = crate::faultpoint::hit("unify.expand") {
-            match action {
-                crate::faultpoint::FaultAction::Panic => {
-                    panic!("failpoint `unify.expand` injected panic")
+
+        // Expand phase: side-effect-free, chunked across this batch's
+        // claimed shard workers. Chunking only changes wall-clock — the
+        // merge below consumes candidates in canonical batch order.
+        let claimed = match session.shards {
+            Some(b) if batch.len() >= shard_min => {
+                b.try_claim((batch.len() / shard_min).min(MAX_SHARDS))
+            }
+            _ => 0,
+        };
+        while bufs.len() < claimed + 1 {
+            bufs.push(ExpandBuf::default());
+        }
+        for buf in &mut bufs {
+            buf.clear();
+        }
+        if claimed == 0 {
+            let buf = &mut bufs[0];
+            for &idx in &batch {
+                search.successors(mem, idx, buf);
+            }
+        } else {
+            let chunk = batch.len().div_ceil(claimed + 1);
+            let mem_ref: &Mem = mem;
+            std::thread::scope(|scope| {
+                let mut work = batch.chunks(chunk).zip(bufs.iter_mut());
+                let first = work.next();
+                for (part, buf) in work {
+                    scope.spawn(move || {
+                        for &idx in part {
+                            search.successors(mem_ref, idx, buf);
+                        }
+                    });
                 }
-                crate::faultpoint::FaultAction::BudgetZero
-                | crate::faultpoint::FaultAction::ClockJump => return SearchOutcome::TimedOut,
+                if let Some((part, buf)) = first {
+                    for &idx in part {
+                        search.successors(mem_ref, idx, buf);
+                    }
+                }
+            });
+            if let Some(b) = session.shards {
+                b.release(claimed);
             }
+            metrics.shard_batches += 1;
         }
-        if arena.len() > cfg.max_configs {
-            return SearchOutcome::TimedOut;
-        }
-        let c = arena[idx as usize].clone();
-        if let Some(ex) = search.completed(&c) {
-            return SearchOutcome::Unifying(Box::new(ex));
-        }
-        scratch.clear();
-        search.successors(&c, &mut scratch);
-        for n in scratch.drain(..) {
-            if n.cost > effective_max_cost {
-                cost_pruned = true;
-                continue;
-            }
-            if visited.insert(n.core.clone()) {
-                let key = (n.cost, arena.len() as u64);
-                arena.push(n);
-                heap.push(Reverse(key));
+
+        // Merge phase: sequential, canonical order — dedup, intern, and
+        // commit accepted candidates to the arenas.
+        for buf in &bufs {
+            for cand in &buf.cands {
+                if cand.cost > effective_max_cost {
+                    cost_pruned = true;
+                    continue;
+                }
+                let parent = cand.parent as usize;
+                let mut pend = [0u32; 2];
+                for (p, out) in pend.iter_mut().enumerate() {
+                    *out = match cand.pend[p] {
+                        PendRef::Keep => mem.pend[parent][p],
+                        PendRef::Id(x) => x,
+                        PendRef::New(slot) => mem.sets.intern_ref(&buf.new_sets[slot as usize]),
+                    };
+                }
+                let h = mix(mix(cand.hash, pend[0] as u64), pend[1] as u64);
+                let new_idx = mem.len() as u32;
+                let (flags, len) = (cand.flags, cand.len);
+                // Dedup identity: flags, pending ids, and lengths compare
+                // exactly; item content compares by the two per-parser
+                // 64-bit positional hashes (a 128-bit fingerprint — for a
+                // false merge one parser's polynomial hash must collide at
+                // equal length, ~2^-64 per pair). Debug builds verify the
+                // fingerprint against the actual cells.
+                let inserted = visited.insert_with(h, new_idx, |other| {
+                    let o = other as usize;
+                    let eq = mem.flags[o] == flags
+                        && mem.pend[o] == pend
+                        && mem.ilen(o) == len
+                        && mem.ihash[o] == cand.h;
+                    debug_assert!(
+                        !eq || cand_items_eq(mem, cand, o),
+                        "positional-hash fingerprint collision"
+                    );
+                    eq
+                });
+                if !inserted {
+                    metrics.deduped += 1;
+                    continue;
+                }
+                // Commit: copy the parent's persistent sequences and apply
+                // the edits — the only point where cells are allocated, so
+                // cell ids follow the canonical merge order.
+                let mut iseq = mem.iseq[parent];
+                let mut ifirst = mem.ifirst[parent];
+                for p in 0..2 {
+                    match cand.op[p] {
+                        ItemOp::Keep => {}
+                        ItemOp::Prepend(v) => {
+                            iseq[p] = iseq[p].prepend(&mut mem.icell, v);
+                            ifirst[p] = v;
+                        }
+                        ItemOp::Append(v) => {
+                            iseq[p] = iseq[p].append(&mut mem.icell, v);
+                        }
+                        ItemOp::Reduce { pops, goto_item } => {
+                            iseq[p] = iseq[p]
+                                .pop_back(&mut mem.icell, pops, &mut scratch)
+                                .append(&mut mem.icell, goto_item);
+                        }
+                    }
+                }
+                let mut dseq = mem.dseq[parent];
+                for (p, d) in dseq.iter_mut().enumerate() {
+                    match cand.dd[p] {
+                        DerivDesc::Keep => {}
+                        DerivDesc::Prepend(leaf) => {
+                            *d = d.prepend(&mut mem.dcell, leaf);
+                        }
+                        DerivDesc::Append(leaf) => {
+                            *d = d.append(&mut mem.dcell, leaf);
+                        }
+                        DerivDesc::Reduce { pops, lhs } => {
+                            d.read_back(&mem.dcell, pops, &mut popped, &mut scratch);
+                            popped.reverse();
+                            let off = mem.kids.extend(&popped);
+                            let node = mem.nodes.push_node(lhs, off, pops);
+                            *d = d
+                                .pop_back(&mut mem.dcell, pops, &mut scratch)
+                                .append(&mut mem.dcell, node);
+                        }
+                    }
+                }
+                mem.cost.push(cand.cost);
+                mem.flags.push(flags);
+                mem.pend.push(pend);
+                mem.iseq.push(iseq);
+                mem.ifirst.push(ifirst);
+                mem.ihash.push(cand.h);
+                mem.dseq.push(dseq);
+                queue.push(cand.cost, new_idx);
                 metrics.enqueued += 1;
-            } else {
-                metrics.deduped += 1;
             }
         }
-        metrics.frontier_peak = metrics.frontier_peak.max(heap.len() as u64);
+        metrics.frontier_peak = metrics.frontier_peak.max(queue.len() as u64);
     }
     // A drained queue only proves exhaustion if nothing was cost-pruned.
     if cost_pruned {
@@ -641,6 +1208,7 @@ pub fn unifying_search_session(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cancel::ShardBudget;
     use crate::lssi;
     use crate::report::ExampleKind;
     use crate::report::{analyze, Analyzer, CexConfig};
@@ -834,6 +1402,7 @@ mod tests {
         let session = SearchSession {
             cancel: &cancel,
             governor: &governor,
+            shards: None,
         };
         let mut m = SearchMetrics::default();
         let out = run_conflict_session(&g, "else", &SearchConfig::default(), &session, &mut m);
@@ -849,6 +1418,7 @@ mod tests {
         let session = SearchSession {
             cancel: &cancel,
             governor: &governor,
+            shards: None,
         };
         let cfg = SearchConfig {
             cancel_stride: 1, // poll every pop so the shed fires immediately
@@ -874,6 +1444,7 @@ mod tests {
             let session = SearchSession {
                 cancel: &cancel,
                 governor: &governor,
+                shards: None,
             };
             let cfg = SearchConfig {
                 cancel_stride: stride,
@@ -885,6 +1456,49 @@ mod tests {
             counters.push((m.explored, m.enqueued, m.deduped, m.frontier_peak));
         }
         assert_eq!(counters[0], counters[1]);
+    }
+
+    #[test]
+    fn sharded_expansion_matches_sequential() {
+        // Intra-conflict sharding must not change the outcome or any
+        // deterministic counter: force sharding with `shard_min: 1` and
+        // compare against the unsharded run, for several permit counts.
+        let g = figure1();
+        let governor = MemoryGovernor::unlimited();
+        let mut results = Vec::new();
+        for permits in [0usize, 1, 3] {
+            let cancel = CancelToken::new();
+            let budget = ShardBudget::new(permits);
+            let session = SearchSession {
+                cancel: &cancel,
+                governor: &governor,
+                shards: if permits == 0 { None } else { Some(&budget) },
+            };
+            let cfg = SearchConfig {
+                shard_min: 1,
+                ..SearchConfig::default()
+            };
+            let mut m = SearchMetrics::default();
+            let out = run_conflict_session(&g, "digit", &cfg, &session, &mut m);
+            let SearchOutcome::Unifying(ex) = out else {
+                panic!("expected unifying example, got {out:?}");
+            };
+            results.push((
+                ex.derivation1.flat(&g),
+                ex.derivation2.flat(&g),
+                m.explored,
+                m.enqueued,
+                m.deduped,
+                m.frontier_peak,
+                m.arena_cells,
+            ));
+            if permits > 0 {
+                assert!(m.shard_batches > 0, "sharding did engage at {permits}");
+                assert_eq!(budget.available(), permits, "permits returned");
+            }
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
     }
 
     #[test]

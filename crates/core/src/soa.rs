@@ -1,0 +1,1063 @@
+//! Data-oriented storage primitives for the unifying search (§5).
+//!
+//! The product-parser search expands millions of configurations on the big
+//! Table 1 grammars; the former representation (one heap-allocated `Config`
+//! per node with owned item vectors, owned derivation *trees*, and owned
+//! lookahead sets, deep-cloned on every successor) spent almost all of its
+//! time in `clone`/`drop`/`Vec::insert(0, …)`. This module provides the
+//! flat replacements:
+//!
+//! * [`CellArena`] + [`Seq`] — item sequences and derivation *lists* as
+//!   persistent double-ended sequences built from immutable cons cells.
+//!   Every Figure 10 action edits a sequence at one end (prepend, append,
+//!   or pop-a-suffix), so a successor shares its parent's cells and costs
+//!   O(edit), not O(length). Flat per-configuration copies are quadratic
+//!   on the deep, narrow frontiers of the Stack Overflow grammars (tens of
+//!   gigabytes of memcpy for a 200k-configuration search); the cell
+//!   representation keeps the whole search cache-resident.
+//! * [`Pool`] — an append-only `u32` word pool with deterministic capacity
+//!   growth, holding the materialized child spans of reduction nodes.
+//! * [`DerivArena`] — derivations as a DAG of struct-of-arrays nodes.
+//!   Node `0` is the conflict dot, nodes `1..=symbols` are interned leaves
+//!   (one per grammar symbol, created once), and reductions append one node
+//!   whose child list is a span in the [`Pool`] — building a reduction is
+//!   O(children) in tree size where the old representation deep-cloned the
+//!   whole tree.
+//! * [`SetInterner`] — hash-consed [`TerminalSet`]s so pending-lookahead
+//!   constraints compare and hash as `u32` ids.
+//! * [`BucketQueue`] — a radix-by-cost ring replacing the binary heap.
+//!   Every Figure 10 action costs between 1 and
+//!   `PRODUCTION_COST + DUPLICATE_PENALTY = 10`, so a 16-bucket ring covers
+//!   the reachable cost window. Within a bucket the order is *explicitly*
+//!   FIFO by enqueue sequence (the bucket is a vector), which pins the
+//!   equal-cost tie order the old `BinaryHeap<Reverse<(cost, seq)>>` got
+//!   from its tuple key.
+//! * [`Visited`] — an open-addressing dedup table storing `(hash, config
+//!   index)` pairs; keys are *not* copied, equality is resolved against the
+//!   arena by the caller's closure.
+//!
+//! Everything here grows deterministically as a function of the insertion
+//! sequence, which is what lets the memory governor derive its lease from
+//! actual capacities (not a per-config constant) while keeping the shed
+//! point reproducible across runs and worker counts.
+
+use std::collections::HashMap;
+
+use lalrcex_grammar::{Derivation, SymbolId, TerminalSet};
+
+/// Deterministic capacity growth: double from a fixed floor until `needed`
+/// fits. `Vec`'s own amortized growth is also deterministic in practice,
+/// but routing the big pools through one explicit policy makes the
+/// governor's capacity-derived accounting auditable.
+fn grow_to<T>(v: &mut Vec<T>, needed: usize) {
+    if needed <= v.capacity() {
+        return;
+    }
+    let mut cap = v.capacity().max(64);
+    while cap < needed {
+        cap *= 2;
+    }
+    v.reserve_exact(cap - v.len());
+}
+
+/// An append-only pool of `u32` words holding immutable spans.
+#[derive(Default)]
+pub struct Pool {
+    data: Vec<u32>,
+}
+
+impl Pool {
+    /// An empty pool.
+    pub fn new() -> Pool {
+        Pool::default()
+    }
+
+    /// Words currently stored.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Allocated capacity in words (feeds the governor's lease).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Appends a slice; returns the offset of its first word.
+    pub fn extend(&mut self, words: &[u32]) -> usize {
+        let off = self.data.len();
+        grow_to(&mut self.data, off + words.len());
+        self.data.extend_from_slice(words);
+        off
+    }
+
+    /// The span starting at `off` with `len` words.
+    pub fn slice(&self, off: usize, len: usize) -> &[u32] {
+        &self.data[off..off + len]
+    }
+}
+
+/// Sentinel id for an empty cons list.
+pub const NIL: u32 = u32::MAX;
+
+/// An append-only arena of immutable cons cells `(val, next)`.
+///
+/// Cells are only created at initialization and during the sequential
+/// merge phase, so the arena's contents — and therefore the governor's
+/// capacity-derived lease — are identical at any worker count.
+#[derive(Default)]
+pub struct CellArena {
+    val: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl CellArena {
+    /// An empty arena.
+    pub fn new() -> CellArena {
+        CellArena::default()
+    }
+
+    /// Cells allocated.
+    pub fn len(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Allocated bytes across both columns.
+    pub fn capacity_bytes(&self) -> usize {
+        self.val.capacity() * 4 + self.next.capacity() * 4
+    }
+
+    /// Allocates a new cell; `next` is an existing cell id or [`NIL`].
+    pub fn cons(&mut self, val: u32, next: u32) -> u32 {
+        let id = self.val.len() as u32;
+        grow_to(&mut self.val, id as usize + 1);
+        grow_to(&mut self.next, id as usize + 1);
+        self.val.push(val);
+        self.next.push(next);
+        id
+    }
+
+    /// The value stored in cell `id`.
+    pub fn val(&self, id: u32) -> u32 {
+        self.val[id as usize]
+    }
+
+    /// The successor cell of `id` ([`NIL`] at the end of a list).
+    pub fn next(&self, id: u32) -> u32 {
+        self.next[id as usize]
+    }
+}
+
+/// A persistent double-ended sequence over a [`CellArena`].
+///
+/// `front` lists the leading items *in sequence order* (its head is the
+/// first item), `back` lists the remaining items *reversed* (its head is
+/// the last item) — the classic two-stack deque, made persistent by
+/// sharing cells. Prepend and append are O(1); popping `n` items off the
+/// back is O(n) while the back stack lasts, plus one O(front) rotation
+/// when it runs dry (the rotated cells then serve later pops).
+///
+/// Invariant maintained by the search: `back` is never empty at rest, so
+/// [`Seq::last`] is O(1). The first item is cached by the caller (it only
+/// changes on prepend).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Seq {
+    /// Head cell of the in-order prefix ([`NIL`] if empty).
+    pub front: u32,
+    /// Head cell of the reversed suffix.
+    pub back: u32,
+    /// Items in `front`.
+    pub flen: u32,
+    /// Items in `back`.
+    pub blen: u32,
+}
+
+impl Seq {
+    /// A one-item sequence (the item goes to the back stack).
+    pub fn singleton(ar: &mut CellArena, v: u32) -> Seq {
+        Seq {
+            front: NIL,
+            back: ar.cons(v, NIL),
+            flen: 0,
+            blen: 1,
+        }
+    }
+
+    /// Total items.
+    pub fn len(self) -> u32 {
+        self.flen + self.blen
+    }
+
+    /// The last item (O(1) by the nonempty-back invariant).
+    pub fn last(self, ar: &CellArena) -> u32 {
+        debug_assert!(self.blen > 0, "back stack empty");
+        ar.val(self.back)
+    }
+
+    /// `[v] ++ self`.
+    pub fn prepend(self, ar: &mut CellArena, v: u32) -> Seq {
+        Seq {
+            front: ar.cons(v, self.front),
+            flen: self.flen + 1,
+            ..self
+        }
+    }
+
+    /// `self ++ [v]`.
+    pub fn append(self, ar: &mut CellArena, v: u32) -> Seq {
+        Seq {
+            back: ar.cons(v, self.back),
+            blen: self.blen + 1,
+            ..self
+        }
+    }
+
+    /// The sequence without its last `n` items. Pure suffix sharing while
+    /// the back stack covers the pops; otherwise the kept prefix is rotated
+    /// into a fresh back stack (leaving `front` empty) so subsequent pops
+    /// are cheap again.
+    pub fn pop_back(self, ar: &mut CellArena, n: u32, scratch: &mut Vec<u32>) -> Seq {
+        debug_assert!(n <= self.len());
+        if n == 0 {
+            return self;
+        }
+        if self.blen > n {
+            let mut id = self.back;
+            for _ in 0..n {
+                id = ar.next(id);
+            }
+            return Seq {
+                back: id,
+                blen: self.blen - n,
+                ..self
+            };
+        }
+        let keep = self.len() - n;
+        debug_assert!(keep <= self.flen);
+        scratch.clear();
+        let mut id = self.front;
+        while id != NIL {
+            scratch.push(ar.val(id));
+            id = ar.next(id);
+        }
+        let mut back = NIL;
+        for &v in &scratch[..keep as usize] {
+            back = ar.cons(v, back);
+        }
+        Seq {
+            front: NIL,
+            back,
+            flen: 0,
+            blen: keep,
+        }
+    }
+
+    /// Fills `out` with the last `n` item values, last first (so
+    /// `out[0]` is the final item). `scratch` is used when the walk spills
+    /// past the back stack into the front.
+    pub fn read_back(self, ar: &CellArena, n: u32, out: &mut Vec<u32>, scratch: &mut Vec<u32>) {
+        debug_assert!(n <= self.len());
+        out.clear();
+        let mut id = self.back;
+        for _ in 0..n.min(self.blen) {
+            out.push(ar.val(id));
+            id = ar.next(id);
+        }
+        let missing = (n - n.min(self.blen)) as usize;
+        if missing > 0 {
+            scratch.clear();
+            let mut f = self.front;
+            while f != NIL {
+                scratch.push(ar.val(f));
+                f = ar.next(f);
+            }
+            out.extend(scratch[scratch.len() - missing..].iter().rev());
+        }
+    }
+
+    /// Membership test; `from_back` picks the scan order (pure early-exit
+    /// tuning — duplicates cluster near the edited end).
+    #[cfg(test)]
+    pub fn contains(self, ar: &CellArena, v: u32, from_back: bool) -> bool {
+        let lists = if from_back {
+            [self.back, self.front]
+        } else {
+            [self.front, self.back]
+        };
+        for mut id in lists {
+            while id != NIL {
+                if ar.val(id) == v {
+                    return true;
+                }
+                id = ar.next(id);
+            }
+        }
+        false
+    }
+
+    /// Membership test through a [`FactMap`] memo. Cons cells are
+    /// immutable, so "`v` occurs in the list headed by cell `c`" is a pure
+    /// fact: each query stores its result keyed by `(head, v)`, and later
+    /// walks stop at the nearest cell whose fact is already known. On deep,
+    /// narrow chains consecutive configurations probe the same handful of
+    /// values one cell apart, turning O(length) scans into O(1) lookups —
+    /// without this the §5.4 duplicate checks dominate the whole search.
+    /// Exactness is unaffected: the memo holds only true facts, so any
+    /// subset of entries (per-worker memos included) yields identical
+    /// answers.
+    pub fn contains_memo(
+        self,
+        ar: &CellArena,
+        v: u32,
+        from_back: bool,
+        memo: &mut FactMap,
+    ) -> bool {
+        let lists = if from_back {
+            [self.back, self.front]
+        } else {
+            [self.front, self.back]
+        };
+        lists
+            .into_iter()
+            .any(|head| list_contains_memo(ar, head, v, memo))
+    }
+
+    /// Appends the sequence's items, in order, to `out` (not cleared).
+    pub fn materialize(self, ar: &CellArena, out: &mut Vec<u32>, scratch: &mut Vec<u32>) {
+        let mut id = self.front;
+        while id != NIL {
+            out.push(ar.val(id));
+            id = ar.next(id);
+        }
+        scratch.clear();
+        let mut id = self.back;
+        while id != NIL {
+            scratch.push(ar.val(id));
+            id = ar.next(id);
+        }
+        out.extend(scratch.iter().rev());
+    }
+}
+
+/// Memoized walk behind [`Seq::contains_memo`]: does `v` occur in the
+/// cons list starting at `head`?
+fn list_contains_memo(ar: &CellArena, head: u32, v: u32, memo: &mut FactMap) -> bool {
+    if head == NIL {
+        return false;
+    }
+    let key = |id: u32| ((id as u64) << 32) | v as u64;
+    let mut id = head;
+    let found = loop {
+        if id == NIL {
+            break false;
+        }
+        if let Some(r) = memo.get(key(id)) {
+            break r;
+        }
+        if ar.val(id) == v {
+            break true;
+        }
+        id = ar.next(id);
+    };
+    memo.insert(key(head), found);
+    found
+}
+
+/// An insert-only open-addressing map from 64-bit keys to booleans,
+/// recording immutable facts (memoized cons-list membership). Entries are
+/// never deleted or changed, so probing needs no tombstones and a repeated
+/// insert is a no-op.
+#[derive(Default)]
+pub struct FactMap {
+    keys: Vec<u64>,
+    /// Slot state: 0 = empty, 1 = fact is `false`, 2 = fact is `true`.
+    vals: Vec<u8>,
+    len: usize,
+}
+
+impl FactMap {
+    /// The recorded fact for `k`, if any.
+    pub fn get(&self, k: u64) -> Option<bool> {
+        if self.vals.is_empty() {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = mix(0xFAC7, k) as usize & mask;
+        loop {
+            match self.vals[i] {
+                0 => return None,
+                s => {
+                    if self.keys[i] == k {
+                        return Some(s == 2);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Records the fact `k -> v` (a no-op if `k` is already present).
+    pub fn insert(&mut self, k: u64, v: bool) {
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = mix(0xFAC7, k) as usize & mask;
+        while self.vals[i] != 0 {
+            if self.keys[i] == k {
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = k;
+        self.vals[i] = 1 + v as u8;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.keys.len() * 2).max(1024);
+        let keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let vals = std::mem::replace(&mut self.vals, vec![0; cap]);
+        let mask = cap - 1;
+        for (k, s) in keys.into_iter().zip(vals) {
+            if s != 0 {
+                let mut i = mix(0xFAC7, k) as usize & mask;
+                while self.vals[i] != 0 {
+                    i = (i + 1) & mask;
+                }
+                self.keys[i] = k;
+                self.vals[i] = s;
+            }
+        }
+    }
+}
+
+/// Multiplier of the positional sequence hash
+/// `H(s) = Σ itemh(s[i]) · SEQ_X^(len-1-i) mod 2^64`. The hash is a pure
+/// function of the item values, so it is independent of a [`Seq`]'s
+/// front/back split, and every sequence edit updates it incrementally:
+/// append multiplies by `SEQ_X`, prepend adds at weight `SEQ_X^len`, and a
+/// pop divides the stripped hash by `SEQ_X^n` — `SEQ_X` is odd, hence
+/// invertible mod 2^64.
+pub const SEQ_X: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Multiplicative inverse of [`SEQ_X`] mod 2^64.
+pub const SEQ_XINV: u64 = mul_inv64(SEQ_X);
+
+/// Inverse of an odd `a` mod 2^64 by Newton–Hensel lifting (each step
+/// doubles the number of correct low bits; 6 steps cover 64).
+const fn mul_inv64(a: u64) -> u64 {
+    let mut x = a;
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+        i += 1;
+    }
+    x
+}
+
+/// `base^n` mod 2^64 by binary exponentiation.
+pub fn wpow(base: u64, mut n: u64) -> u64 {
+    let mut acc = 1u64;
+    let mut b = base;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = acc.wrapping_mul(b);
+        }
+        b = b.wrapping_mul(b);
+        n >>= 1;
+    }
+    acc
+}
+
+/// Per-item scramble feeding the positional hash.
+#[inline]
+pub fn itemh(v: u32) -> u64 {
+    mix(0x00C0_FFEE, v as u64)
+}
+
+/// Derivation id of the conflict-dot marker.
+pub const DOT: u32 = 0;
+
+/// Derivations as struct-of-arrays DAG nodes; see the module docs.
+pub struct DerivArena {
+    /// Symbol index per node (`u32::MAX` for the dot).
+    sym: Vec<u32>,
+    /// Child-list span offset into the derivation-list [`Pool`] (leaves and
+    /// the dot have empty child lists).
+    kids_off: Vec<usize>,
+    /// Child-list span length.
+    kids_len: Vec<u32>,
+    /// Nodes `1..=symbols` are the interned leaves.
+    symbols: usize,
+}
+
+impl DerivArena {
+    /// An arena pre-seeded with the dot node and one leaf per grammar
+    /// symbol (leaf of symbol `s` is node `1 + s.index()`).
+    pub fn new(symbols: usize) -> DerivArena {
+        let mut sym = Vec::with_capacity(symbols + 1);
+        sym.push(u32::MAX);
+        for s in 0..symbols {
+            sym.push(s as u32);
+        }
+        DerivArena {
+            sym,
+            kids_off: vec![0; symbols + 1],
+            kids_len: vec![0; symbols + 1],
+            symbols,
+        }
+    }
+
+    /// The interned leaf node for `sym`.
+    pub fn leaf(&self, sym: SymbolId) -> u32 {
+        debug_assert!(sym.index() < self.symbols);
+        (1 + sym.index()) as u32
+    }
+
+    /// Appends an expanded node; `kids` is a span in the child-span
+    /// [`Pool`] (spans are immutable).
+    pub fn push_node(&mut self, sym: SymbolId, kids_off: usize, kids_len: u32) -> u32 {
+        let id = self.sym.len() as u32;
+        self.sym.push(sym.index() as u32);
+        self.kids_off.push(kids_off);
+        self.kids_len.push(kids_len);
+        id
+    }
+
+    /// Total nodes (including the pre-seeded dot and leaves).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.sym.len()
+    }
+
+    /// Whether the arena holds only the pre-seeded nodes.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.sym.len() <= 1 + self.symbols
+    }
+
+    /// Allocated bytes across the node columns.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sym.capacity() * 4 + self.kids_off.capacity() * 8 + self.kids_len.capacity() * 4
+    }
+
+    /// Is `id` an expanded (non-leaf, non-dot) node?
+    fn is_node(&self, id: u32) -> bool {
+        id as usize > self.symbols
+    }
+
+    /// Structural equality of two derivations *after stripping dots*, the
+    /// §5.4 distinctness check, evaluated directly on the DAG. Shared
+    /// subtrees (equal ids) short-circuit.
+    pub fn strip_eq(&self, pool: &Pool, a: u32, b: u32) -> bool {
+        if a == b {
+            return true;
+        }
+        // Leaves are interned, so distinct leaf/dot ids are distinct
+        // derivations; a leaf never equals an expanded node (strip_dots
+        // keeps the `Node` variant even when all children are dots).
+        if !self.is_node(a) || !self.is_node(b) {
+            return false;
+        }
+        let (ai, bi) = (a as usize, b as usize);
+        if self.sym[ai] != self.sym[bi] {
+            return false;
+        }
+        let ka = pool.slice(self.kids_off[ai], self.kids_len[ai] as usize);
+        let kb = pool.slice(self.kids_off[bi], self.kids_len[bi] as usize);
+        let mut ia = ka.iter().copied().filter(|&k| k != DOT);
+        let mut ib = kb.iter().copied().filter(|&k| k != DOT);
+        loop {
+            match (ia.next(), ib.next()) {
+                (None, None) => return true,
+                (Some(x), Some(y)) => {
+                    if !self.strip_eq(pool, x, y) {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Rebuilds the owned [`Derivation`] tree for `id` (only done once, for
+    /// the winning configuration).
+    pub fn materialize(&self, pool: &Pool, id: u32) -> Derivation {
+        if id == DOT {
+            return Derivation::Dot;
+        }
+        let i = id as usize;
+        let sym = SymbolId::from_index(self.sym[i] as usize);
+        if !self.is_node(id) {
+            return Derivation::Leaf(sym);
+        }
+        let kids = pool.slice(self.kids_off[i], self.kids_len[i] as usize);
+        let kids = kids.iter().map(|&k| self.materialize(pool, k)).collect();
+        Derivation::Node(sym, kids)
+    }
+}
+
+/// Pending-constraint id meaning "no constraint".
+pub const NO_PENDING: u32 = u32::MAX;
+
+/// Hash-consed [`TerminalSet`]s: ids are insertion order, so interning the
+/// same sequence of sets always yields the same ids.
+#[derive(Default)]
+pub struct SetInterner {
+    map: HashMap<TerminalSet, u32>,
+    sets: Vec<TerminalSet>,
+}
+
+impl SetInterner {
+    /// An empty interner.
+    pub fn new() -> SetInterner {
+        SetInterner::default()
+    }
+
+    /// Interns by reference, cloning only on first sight.
+    pub fn intern_ref(&mut self, s: &TerminalSet) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        self.insert(s.clone())
+    }
+
+    /// Interns an owned set.
+    pub fn intern(&mut self, s: TerminalSet) -> u32 {
+        if let Some(&id) = self.map.get(&s) {
+            return id;
+        }
+        self.insert(s)
+    }
+
+    fn insert(&mut self, s: TerminalSet) -> u32 {
+        let id = self.sets.len() as u32;
+        self.sets.push(s.clone());
+        self.map.insert(s, id);
+        id
+    }
+
+    /// The set behind an id.
+    pub fn get(&self, id: u32) -> &TerminalSet {
+        &self.sets[id as usize]
+    }
+
+    /// Number of distinct sets interned.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether nothing has been interned.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Rough allocated bytes (sets are stored twice: map key + table).
+    pub fn capacity_bytes(&self, terminal_count: usize) -> usize {
+        let set_bytes = terminal_count.div_ceil(64).max(1) * 8 + 16;
+        self.sets.capacity() * set_bytes + self.map.capacity() * (set_bytes + 16)
+    }
+}
+
+/// Ring size of the bucket queue; must exceed the maximum single-action
+/// cost (`PRODUCTION_COST + DUPLICATE_PENALTY = 10`).
+pub const COST_RING: usize = 16;
+
+/// A radix-by-cost FIFO queue over configuration indices.
+///
+/// Because every search action costs at least 1, a popped bucket never
+/// receives new entries while it is being processed: the search can take
+/// the *entire* current-cost bucket as one batch, which is what makes the
+/// intra-conflict frontier sharding deterministic (the batch is expanded in
+/// canonical order regardless of how many workers help).
+pub struct BucketQueue {
+    buckets: Vec<Vec<u32>>,
+    cur: u32,
+    live: usize,
+}
+
+impl Default for BucketQueue {
+    fn default() -> BucketQueue {
+        BucketQueue::new()
+    }
+}
+
+impl BucketQueue {
+    /// An empty queue positioned at cost 0.
+    pub fn new() -> BucketQueue {
+        BucketQueue {
+            buckets: (0..COST_RING).map(|_| Vec::new()).collect(),
+            cur: 0,
+            live: 0,
+        }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the queue is empty.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Allocated bytes across the ring's buckets.
+    pub fn capacity_bytes(&self) -> usize {
+        self.buckets.iter().map(|b| b.capacity() * 4).sum()
+    }
+
+    /// Enqueues `idx` at `cost`. The cost must lie in the ring window
+    /// `[current, current + COST_RING)`, which every Figure 10 action
+    /// satisfies.
+    pub fn push(&mut self, cost: u32, idx: u32) {
+        debug_assert!(
+            cost >= self.cur && cost < self.cur + COST_RING as u32,
+            "cost {cost} outside ring window at {}",
+            self.cur
+        );
+        let b = &mut self.buckets[cost as usize % COST_RING];
+        grow_to(b, b.len() + 1);
+        b.push(idx);
+        self.live += 1;
+    }
+
+    /// Drains the lowest nonempty cost bucket into `out` (cleared first),
+    /// preserving enqueue order, and returns that cost. `None` when empty.
+    pub fn pop_bucket(&mut self, out: &mut Vec<u32>) -> Option<u32> {
+        out.clear();
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            let b = &mut self.buckets[self.cur as usize % COST_RING];
+            if !b.is_empty() {
+                self.live -= b.len();
+                out.append(b);
+                return Some(self.cur);
+            }
+            self.cur += 1;
+        }
+    }
+}
+
+/// Sentinel for an empty [`Visited`] slot.
+const VACANT: u32 = u32::MAX;
+
+/// Open-addressing dedup table over `(hash, config index)` pairs.
+///
+/// The table never stores keys: on a hash hit the caller's closure decides
+/// equality against its arena, so accepted configurations pay no key copy
+/// and rejected candidates allocate nothing.
+pub struct Visited {
+    hashes: Vec<u64>,
+    idxs: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+impl Default for Visited {
+    fn default() -> Visited {
+        Visited::new()
+    }
+}
+
+impl Visited {
+    /// An empty table.
+    pub fn new() -> Visited {
+        let cap = 64;
+        Visited {
+            hashes: vec![0; cap],
+            idxs: vec![VACANT; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Entries stored.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.hashes.capacity() * 8 + self.idxs.capacity() * 4
+    }
+
+    /// Inserts `(hash, idx)` unless an equal entry exists; returns `true`
+    /// if inserted. `eq(other)` must answer whether the candidate equals
+    /// the already-stored configuration `other`.
+    pub fn insert_with(&mut self, hash: u64, idx: u32, mut eq: impl FnMut(u32) -> bool) -> bool {
+        if (self.len + 1) * 4 >= (self.mask + 1) * 3 {
+            self.grow();
+        }
+        let mut slot = hash as usize & self.mask;
+        loop {
+            let other = self.idxs[slot];
+            if other == VACANT {
+                self.hashes[slot] = hash;
+                self.idxs[slot] = idx;
+                self.len += 1;
+                return true;
+            }
+            if self.hashes[slot] == hash && eq(other) {
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.mask + 1) * 2;
+        let old_h = std::mem::replace(&mut self.hashes, vec![0; cap]);
+        let old_i = std::mem::replace(&mut self.idxs, vec![VACANT; cap]);
+        self.mask = cap - 1;
+        for (h, i) in old_h.into_iter().zip(old_i) {
+            if i == VACANT {
+                continue;
+            }
+            let mut slot = h as usize & self.mask;
+            while self.idxs[slot] != VACANT {
+                slot = (slot + 1) & self.mask;
+            }
+            self.hashes[slot] = h;
+            self.idxs[slot] = i;
+        }
+    }
+}
+
+/// Mixes one word into a running hash (splitmix-style).
+#[inline]
+pub fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+/// Hashes a word slice with a seed.
+#[cfg(test)]
+#[inline]
+pub fn hash_words(seed: u64, words: &[u32]) -> u64 {
+    let mut h = mix(seed, words.len() as u64);
+    for &w in words {
+        h = mix(h, w as u64);
+    }
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_spans_are_stable() {
+        let mut p = Pool::new();
+        let a = p.extend(&[1, 2, 3]);
+        let b = p.extend(&[4, 5]);
+        assert_eq!(p.slice(a, 3), &[1, 2, 3]);
+        assert_eq!(p.slice(b, 2), &[4, 5]);
+        assert_eq!(p.len(), 5);
+        assert!(p.capacity() >= 64, "deterministic floor");
+    }
+
+    fn items(ar: &CellArena, s: Seq) -> Vec<u32> {
+        let (mut out, mut sc) = (Vec::new(), Vec::new());
+        s.materialize(ar, &mut out, &mut sc);
+        out
+    }
+
+    #[test]
+    fn seq_deque_ops_share_cells() {
+        let mut ar = CellArena::new();
+        let mut sc = Vec::new();
+        let s = Seq::singleton(&mut ar, 5)
+            .prepend(&mut ar, 4)
+            .prepend(&mut ar, 3)
+            .append(&mut ar, 6); // [3, 4, 5, 6]
+        assert_eq!(items(&ar, s), [3, 4, 5, 6]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.last(&ar), 6);
+        assert!(s.contains(&ar, 4, false));
+        assert!(s.contains(&ar, 4, true));
+        assert!(!s.contains(&ar, 9, false));
+
+        let mut vals = Vec::new();
+        s.read_back(&ar, 3, &mut vals, &mut sc);
+        assert_eq!(vals, [6, 5, 4], "last first, spilling into the front");
+
+        // Pop within the back stack: pure sharing, no new cells.
+        let cells = ar.len();
+        let t = s.pop_back(&mut ar, 1, &mut sc);
+        assert_eq!(ar.len(), cells, "suffix pop allocates nothing");
+        assert_eq!(items(&ar, t), [3, 4, 5]);
+
+        // Pop past the back stack: the kept prefix rotates into the back.
+        let r = s.pop_back(&mut ar, 2, &mut sc);
+        assert_eq!(items(&ar, r), [3, 4]);
+        assert_eq!(r.flen, 0, "rotation loads the back stack");
+        assert_eq!(r.last(&ar), 4);
+
+        // Persistence: the source sequence is untouched.
+        assert_eq!(items(&ar, s), [3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn positional_hash_is_invertible_and_split_free() {
+        assert_eq!(SEQ_X.wrapping_mul(SEQ_XINV), 1, "SEQ_X must be odd");
+        assert_eq!(wpow(SEQ_X, 7).wrapping_mul(wpow(SEQ_XINV, 7)), 1);
+
+        // H([a, b]) built by append equals H built by prepend.
+        let (a, b) = (itemh(17), itemh(42));
+        let by_append = a.wrapping_mul(SEQ_X).wrapping_add(b);
+        let by_prepend = b.wrapping_add(a.wrapping_mul(wpow(SEQ_X, 1)));
+        assert_eq!(by_append, by_prepend);
+
+        // Popping the last item of [a, b] recovers H([a]).
+        let popped = by_append.wrapping_sub(b).wrapping_mul(SEQ_XINV);
+        assert_eq!(popped, a);
+    }
+
+    #[test]
+    fn fact_map_memoized_membership_is_exact() {
+        // Grow path: far past the 1024-slot floor, every fact survives.
+        let mut m = FactMap::default();
+        assert_eq!(m.get(7), None);
+        for k in 0..5000u64 {
+            m.insert(k, k % 3 == 0);
+        }
+        m.insert(0, false); // repeated insert is a no-op
+        for k in 0..5000u64 {
+            assert_eq!(m.get(k), Some(k % 3 == 0), "fact {k} lost");
+        }
+        assert_eq!(m.get(123_456), None);
+
+        // contains_memo agrees with the plain walk on cell-sharing deques,
+        // cold and warm, from either end.
+        let ar = &mut CellArena::new();
+        let s = Seq::singleton(ar, 8).prepend(ar, 7).append(ar, 9);
+        let t = s.append(ar, 10); // shares s's cells
+        let memo = &mut FactMap::default();
+        for _ in 0..2 {
+            for seq in [s, t] {
+                for from_back in [false, true] {
+                    for v in [7, 8, 9, 10, 99] {
+                        assert_eq!(
+                            seq.contains_memo(&*ar, v, from_back, memo),
+                            seq.contains(&*ar, v, from_back),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_queue_is_fifo_within_cost() {
+        let mut q = BucketQueue::new();
+        q.push(2, 10);
+        q.push(1, 20);
+        q.push(2, 30);
+        q.push(1, 40);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_bucket(&mut out), Some(1));
+        assert_eq!(out, vec![20, 40], "enqueue order, not heap order");
+        assert_eq!(q.pop_bucket(&mut out), Some(2));
+        assert_eq!(out, vec![10, 30]);
+        assert_eq!(q.pop_bucket(&mut out), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bucket_queue_ring_wraps() {
+        let mut q = BucketQueue::new();
+        let mut out = Vec::new();
+        let mut cost = 0;
+        for step in 0..100u32 {
+            let pushed = cost + 1 + (step % 10);
+            q.push(pushed, step);
+            let got = q.pop_bucket(&mut out).unwrap();
+            assert_eq!(got, pushed, "single live entry pops at its own cost");
+            assert_eq!(out, vec![step]);
+            cost = got;
+        }
+    }
+
+    #[test]
+    fn visited_dedups_by_closure_equality() {
+        let mut v = Visited::new();
+        assert!(v.is_empty());
+        assert!(v.insert_with(7, 0, |_| false));
+        // Same hash, closure says "different config": both kept.
+        assert!(v.insert_with(7, 1, |_| false));
+        // Same hash, closure recognizes an existing entry: rejected.
+        assert!(!v.insert_with(7, 2, |o| o == 1));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn visited_survives_growth() {
+        let mut v = Visited::new();
+        for i in 0..1000u32 {
+            assert!(v.insert_with(hash_words(1, &[i]), i, |o| o == i));
+        }
+        for i in 0..1000u32 {
+            assert!(
+                !v.insert_with(hash_words(1, &[i]), i + 1000, |o| o == i),
+                "entry {i} lost in rehash"
+            );
+        }
+        assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn interner_ids_follow_insertion_order() {
+        let mut it = SetInterner::new();
+        assert!(it.is_empty());
+        let a = TerminalSet::singleton(10, 1);
+        let b = TerminalSet::singleton(10, 2);
+        assert_eq!(it.intern_ref(&a), 0);
+        assert_eq!(it.intern_ref(&b), 1);
+        assert_eq!(it.intern_ref(&a), 0, "re-interning is stable");
+        assert_eq!(it.get(1), &b);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn deriv_arena_leaves_and_strip_eq() {
+        let mut pool = Pool::new();
+        let mut ar = DerivArena::new(4);
+        assert!(ar.is_empty(), "only pre-seeded nodes");
+        assert_eq!(ar.len(), 5, "dot + one leaf per symbol");
+        let s0 = SymbolId::from_index(0);
+        let s1 = SymbolId::from_index(1);
+        assert_ne!(ar.leaf(s0), ar.leaf(s1));
+        assert!(ar.strip_eq(&pool, ar.leaf(s0), ar.leaf(s0)));
+        assert!(!ar.strip_eq(&pool, ar.leaf(s0), ar.leaf(s1)));
+
+        // Node(s1, [leaf0, Dot]) strip-equals Node(s1, [Dot, leaf0]) …
+        let k1 = pool.extend(&[ar.leaf(s0), DOT]);
+        let n1 = ar.push_node(s1, k1, 2);
+        let k2 = pool.extend(&[DOT, ar.leaf(s0)]);
+        let n2 = ar.push_node(s1, k2, 2);
+        assert!(ar.strip_eq(&pool, n1, n2));
+        // … but not a bare leaf of s1 (Node survives strip_dots).
+        assert!(!ar.strip_eq(&pool, n1, ar.leaf(s1)));
+
+        let d = ar.materialize(&pool, n1);
+        assert_eq!(
+            d,
+            Derivation::Node(s1, vec![Derivation::Leaf(s0), Derivation::Dot])
+        );
+    }
+}

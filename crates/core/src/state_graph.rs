@@ -17,6 +17,13 @@ impl StateItemId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The node with dense index `index`. Inverse of [`StateItemId::index`];
+    /// only meaningful for indices below the owning graph's
+    /// [`StateGraph::node_count`].
+    pub fn from_index(index: usize) -> StateItemId {
+        StateItemId(index as u32)
+    }
 }
 
 impl std::fmt::Debug for StateItemId {
@@ -81,12 +88,42 @@ pub struct StateGraph {
     index: HashMap<(StateId, Item), StateItemId>,
     /// Forward transition (dot advance into the goto state), if any.
     trans: Vec<Option<StateItemId>>,
+    /// Each node's item index within its state — makes [`Self::lookahead`]
+    /// O(1) on the search hot path instead of a per-call linear scan of the
+    /// state's item list.
+    item_slot: Vec<u32>,
     /// Production steps: `(s, A -> α · B β)` to every `(s, B -> · γ)`.
-    prods: Vec<Vec<StateItemId>>,
+    prods: Csr,
     /// Reverse transitions.
-    rev_trans: Vec<Vec<StateItemId>>,
+    rev_trans: Csr,
     /// Reverse production steps.
-    rev_prods: Vec<Vec<StateItemId>>,
+    rev_prods: Csr,
+}
+
+/// Compressed sparse rows: the per-node adjacency lists of a finished graph
+/// packed into one offsets array plus one data array, so the search's inner
+/// loops walk contiguous memory instead of a `Vec<Vec<_>>` of separate
+/// allocations.
+struct Csr {
+    offs: Vec<u32>,
+    data: Vec<StateItemId>,
+}
+
+impl Csr {
+    fn build(rows: Vec<Vec<StateItemId>>) -> Csr {
+        let mut offs = Vec::with_capacity(rows.len() + 1);
+        let mut data = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        offs.push(0);
+        for row in rows {
+            data.extend_from_slice(&row);
+            offs.push(data.len() as u32);
+        }
+        Csr { offs, data }
+    }
+
+    fn row(&self, i: usize) -> &[StateItemId] {
+        &self.data[self.offs[i] as usize..self.offs[i + 1] as usize]
+    }
 }
 
 impl StateGraph {
@@ -107,8 +144,10 @@ impl StateGraph {
         let mut rev_trans = vec![Vec::new(); n];
         let mut rev_prods = vec![Vec::new(); n];
 
+        let mut item_slot = vec![0u32; n];
         for (i, &(sid, it)) in nodes.iter().enumerate() {
             let st = auto.state(sid);
+            item_slot[i] = st.item_index(it).expect("node items exist in their state") as u32;
             if let Some(next) = it.next_symbol(g) {
                 // Transition edge.
                 let target_state = st
@@ -132,9 +171,10 @@ impl StateGraph {
             nodes,
             index,
             trans,
-            prods,
-            rev_trans,
-            rev_prods,
+            item_slot,
+            prods: Csr::build(prods),
+            rev_trans: Csr::build(rev_trans),
+            rev_prods: Csr::build(rev_prods),
         }
     }
 
@@ -175,25 +215,24 @@ impl StateGraph {
 
     /// Production-step successors.
     pub fn production_steps(&self, id: StateItemId) -> &[StateItemId] {
-        &self.prods[id.index()]
+        self.prods.row(id.index())
     }
 
     /// Reverse transitions: every node whose transition leads here.
     pub fn reverse_transitions(&self, id: StateItemId) -> &[StateItemId] {
-        &self.rev_trans[id.index()]
+        self.rev_trans.row(id.index())
     }
 
     /// Reverse production steps: every node with a production step here.
     pub fn reverse_production_steps(&self, id: StateItemId) -> &[StateItemId] {
-        &self.rev_prods[id.index()]
+        self.rev_prods.row(id.index())
     }
 
     /// The LALR(1) lookahead set of a node's item.
     pub fn lookahead<'a>(&self, auto: &'a Automaton, id: StateItemId) -> &'a TerminalSet {
-        let (sid, it) = self.nodes[id.index()];
-        let st = auto.state(sid);
-        let idx = st.item_index(it).expect("node items exist in their state");
-        st.lookahead(idx)
+        let sid = self.nodes[id.index()].0;
+        auto.state(sid)
+            .lookahead(self.item_slot[id.index()] as usize)
     }
 
     /// Set of nodes that can reach `target` through reverse transitions and
@@ -204,9 +243,11 @@ impl StateGraph {
         let mut stack = vec![target];
         seen.insert(target.index());
         while let Some(id) = stack.pop() {
-            for &p in self.rev_trans[id.index()]
+            for &p in self
+                .rev_trans
+                .row(id.index())
                 .iter()
-                .chain(self.rev_prods[id.index()].iter())
+                .chain(self.rev_prods.row(id.index()))
             {
                 if seen.insert(p.index()) {
                     stack.push(p);

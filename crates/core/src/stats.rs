@@ -15,25 +15,46 @@
 use std::time::Duration;
 
 /// Counters from one product-parser search (§5).
+///
+/// `explored`, `enqueued`, `deduped`, and `frontier_peak` count **arena
+/// records** — configurations committed to the search's configuration
+/// arena — not transient queue operations, so they are invariant under the
+/// queue implementation and under intra-conflict expansion sharding.
+/// `enqueued > explored` is a legitimate final state: a search that finds
+/// its unifying example (or hits a cutoff) returns with a nonempty
+/// frontier, whose members were enqueued but never explored (stackovf10 in
+/// EXPERIMENTS.md Table 1 is the canonical instance).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchMetrics {
-    /// Configurations popped from the priority queue and expanded.
+    /// Configurations taken off the frontier and expanded.
     pub explored: u64,
-    /// Successor configurations accepted into the frontier.
+    /// Configurations accepted into the arena (including the initial
+    /// configuration), i.e. survivors of the visited-set dedup.
     pub enqueued: u64,
     /// Successor configurations dropped because their core was already
     /// visited (the §5.2 dedup).
     pub deduped: u64,
-    /// High-water mark of the frontier (priority-queue length).
+    /// High-water mark of the frontier (pending arena records), sampled
+    /// after each cost-bucket merge.
     pub frontier_peak: u64,
     /// High-water mark of this search's estimated live frontier bytes as
-    /// reported to the [`crate::MemoryGovernor`]. Sampled on the cancel
-    /// stride, so it is an estimate, not an allocator truth.
+    /// reported to the [`crate::MemoryGovernor`]. Derived from actual
+    /// arena/table capacities and sampled on the cancel stride — an
+    /// estimate, but a deterministic one.
     pub live_bytes_peak: u64,
     /// Times this search *shed* — tightened its cost cap because the
     /// grammar-wide soft memory limit was exceeded. Depends on the shared
     /// governor state, so it is excluded from the determinism guarantee.
     pub sheds: u64,
+    /// Total `u32` cells appended to the item-sequence and derivation-list
+    /// pools — the arena footprint behind the record counts. Deterministic.
+    pub arena_cells: u64,
+    /// Frontier batches whose expansion was sharded across extra workers
+    /// from the [`crate::ShardBudget`]. Depends on what the budget had
+    /// available at the moment of the claim, so — like `sheds` — it is
+    /// excluded from the determinism guarantee (the *results* of sharded
+    /// batches are not: merge order is canonical).
+    pub shard_batches: u64,
 }
 
 impl SearchMetrics {
@@ -46,6 +67,8 @@ impl SearchMetrics {
         self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
         self.live_bytes_peak = self.live_bytes_peak.max(other.live_bytes_peak);
         self.sheds += other.sheds;
+        self.arena_cells += other.arena_cells;
+        self.shard_batches += other.shard_batches;
     }
 }
 
@@ -174,8 +197,8 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
     format!(
         "grammar stats: {} conflicts, {} workers, precompute {:.1}ms\n\
          \u{20} spine memo: {} hits / {} misses ({} LSSI nodes expanded)\n\
-         \u{20} unifying search: {} explored, {} enqueued, {} deduped, frontier peak {}\n\
-         \u{20} memory: live-bytes peak {}, {} sheds\n\
+         \u{20} unifying search: {} explored, {} enqueued, {} deduped, frontier peak {}, {} arena cells\n\
+         \u{20} memory: live-bytes peak {}, {} sheds, {} sharded batches\n\
          \u{20} supervision: {} slot retries / {} recovered\n\
          \u{20} engine cache: {} hits / {} misses / {} evictions\n\
          \u{20} provenance: {} true-ambiguity / {} merge-artifact / {} precedence-resolved / {} internal (lr1 states {}, {:.1}ms)\n\
@@ -190,8 +213,10 @@ pub fn format_grammar_stats(stats: &GrammarStats, wall: Duration) -> String {
         stats.search.enqueued,
         stats.search.deduped,
         stats.search.frontier_peak,
+        stats.search.arena_cells,
         stats.search.live_bytes_peak,
         stats.search.sheds,
+        stats.search.shard_batches,
         stats.slot_retries,
         stats.slots_recovered,
         stats.cache_hits,
@@ -221,6 +246,8 @@ mod tests {
             frontier_peak: 10,
             live_bytes_peak: 100,
             sheds: 1,
+            arena_cells: 7,
+            shard_batches: 1,
         };
         let b = SearchMetrics {
             explored: 10,
@@ -229,6 +256,8 @@ mod tests {
             frontier_peak: 4,
             live_bytes_peak: 400,
             sheds: 2,
+            arena_cells: 70,
+            shard_batches: 2,
         };
         a.merge(&b);
         assert_eq!(a.explored, 11);
@@ -237,6 +266,8 @@ mod tests {
         assert_eq!(a.frontier_peak, 10);
         assert_eq!(a.live_bytes_peak, 400);
         assert_eq!(a.sheds, 3);
+        assert_eq!(a.arena_cells, 77);
+        assert_eq!(a.shard_batches, 3);
     }
 
     #[test]

@@ -50,6 +50,11 @@ cargo test -q --features failpoints --test chaos
 echo "==> overload/chaos soak (seeded storms, wall-clock capped)"
 timeout 600 cargo test -q -p lalrcex-cli --features failpoints --test soak
 
+if [[ "$quick" -eq 0 ]]; then
+  echo "==> search-throughput bench (smoke: tiny budget, 1 sample)"
+  LALRCEX_BENCH_SMOKE=1 cargo bench -q -p lalrcex-bench --bench conflicts -- search_throughput
+fi
+
 echo "==> corpus lint snapshot"
 cargo run -q --release -p lalrcex-lint --bin lint-snapshot -- --check
 

@@ -601,9 +601,11 @@ fn retry_slots(cached: &CachedEngine, report: &mut GrammarReport, req: &Analysis
     let fallback = CancelToken::new();
     let cancel = req.cancel.as_ref().unwrap_or(&fallback);
     let governor = MemoryGovernor::with_limit_mb(req.cfg.max_live_mb);
+    // Retries are one-at-a-time cleanup work; no shard budget.
     let session = SearchSession {
         cancel,
         governor: &governor,
+        shards: None,
     };
     let mut retried = 0;
     for (i, slot) in report.reports.iter_mut().enumerate() {

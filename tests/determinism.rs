@@ -139,6 +139,114 @@ fn partial_budget_never_loses_nonunifying() {
     }
 }
 
+/// Intra-conflict frontier sharding (the data-oriented core splitting one
+/// heavy conflict's cost bucket across the worker pool) must not leak into
+/// results: stackovf08's deep conflicts blow a bounded configuration
+/// budget, and the resulting `TimedOut` partial stats — explored, enqueued,
+/// deduped, arena cells — must be byte-identical at workers 1, 2, and 4.
+#[test]
+fn stackovf08_intra_conflict_stealing_is_deterministic() {
+    let g = load("stackovf08");
+    let bounded = |workers| CexConfig {
+        search: SearchConfig {
+            time_limit: Duration::from_secs(3600),
+            max_configs: 20_000,
+            ..Default::default()
+        },
+        cumulative_limit: Duration::from_secs(3600),
+        workers,
+        ..CexConfig::default()
+    };
+    let one = run(&g, &bounded(1));
+    let two = run(&g, &bounded(2));
+    let four = run(&g, &bounded(4));
+    assert!(
+        one.reports
+            .iter()
+            .any(|r| r.kind() == Some(ExampleKind::NonunifyingTimeout)),
+        "the configuration budget must actually bite so partial stats are exercised"
+    );
+    for other in [&two, &four] {
+        assert_identical(&g, &one, other);
+        for (x, y) in one.reports.iter().zip(&other.reports) {
+            assert_eq!(x.stats.search.explored, y.stats.search.explored);
+            assert_eq!(x.stats.search.enqueued, y.stats.search.enqueued);
+            assert_eq!(x.stats.search.deduped, y.stats.search.deduped);
+            assert_eq!(x.stats.search.frontier_peak, y.stats.search.frontier_peak);
+            assert_eq!(x.stats.search.arena_cells, y.stats.search.arena_cells);
+        }
+    }
+}
+
+/// Equal-cost pop ordering: this grammar's first unifying example is
+/// reachable through two equal-cost frontiers (associativity of `+` and
+/// the `+`/`-` interleaving), so whichever surfaces is decided purely by
+/// the queue's FIFO-within-bucket order. Pin the reported derivations cold
+/// vs warm (spine memo) and at workers 1 vs 4 — a LIFO regression or a
+/// merge-order change flips them.
+#[test]
+fn equal_cost_frontiers_pin_the_reported_example() {
+    let g = Grammar::parse("%%\ne : e '+' e | e '-' e | N ;").expect("inline grammar");
+    let mut analyzer = Analyzer::new(&g);
+    let cold = analyzer.analyze_all(&generous(1));
+    let warm = analyzer.analyze_all(&generous(1));
+    let wide = run(&g, &generous(4));
+    assert!(!cold.reports.is_empty(), "ambiguous grammar has conflicts");
+    for r in &cold.reports {
+        assert_eq!(r.kind(), Some(ExampleKind::Unifying), "ambiguity proven");
+    }
+    assert_identical(&g, &cold, &warm);
+    assert_identical(&g, &cold, &wide);
+    // Pin the actual winner of the first conflict's equal-cost race, not
+    // just run-to-run agreement: both derivations flatten to the same
+    // three-terminal sentence, deriving it two ways.
+    let ex = cold.reports[0].unifying.as_ref().expect("unifying example");
+    assert_ne!(
+        ex.derivation1.pretty(&g),
+        ex.derivation2.pretty(&g),
+        "two distinct derivations of one sentence"
+    );
+    assert_eq!(
+        ex.derivation1.flat(&g),
+        ex.derivation2.flat(&g),
+        "derivations unify on the same sentential form"
+    );
+}
+
+/// `cancel_stride` sets how often the hot loop polls the cancel token,
+/// deadline, and governor — cadence only. Any stride must produce
+/// byte-identical reports, and a pre-cancelled token must stop every
+/// search before it explores a single configuration.
+#[test]
+fn cancel_stride_is_cadence_not_semantics() {
+    let g = load("figure1");
+    let strided = |stride| CexConfig {
+        search: SearchConfig {
+            time_limit: Duration::from_secs(30),
+            cancel_stride: stride,
+            ..Default::default()
+        },
+        cumulative_limit: Duration::from_secs(600),
+        workers: 2,
+        ..CexConfig::default()
+    };
+    let tight = run(&g, &strided(1));
+    let default = run(&g, &strided(256));
+    let loose = run(&g, &strided(4096));
+    assert_identical(&g, &tight, &default);
+    assert_identical(&g, &tight, &loose);
+
+    // A token cancelled before the run starts is seen no later than the
+    // first stride poll: nothing is explored, every slot degrades.
+    let cancel = lalrcex::core::CancelToken::new();
+    cancel.cancel(lalrcex::core::CancelReason::Signal);
+    let report = Analyzer::new(&g).analyze_all_cancellable(&strided(1), &cancel);
+    assert_eq!(report.stats.search.explored, 0, "no work after cancel");
+    for r in &report.reports {
+        assert_ne!(r.kind(), Some(ExampleKind::Unifying));
+    }
+}
+
 /// The explain surface inherits the engine's determinism end to end: the
 /// rendered text and the schema-v1 JSON document are byte-identical at
 /// workers 1 vs 4, and a warm-cache run (second explain of the same
