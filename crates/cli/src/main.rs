@@ -41,7 +41,7 @@ use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-use lalrcex::api::{AnalysisRequest, Error, Session};
+use lalrcex::api::{AnalysisRequest, Error, GrammarFormat, GrammarSource, Session};
 use lalrcex::service::{serve, ServeOptions};
 use lalrcex_core::{
     format_conflict_stats, format_grammar_stats, format_report, CancelReason, CancelToken,
@@ -161,6 +161,26 @@ impl ArgScan {
         v.parse()
             .unwrap_or_else(|_| self.fail(&format!("`{flag}` needs a number, got `{v}`")))
     }
+
+    /// The value of `--grammar-format`, or exit 2.
+    fn grammar_format(&mut self) -> GrammarFormat {
+        let v = self.value("--grammar-format");
+        GrammarFormat::from_name(&v).unwrap_or_else(|| {
+            self.fail(&format!(
+                "`--grammar-format` is dsl, yacc, or auto, got `{v}`"
+            ))
+        })
+    }
+}
+
+/// The grammar source for a file's text: an explicit `--grammar-format`
+/// wins; `auto` takes the file extension as a hint (`.y` and friends mean
+/// yacc) and otherwise falls back to content sniffing.
+fn file_source(path: &str, text: String, flag: GrammarFormat) -> GrammarSource {
+    match flag {
+        GrammarFormat::Auto => GrammarSource::from_path_text(std::path::Path::new(path), text),
+        pinned => GrammarSource::new(text, pinned),
+    }
 }
 
 const GLOBAL_USAGE: &str = "\
@@ -178,6 +198,10 @@ const CEX_USAGE: &str = "\
 usage: lalrcex [cex] [OPTIONS] GRAMMAR.y
 
   --format text|json   report format (default text; json is schema v1)
+  --grammar-format dsl|yacc|auto
+                       grammar frontend (default auto: .y/.yacc/.yy/.ypp
+                       extensions mean yacc, anything else is sniffed
+                       from the content)
   --extended           full unifying search (no shortest-path pruning)
   --time-limit SECS    per-conflict unifying search budget (default 5)
   --total-limit SECS   cumulative unifying budget (default 120)
@@ -194,6 +218,7 @@ usage: lalrcex [cex] [OPTIONS] GRAMMAR.y
 #[derive(Clone)]
 struct CexOptions {
     grammar: String,
+    grammar_format: GrammarFormat,
     json: bool,
     extended: bool,
     time_limit: Duration,
@@ -210,6 +235,7 @@ impl Default for CexOptions {
     fn default() -> CexOptions {
         CexOptions {
             grammar: String::new(),
+            grammar_format: GrammarFormat::Auto,
             json: false,
             extended: false,
             time_limit: Duration::from_secs(5),
@@ -235,6 +261,7 @@ fn parse_cex_args(args: Vec<String>) -> CexOptions {
                 "json" => opts.json = true,
                 other => p.fail(&format!("`--format` is text or json, got `{other}`")),
             },
+            "--grammar-format" => opts.grammar_format = p.grammar_format(),
             "--extended" | "-extendedsearch" => opts.extended = true,
             "--time-limit" => opts.time_limit = Duration::from_secs(p.num("--time-limit")),
             "--total-limit" => opts.total_limit = Duration::from_secs(p.num("--total-limit")),
@@ -274,12 +301,12 @@ fn interruptible_token() -> CancelToken {
 }
 
 fn analysis_request(
-    text: String,
+    source: GrammarSource,
     label: &str,
     opts: &CexOptions,
     cancel: &CancelToken,
 ) -> AnalysisRequest {
-    AnalysisRequest::new(text)
+    AnalysisRequest::new(source)
         .label(label)
         .time_limit(opts.time_limit)
         .cumulative_limit(opts.total_limit)
@@ -400,10 +427,11 @@ fn run_cex(args: Vec<String>) -> ExitCode {
 
     let session = Session::new();
     let cancel = interruptible_token();
-    let request = analysis_request(text, &opts.grammar, &opts, &cancel);
+    let source = file_source(&opts.grammar, text, opts.grammar_format);
+    let request = analysis_request(source, &opts.grammar, &opts, &cancel);
     let reply = match session.analyze(&request) {
         Ok(r) => r,
-        Err(Error::Grammar(e)) => {
+        Err(Error::Grammar(e) | Error::YaccParse(e)) => {
             eprintln!("lalrcex: {}: {e}", opts.grammar);
             return ExitCode::from(2);
         }
@@ -452,6 +480,9 @@ the lookahead.
   --format text|json   output format (default text; json is the schema-v1
                        report document with a `provenance` block on every
                        conflict and resolution)
+  --grammar-format dsl|yacc|auto
+                       grammar frontend (default auto: extension hint,
+                       then content sniffing)
   --time-limit SECS    per-conflict corroboration search budget (default 5)
   --total-limit SECS   cumulative corroboration budget (default 120)
   --workers N          worker threads for the corroboration fan-out
@@ -478,6 +509,7 @@ fn parse_explain_args(args: Vec<String>) -> ExplainOptions {
                 "json" => opts.cex.json = true,
                 other => p.fail(&format!("`--format` is text or json, got `{other}`")),
             },
+            "--grammar-format" => opts.cex.grammar_format = p.grammar_format(),
             "--conflict" => opts.conflict = Some(p.num("--conflict")),
             "--time-limit" => opts.cex.time_limit = Duration::from_secs(p.num("--time-limit")),
             "--total-limit" => opts.cex.total_limit = Duration::from_secs(p.num("--total-limit")),
@@ -509,10 +541,11 @@ fn run_explain(args: Vec<String>) -> ExitCode {
 
     let session = Session::new();
     let cancel = interruptible_token();
-    let request = analysis_request(text, &opts.cex.grammar, &opts.cex, &cancel);
+    let source = file_source(&opts.cex.grammar, text, opts.cex.grammar_format);
+    let request = analysis_request(source, &opts.cex.grammar, &opts.cex, &cancel);
     let reply = match session.explain(&request) {
         Ok(r) => r,
-        Err(Error::Grammar(e)) => {
+        Err(Error::Grammar(e) | Error::YaccParse(e)) => {
             eprintln!("lalrcex: {}: {e}", opts.cex.grammar);
             return ExitCode::from(2);
         }
@@ -578,11 +611,15 @@ const LINT_USAGE: &str = "\
 usage: lalrcex lint [OPTIONS] GRAMMAR.y
 
   --format text|json   diagnostic output format (default text)
+  --grammar-format dsl|yacc|auto
+                       grammar frontend (default auto: extension hint,
+                       then content sniffing)
   --deny-warnings      warnings also make the exit code nonzero
   --list               list the registered passes and exit";
 
 struct LintOptions {
     grammar: String,
+    grammar_format: GrammarFormat,
     json: bool,
     deny_warnings: bool,
     list: bool,
@@ -592,6 +629,7 @@ fn parse_lint_args(args: Vec<String>) -> LintOptions {
     let mut p = ArgScan::new(args, "lint", LINT_USAGE);
     let mut opts = LintOptions {
         grammar: String::new(),
+        grammar_format: GrammarFormat::Auto,
         json: false,
         deny_warnings: false,
         list: false,
@@ -604,6 +642,7 @@ fn parse_lint_args(args: Vec<String>) -> LintOptions {
                 "json" => opts.json = true,
                 other => p.fail(&format!("`--format` is text or json, got `{other}`")),
             },
+            "--grammar-format" => opts.grammar_format = p.grammar_format(),
             "--deny-warnings" => opts.deny_warnings = true,
             "--list" => opts.list = true,
             other if !other.starts_with('-') && opts.grammar.is_empty() => {
@@ -642,7 +681,8 @@ fn run_lint(args: Vec<String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let reply = match Session::new().lint(&text) {
+    let source = file_source(&opts.grammar, text, opts.grammar_format);
+    let reply = match Session::new().lint(source) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lalrcex: {}: {e}", opts.grammar);
@@ -736,6 +776,10 @@ the failures, and the exit code is nonzero iff any entry failed.
 
   --format text|json   per-grammar report format (default text; json emits
                        one schema-v1 document per line)
+  --grammar-format dsl|yacc|auto
+                       frontend for file entries (default auto: extension
+                       hint, then content sniffing; corpus entries are
+                       always native DSL)
   --time-limit SECS    per-conflict unifying search budget (default 5)
   --total-limit SECS   cumulative unifying budget per grammar (default 120)
   --workers N          worker threads for each conflict fan-out
@@ -756,6 +800,7 @@ fn run_batch(args: Vec<String>) -> ExitCode {
                 "json" => opts.json = true,
                 other => p.fail(&format!("`--format` is text or json, got `{other}`")),
             },
+            "--grammar-format" => opts.grammar_format = p.grammar_format(),
             "--time-limit" => opts.time_limit = Duration::from_secs(p.num("--time-limit")),
             "--total-limit" => opts.total_limit = Duration::from_secs(p.num("--total-limit")),
             "--workers" => opts.workers = p.num("--workers"),
@@ -781,7 +826,7 @@ fn run_batch(args: Vec<String>) -> ExitCode {
     // Resolve manifest lines to (label, grammar text or error) up front.
     // Per-entry failures are isolated: a bad entry is carried as an error,
     // reported in order, and counted — it never aborts the rest of the run.
-    let mut items: Vec<(String, Result<String, String>)> = Vec::new();
+    let mut items: Vec<(String, Result<GrammarSource, String>)> = Vec::new();
     for line in listing.lines() {
         let entry = line.trim();
         if entry.is_empty() || entry.starts_with('#') {
@@ -789,11 +834,17 @@ fn run_batch(args: Vec<String>) -> ExitCode {
         }
         if entry == "corpus:*" {
             for e in lalrcex_corpus::all() {
-                items.push((format!("corpus:{}", e.name), Ok(e.text().to_owned())));
+                items.push((
+                    format!("corpus:{}", e.name),
+                    Ok(GrammarSource::dsl(e.text().to_owned())),
+                ));
             }
         } else if let Some(name) = entry.strip_prefix("corpus:") {
             match lalrcex_corpus::by_name(name) {
-                Some(e) => items.push((entry.to_owned(), Ok(e.text().to_owned()))),
+                Some(e) => items.push((
+                    entry.to_owned(),
+                    Ok(GrammarSource::dsl(e.text().to_owned())),
+                )),
                 None => items.push((
                     entry.to_owned(),
                     Err(format!("unknown corpus grammar `{name}`")),
@@ -801,7 +852,10 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             }
         } else {
             match std::fs::read_to_string(entry) {
-                Ok(t) => items.push((entry.to_owned(), Ok(t))),
+                Ok(t) => items.push((
+                    entry.to_owned(),
+                    Ok(file_source(entry, t, opts.grammar_format)),
+                )),
                 Err(e) => items.push((entry.to_owned(), Err(format!("cannot read: {e}")))),
             }
         }
@@ -816,9 +870,9 @@ fn run_batch(args: Vec<String>) -> ExitCode {
     let summary = |analyzed: usize, failed: usize| {
         eprintln!("lalrcex batch: {analyzed}/{total} entries analyzed, {failed} failed");
     };
-    for (label, text) in items {
-        let text = match text {
-            Ok(t) => t,
+    for (label, source) in items {
+        let source = match source {
+            Ok(s) => s,
             Err(msg) => {
                 eprintln!("lalrcex: {label}: {msg}");
                 failed += 1;
@@ -826,10 +880,10 @@ fn run_batch(args: Vec<String>) -> ExitCode {
                 continue;
             }
         };
-        let request = analysis_request(text, &label, &opts, &cancel);
+        let request = analysis_request(source, &label, &opts, &cancel);
         let reply = match session.analyze(&request) {
             Ok(r) => r,
-            Err(Error::Grammar(e)) => {
+            Err(Error::Grammar(e) | Error::YaccParse(e)) => {
                 eprintln!("lalrcex: {label}: {e}");
                 failed += 1;
                 worst = worst.max(2);

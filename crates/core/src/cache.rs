@@ -38,7 +38,22 @@ use crate::error::EngineError;
 
 /// 64-bit FNV-1a over the grammar text: the cache key.
 pub fn content_hash(text: &str) -> u64 {
+    tagged_hash(0, text)
+}
+
+/// The cache key for a grammar behind a non-default frontend: FNV-1a with
+/// the frontend tag folded in before the text. Tag `0` is the default
+/// frontend and hashes identically to [`content_hash`], so existing keys
+/// (and key-exposing surfaces like `entry_stats`) are unchanged; any other
+/// tag salts the stream, keeping byte-identical texts parsed by different
+/// frontends apart. A cross-tag hash collision is handled like any other:
+/// entries are verified against (tag, full text) before being served.
+pub fn tagged_hash(tag: u8, text: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    if tag != 0 {
+        h ^= u64::from(tag);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
     for b in text.as_bytes() {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -78,7 +93,20 @@ impl CachedEngine {
     // beside it) has no safe spelling without an external crate.
     #[allow(unsafe_code)]
     pub fn build(text: &str) -> Result<CachedEngine, BuildError> {
-        let grammar = Box::new(Grammar::parse(text)?);
+        CachedEngine::build_with(text, Grammar::parse)
+    }
+
+    /// [`CachedEngine::build`] with a caller-chosen grammar frontend: any
+    /// pure `text -> Grammar` parse (the yacc frontend, a test stub). The
+    /// cache's purity argument only needs the *pairing* of text and engine
+    /// to be consistent, which holding the parse output next to its input
+    /// text preserves for any deterministic `parse`.
+    #[allow(unsafe_code)]
+    pub fn build_with(
+        text: &str,
+        parse: impl FnOnce(&str) -> Result<Grammar, GrammarError>,
+    ) -> Result<CachedEngine, BuildError> {
+        let grammar = Box::new(parse(text)?);
         // SAFETY: the referent is heap-allocated behind `grammar`, which is
         // private, never exposed mutably, never moved out of, and — by
         // field declaration order — outlives `engine` within this struct.
@@ -175,6 +203,10 @@ pub struct CacheEntryStats {
 
 struct Entry {
     engine: Arc<CachedEngine>,
+    /// The frontend tag the entry was built under (0 = default/DSL):
+    /// verified on every hit alongside the full text, so two frontends
+    /// interpreting byte-identical text never serve each other's engines.
+    tag: u8,
     bytes: usize,
     last_used: u64,
 }
@@ -225,13 +257,29 @@ impl EngineCache {
     /// seen before, built (and inserted) otherwise. The boolean is `true`
     /// on a cache hit.
     pub fn get_or_build(&self, text: &str) -> Result<(Arc<CachedEngine>, bool), BuildError> {
-        let key = content_hash(text);
+        self.get_or_build_with(0, text, Grammar::parse)
+    }
+
+    /// [`EngineCache::get_or_build`] under a caller-chosen grammar
+    /// frontend. `tag` names the frontend (0 = default/DSL; the facade
+    /// assigns the others) and both salts the cache key and is verified on
+    /// hits, so the cache stays correct even when two frontends could
+    /// parse the same bytes differently. `parse` must be a pure function
+    /// of `text` for the given tag — the same contract [`Grammar::parse`]
+    /// already satisfies.
+    pub fn get_or_build_with(
+        &self,
+        tag: u8,
+        text: &str,
+        parse: impl FnOnce(&str) -> Result<Grammar, GrammarError>,
+    ) -> Result<(Arc<CachedEngine>, bool), BuildError> {
+        let key = tagged_hash(tag, text);
         {
             let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(e) = inner.map.get_mut(&key) {
-                if e.engine.text() == text {
+                if e.tag == tag && e.engine.text() == text {
                     e.last_used = tick;
                     let engine = Arc::clone(&e.engine);
                     // The spine memo grows as conflicts are analyzed:
@@ -258,7 +306,7 @@ impl EngineCache {
         // serialize unrelated lookups. Two racing builders of the same text
         // duplicate work; whichever inserts last wins the slot (both
         // engines are valid, being pure functions of the text).
-        let engine = Arc::new(CachedEngine::build(text)?);
+        let engine = Arc::new(CachedEngine::build_with(text, parse)?);
         let bytes = engine.engine().estimated_bytes();
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
@@ -267,6 +315,7 @@ impl EngineCache {
             key,
             Entry {
                 engine: Arc::clone(&engine),
+                tag,
                 bytes,
                 last_used: tick,
             },
@@ -308,10 +357,16 @@ impl EngineCache {
     /// `Arc` keep the evicted engine alive until they drop, as with any
     /// eviction.
     pub fn evict_text(&self, text: &str) -> bool {
-        let key = content_hash(text);
+        self.evict_text_with(0, text)
+    }
+
+    /// [`EngineCache::evict_text`] under a frontend tag: only the entry
+    /// built from exactly (`tag`, `text`) is dropped.
+    pub fn evict_text_with(&self, tag: u8, text: &str) -> bool {
+        let key = tagged_hash(tag, text);
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match inner.map.get(&key) {
-            Some(e) if e.engine.text() == text => {}
+            Some(e) if e.tag == tag && e.engine.text() == text => {}
             _ => return false,
         }
         if let Some(e) = inner.map.remove(&key) {
@@ -504,5 +559,52 @@ mod tests {
     fn content_hash_is_stable_and_text_sensitive() {
         assert_eq!(content_hash("abc"), content_hash("abc"));
         assert_ne!(content_hash("abc"), content_hash("abd"));
+    }
+
+    #[test]
+    fn tag_zero_hashes_identically_to_content_hash() {
+        assert_eq!(tagged_hash(0, EXPR), content_hash(EXPR));
+        assert_ne!(tagged_hash(1, EXPR), content_hash(EXPR));
+        assert_ne!(tagged_hash(1, EXPR), tagged_hash(2, EXPR));
+    }
+
+    #[test]
+    fn same_text_under_different_tags_coexists() {
+        let cache = EngineCache::with_budget_mb(64);
+        let (a, hit_a) = cache.get_or_build_with(0, EXPR, Grammar::parse).unwrap();
+        let (b, hit_b) = cache.get_or_build_with(7, EXPR, Grammar::parse).unwrap();
+        assert!(!hit_a && !hit_b, "different tags never share an entry");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 2);
+        // Each tag hits its own entry on the way back.
+        let (a2, hit_a2) = cache.get_or_build_with(0, EXPR, Grammar::parse).unwrap();
+        let (b2, hit_b2) = cache.get_or_build_with(7, EXPR, Grammar::parse).unwrap();
+        assert!(hit_a2 && hit_b2);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert!(Arc::ptr_eq(&b, &b2));
+    }
+
+    #[test]
+    fn evict_by_tag_leaves_the_other_frontend_warm() {
+        let cache = EngineCache::with_budget_mb(64);
+        cache.get_or_build_with(0, EXPR, Grammar::parse).unwrap();
+        cache.get_or_build_with(7, EXPR, Grammar::parse).unwrap();
+        assert!(!cache.evict_text_with(3, EXPR), "absent tag evicts nothing");
+        assert!(cache.evict_text_with(7, EXPR));
+        let (_, dsl_hit) = cache.get_or_build_with(0, EXPR, Grammar::parse).unwrap();
+        assert!(dsl_hit, "tag-0 entry untouched");
+        let (_, yacc_hit) = cache.get_or_build_with(7, EXPR, Grammar::parse).unwrap();
+        assert!(!yacc_hit, "tagged entry rebuilds after its eviction");
+    }
+
+    #[test]
+    fn build_with_uses_the_caller_frontend() {
+        // A stub frontend that ignores the text entirely: the cache must
+        // pair the engine with the *stub's* output, not `Grammar::parse`.
+        let stub = |_: &str| Grammar::parse(FIG1);
+        let cache = EngineCache::with_budget_mb(64);
+        let (e, _) = cache.get_or_build_with(9, "unparseable ! @", stub).unwrap();
+        assert!(e.grammar().symbol_named("stmt").is_some());
+        assert_eq!(e.text(), "unparseable ! @");
     }
 }

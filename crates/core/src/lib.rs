@@ -56,7 +56,7 @@ mod state_graph;
 pub mod stats;
 pub mod validate;
 
-pub use cache::{content_hash, BuildError, CacheStats, CachedEngine, EngineCache};
+pub use cache::{content_hash, tagged_hash, BuildError, CacheStats, CachedEngine, EngineCache};
 pub use cancel::{
     CancelReason, CancelToken, GovernorLease, MemoryGovernor, SearchSession, ShardBudget,
 };

@@ -1,0 +1,1177 @@
+//! A Yacc/Bison grammar frontend.
+//!
+//! Parses the POSIX-yacc subset that real-world `.y` files rely on into
+//! the same [`GrammarBuilder`] the native DSL feeds, with 1-based source
+//! lines preserved on every token declaration, precedence level, and
+//! production — so lints and provenance chains point at real `.y` lines:
+//!
+//! * `%token`/`%term`, `%left`/`%right`/`%nonassoc`/`%precedence`,
+//!   `%start`, `%prec`, `|` alternatives, `%empty` and bare epsilon rules;
+//! * literal tokens (`'+'`, `"<="`), token numbers (`%token NUM 257`,
+//!   ignored), and `<type>` tags (ignored);
+//! * `%{ ... %}` prologue blocks, `{ ... }` semantic actions, and
+//!   `%union { ... }` payload blocks, all stripped with
+//!   brace/string/comment-aware scanning (the payload *semantics* — types,
+//!   `$$`/`$n` — are ignored: conflict structure does not depend on them);
+//! * `%%`-delimited sections; everything after the second `%%` (the C
+//!   epilogue) is ignored;
+//! * declaration-only directives (`%type`, `%expect`, `%define`, `%code`,
+//!   `%parse-param`, …) accepted and ignored.
+//!
+//! Deliberately **rejected**, with structured errors naming the line:
+//!
+//! * **mid-rule actions** (`a : b { f(); } c ;`) — they desugar to an
+//!   extra nonterminal in yacc and would silently change the automaton;
+//!   refactor the action into its own rule;
+//! * unknown `%` directives (typo safety, same policy as the DSL).
+//!
+//! Escape sequences in literals keep the raw character after the
+//! backslash (`'\n'` names the terminal `n`), mirroring the DSL lexer so
+//! a grammar and its DSL twin intern identical symbol names.
+//!
+//! [`looks_like_yacc`] is the content sniffer behind the API's `Auto`
+//! format: it looks for markers that cannot appear in the DSL (a `%{`
+//! block, an unquoted `{`, a second `%%`, a yacc-only directive, or
+//! `%token <`), scanning outside comments and quoted literals.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use lalrcex_grammar::{Assoc, Grammar, GrammarBuilder, GrammarError};
+
+/// A structured yacc frontend error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum YaccError {
+    /// The text is not well-formed yacc input.
+    Syntax {
+        /// 1-based source line.
+        line: u32,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A recognized yacc feature this frontend deliberately rejects.
+    Unsupported {
+        /// 1-based source line.
+        line: u32,
+        /// The rejected feature (e.g. `mid-rule action`).
+        feature: String,
+        /// How to rewrite the grammar without it.
+        hint: &'static str,
+    },
+    /// The rules were well-formed yacc but semantically invalid as a
+    /// grammar (a token on a left-hand side, a structural cap, …).
+    Grammar(GrammarError),
+}
+
+impl fmt::Display for YaccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YaccError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            YaccError::Unsupported {
+                line,
+                feature,
+                hint,
+            } => write!(
+                f,
+                "line {line}: unsupported yacc feature: {feature} ({hint})"
+            ),
+            YaccError::Grammar(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for YaccError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            YaccError::Grammar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Collapses a [`YaccError`] into the grammar crate's error type, so the
+/// yacc frontend can slot anywhere a DSL parse does (the engine cache, the
+/// API facade). Syntax and unsupported-feature errors become
+/// [`GrammarError::Parse`] with the yacc line; semantic errors pass
+/// through unchanged.
+impl From<YaccError> for GrammarError {
+    fn from(e: YaccError) -> GrammarError {
+        match e {
+            YaccError::Syntax { line, msg } => GrammarError::Parse { line, msg },
+            YaccError::Unsupported {
+                line,
+                feature,
+                hint,
+            } => GrammarError::Parse {
+                line,
+                msg: format!("unsupported yacc feature: {feature} ({hint})"),
+            },
+            YaccError::Grammar(e) => e,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    /// `'+'` or `"<="` — always a terminal.
+    Literal(String),
+    /// A bare integer (a token number in declarations; ignored).
+    Number,
+    /// `%name`.
+    Directive(String),
+    /// `<...>` — a `%union` member tag; ignored.
+    TypeTag,
+    /// `{ ... }` — a semantic action, content stripped.
+    Action,
+    Colon,
+    Pipe,
+    Semi,
+    /// `%%`.
+    Section,
+}
+
+/// Directives whose operands don't tokenize as grammar input (`=`, quoted
+/// versions, dotted values): the lexer swallows the whole line.
+const LINE_DIRECTIVES: &[&str] = &[
+    "define",
+    "name-prefix",
+    "name_prefix",
+    "output",
+    "file-prefix",
+    "language",
+    "skeleton",
+    "require",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    sections_seen: u8,
+    /// Set after the second `%%`: the rest of the file is the C epilogue.
+    done: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            sections_seen: 0,
+            done: false,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> YaccError {
+        YaccError::Syntax {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn err_at(&self, line: u32, msg: impl Into<String>) -> YaccError {
+        YaccError::Syntax {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), YaccError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.err_at(start, "unterminated /* comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Skips a quoted literal inside C code (strings and char constants in
+    /// actions/prologues), tolerating a dangling backslash at EOF.
+    fn skip_c_quote(&mut self, quote: u8) {
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                // A raw newline ends a (malformed) C literal: apostrophes
+                // in prose comments must not swallow the rest of the file.
+                c if c == quote || c == b'\n' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a brace-balanced `{ ... }` block (a semantic action or a
+    /// `%union` payload), aware of C strings, char constants, and both
+    /// comment styles. The opening `{` is already consumed.
+    fn skip_braced(&mut self, start: u32) -> Result<(), YaccError> {
+        let mut depth = 1usize;
+        loop {
+            match self.bump() {
+                Some(b'{') => depth += 1,
+                Some(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(q @ (b'"' | b'\'')) => self.skip_c_quote(q),
+                Some(b'/') if self.peek() == Some(b'/') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek() == Some(b'*') => {
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(self.err_at(start, "unterminated comment in action"))
+                            }
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.err_at(start, "unterminated `{ ... }` block")),
+            }
+        }
+    }
+
+    /// Consumes a `%{ ... %}` prologue. The `%{` is already consumed.
+    fn skip_prologue(&mut self, start: u32) -> Result<(), YaccError> {
+        loop {
+            match self.bump() {
+                Some(b'%') if self.peek() == Some(b'}') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(q @ (b'"' | b'\'')) => self.skip_c_quote(q),
+                Some(b'/') if self.peek() == Some(b'/') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek() == Some(b'*') => {
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(self.err_at(start, "unterminated comment in `%{` block"))
+                            }
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.err_at(start, "unterminated `%{ ... %}` block")),
+            }
+        }
+    }
+
+    fn is_ident_start(c: u8) -> bool {
+        c.is_ascii_alphabetic() || c == b'_'
+    }
+
+    /// Identifier continuation: yacc names plus the DSL's `-`/`.` so a
+    /// grammar and its DSL twin intern identical symbol names.
+    fn is_ident_byte(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'-')
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(Tok, u32)>, YaccError> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                return Ok(None);
+            };
+            let tok = match c {
+                b':' => {
+                    self.bump();
+                    Tok::Colon
+                }
+                b'|' => {
+                    self.bump();
+                    Tok::Pipe
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b'{' => {
+                    self.bump();
+                    self.skip_braced(line)?;
+                    Tok::Action
+                }
+                b'<' => {
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'>') => break,
+                            Some(b'\n') | None => {
+                                return Err(self.err_at(line, "unterminated `<type>` tag"))
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    Tok::TypeTag
+                }
+                b'%' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'%') => {
+                            self.bump();
+                            self.sections_seen += 1;
+                            if self.sections_seen >= 2 {
+                                // The C epilogue: ignore the rest.
+                                self.done = true;
+                                return Ok(None);
+                            }
+                            Tok::Section
+                        }
+                        Some(b'{') => {
+                            self.bump();
+                            self.skip_prologue(line)?;
+                            continue;
+                        }
+                        _ => {
+                            let mut name = String::new();
+                            while let Some(c) = self.peek() {
+                                if c.is_ascii_alphanumeric() || c == b'-' || c == b'_' {
+                                    self.bump();
+                                    name.push(c as char);
+                                } else {
+                                    break;
+                                }
+                            }
+                            if name.is_empty() {
+                                return Err(self.err("expected directive name after `%`"));
+                            }
+                            if LINE_DIRECTIVES.contains(&name.as_str()) {
+                                // Operands (`=`, strings, dotted values)
+                                // don't tokenize; swallow the line.
+                                while let Some(c) = self.bump() {
+                                    if c == b'\n' {
+                                        break;
+                                    }
+                                }
+                                continue;
+                            }
+                            Tok::Directive(name)
+                        }
+                    }
+                }
+                b'\'' | b'"' => {
+                    let quote = c;
+                    self.bump();
+                    let mut name = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(c) if c == quote => break,
+                            // DSL-compatible escape handling: keep the raw
+                            // character after the backslash.
+                            Some(b'\\') => match self.bump() {
+                                Some(c) => name.push(c as char),
+                                None => return Err(self.err_at(line, "unterminated literal")),
+                            },
+                            Some(c) => name.push(c as char),
+                            None => return Err(self.err_at(line, "unterminated literal")),
+                        }
+                    }
+                    if name.is_empty() {
+                        return Err(self.err_at(line, "empty literal"));
+                    }
+                    Tok::Literal(name)
+                }
+                c if c.is_ascii_digit() => {
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                        self.bump();
+                    }
+                    Tok::Number
+                }
+                c if Self::is_ident_start(c) => {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if Self::is_ident_byte(c) {
+                            self.bump();
+                            name.push(c as char);
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Ident(name)
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "unexpected character `{}` (in yacc input, operator tokens \
+                         are quoted: '{}')",
+                        other as char, other as char
+                    )))
+                }
+            };
+            return Ok(Some((tok, line)));
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    /// Line of the *next* token (clamped to the last token at EOF).
+    fn peek_line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> YaccError {
+        YaccError::Syntax {
+            line: self.peek_line(),
+            msg: msg.into(),
+        }
+    }
+
+    /// Consumes a run of names (idents and literals, `<type>` tags and
+    /// token numbers skipped), calling `each(name, line, is_literal)`.
+    fn name_run(&mut self, mut each: impl FnMut(String, u32, bool)) {
+        loop {
+            match self.peek() {
+                Some(Tok::TypeTag | Tok::Number) => {
+                    self.bump();
+                }
+                Some(Tok::Ident(_)) => {
+                    let line = self.peek_line();
+                    let Some(Tok::Ident(name)) = self.bump() else {
+                        unreachable!("peeked Ident");
+                    };
+                    each(name, line, false);
+                }
+                Some(Tok::Literal(_)) => {
+                    let line = self.peek_line();
+                    let Some(Tok::Literal(name)) = self.bump() else {
+                        unreachable!("peeked Literal");
+                    };
+                    each(name, line, true);
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Parses yacc text into a builder (exposed for tooling that wants to
+/// post-process rules before building).
+pub fn parse_into_builder(text: &str) -> Result<GrammarBuilder, YaccError> {
+    let mut lex = Lexer::new(text);
+    let mut toks = Vec::new();
+    while let Some(t) = lex.next_tok()? {
+        toks.push(t);
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let mut b = GrammarBuilder::new();
+
+    // Declarations.
+    loop {
+        match p.peek() {
+            Some(Tok::Section) => {
+                p.bump();
+                break;
+            }
+            Some(Tok::Directive(_)) => {
+                let decl_line = p.peek_line();
+                let Some(Tok::Directive(d)) = p.bump() else {
+                    unreachable!("peeked Directive");
+                };
+                match d.as_str() {
+                    "token" | "term" => {
+                        p.name_run(|name, line, _| {
+                            b.token_at(&name, line);
+                        });
+                    }
+                    "left" | "right" | "nonassoc" | "precedence" => {
+                        // `%precedence` declares a level with no
+                        // associativity; Nonassoc is the closest fit.
+                        let assoc = match d.as_str() {
+                            "left" => Assoc::Left,
+                            "right" => Assoc::Right,
+                            _ => Assoc::Nonassoc,
+                        };
+                        let mut names = Vec::new();
+                        p.name_run(|name, _, _| names.push(name));
+                        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                        b.prec_level_at(assoc, &refs, decl_line);
+                    }
+                    "start" => match p.bump() {
+                        Some(Tok::Ident(name)) => {
+                            b.start(&name);
+                        }
+                        other => {
+                            return Err(p.err(format!(
+                                "expected start symbol after `%start`, found {other:?}"
+                            )))
+                        }
+                    },
+                    // Type declarations: names acknowledged, types ignored.
+                    "type" | "nterm" => p.name_run(|_, _, _| {}),
+                    "union" => {
+                        // Optional union name (bison), then the payload
+                        // block — accepted, semantics ignored.
+                        if matches!(p.peek(), Some(Tok::Ident(_))) {
+                            p.bump();
+                        }
+                        match p.bump() {
+                            Some(Tok::Action) => {}
+                            other => {
+                                return Err(p.err(format!(
+                                    "expected `{{ ... }}` after `%union`, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    "expect" | "expect-rr" => match p.bump() {
+                        Some(Tok::Number) => {}
+                        other => {
+                            return Err(
+                                p.err(format!("expected a number after `%{d}`, found {other:?}"))
+                            )
+                        }
+                    },
+                    "code" => {
+                        if matches!(p.peek(), Some(Tok::Ident(_))) {
+                            p.bump();
+                        }
+                        match p.bump() {
+                            Some(Tok::Action) => {}
+                            other => {
+                                return Err(p.err(format!(
+                                    "expected `{{ ... }}` after `%code`, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    "parse-param" | "lex-param" | "param" | "initial-action" | "destructor"
+                    | "printer" => {
+                        match p.bump() {
+                            Some(Tok::Action) => {}
+                            other => {
+                                return Err(p.err(format!(
+                                    "expected `{{ ... }}` after `%{d}`, found {other:?}"
+                                )))
+                            }
+                        }
+                        // `%destructor { ... } <ty> sym` trailers.
+                        p.name_run(|_, _, _| {});
+                    }
+                    "pure-parser" | "pure_parser" | "locations" | "debug" | "verbose"
+                    | "defines" | "token-table" | "no-lines" | "error-verbose" | "glr-parser"
+                    | "yacc" => {}
+                    other => {
+                        return Err(YaccError::Unsupported {
+                            line: decl_line,
+                            feature: format!("directive `%{other}`"),
+                            hint: "remove it, or file the grammar as a frontend gap",
+                        })
+                    }
+                }
+            }
+            Some(other) => {
+                return Err(p.err(format!("expected declaration or `%%`, found {other:?}")))
+            }
+            None => return Err(p.err("missing `%%` separator")),
+        }
+    }
+
+    // Rules.
+    loop {
+        let lhs_line = p.peek_line();
+        let lhs = match p.peek() {
+            None => break,
+            Some(Tok::Ident(_)) => {
+                let Some(Tok::Ident(lhs)) = p.bump() else {
+                    unreachable!("peeked Ident");
+                };
+                lhs
+            }
+            Some(other) => return Err(p.err(format!("expected rule name, found {other:?}"))),
+        };
+        match p.bump() {
+            Some(Tok::Colon) => {}
+            other => return Err(p.err(format!("expected `:` after rule name, found {other:?}"))),
+        }
+        let mut first_alt = true;
+        'alts: loop {
+            // One alternative; its span is the line of its first token (the
+            // rule head for the first alternative, matching the DSL).
+            let alt_line = if first_alt { lhs_line } else { p.peek_line() };
+            first_alt = false;
+            let mut rhs: Vec<String> = Vec::new();
+            let mut prec: Option<String> = None;
+            let mut action_line: Option<u32> = None;
+            let mut empty_line: Option<u32> = None;
+            loop {
+                // A trailing action is stripped; an action *followed by
+                // more grammar symbols* is a mid-rule action, which yacc
+                // desugars into a hidden nonterminal — reject it instead
+                // of silently analyzing a different automaton.
+                let mid_rule = |action_line: Option<u32>| {
+                    action_line.map_or(Ok(()), |line| {
+                        Err(YaccError::Unsupported {
+                            line,
+                            feature: "mid-rule action".to_owned(),
+                            hint: "move the action to the end of the alternative, or split \
+                                   the prefix into its own nonterminal",
+                        })
+                    })
+                };
+                let no_empty = |empty_line: Option<u32>, here: u32| {
+                    empty_line.map_or(Ok(()), |line| {
+                        Err(YaccError::Syntax {
+                            line: line.max(here),
+                            msg: "`%empty` must be the alternative's only content".into(),
+                        })
+                    })
+                };
+                match p.peek() {
+                    // An identifier followed by `:` starts the next rule —
+                    // yacc's optional-semicolon form.
+                    Some(Tok::Ident(_)) if matches!(p.peek2(), Some(Tok::Colon)) => break,
+                    Some(Tok::Ident(_)) => {
+                        let here = p.peek_line();
+                        mid_rule(action_line)?;
+                        no_empty(empty_line, here)?;
+                        let Some(Tok::Ident(s)) = p.bump() else {
+                            unreachable!("peeked Ident");
+                        };
+                        rhs.push(s);
+                    }
+                    Some(Tok::Literal(_)) => {
+                        let here = p.peek_line();
+                        mid_rule(action_line)?;
+                        no_empty(empty_line, here)?;
+                        let Some(Tok::Literal(s)) = p.bump() else {
+                            unreachable!("peeked Literal");
+                        };
+                        // Literals are always terminals; declaring them
+                        // surfaces collisions with nonterminal names.
+                        b.token_at(&s, here);
+                        rhs.push(s);
+                    }
+                    Some(Tok::Directive(d)) if d == "empty" => {
+                        let here = p.peek_line();
+                        if !rhs.is_empty() {
+                            return Err(YaccError::Syntax {
+                                line: here,
+                                msg: "`%empty` must be the alternative's only content".into(),
+                            });
+                        }
+                        p.bump();
+                        empty_line = Some(here);
+                    }
+                    Some(Tok::Directive(d)) if d == "prec" => {
+                        p.bump();
+                        prec = Some(match p.bump() {
+                            Some(Tok::Ident(s) | Tok::Literal(s)) => s,
+                            other => {
+                                return Err(p.err(format!(
+                                    "expected terminal after `%prec`, found {other:?}"
+                                )))
+                            }
+                        });
+                    }
+                    Some(Tok::Action) => {
+                        let here = p.peek_line();
+                        if action_line.is_some() {
+                            return Err(YaccError::Unsupported {
+                                line: here,
+                                feature: "mid-rule action".to_owned(),
+                                hint: "an alternative takes a single trailing action",
+                            });
+                        }
+                        p.bump();
+                        action_line = Some(here);
+                    }
+                    Some(Tok::Number) => {
+                        return Err(p.err("unexpected number in a rule body"));
+                    }
+                    Some(Tok::TypeTag) => {
+                        return Err(p.err("unexpected `<type>` tag in a rule body"));
+                    }
+                    _ => break,
+                }
+            }
+            let refs: Vec<&str> = rhs.iter().map(String::as_str).collect();
+            match prec {
+                Some(ps) => {
+                    b.rule_prec_at(&lhs, &refs, &ps, alt_line);
+                }
+                None => {
+                    b.rule_at(&lhs, &refs, alt_line);
+                }
+            }
+            match p.peek() {
+                Some(Tok::Pipe) => {
+                    p.bump();
+                }
+                Some(Tok::Semi) => {
+                    p.bump();
+                    break 'alts;
+                }
+                // Optional semicolon: a new rule head or end of input
+                // terminates the rule.
+                None => break 'alts,
+                Some(Tok::Ident(_)) if matches!(p.peek2(), Some(Tok::Colon)) => break 'alts,
+                Some(other) => {
+                    return Err(p.err(format!("expected `|` or `;` in rule, found {other:?}")))
+                }
+            }
+        }
+    }
+    Ok(b)
+}
+
+/// Parses yacc/bison text into a [`Grammar`], with the full structured
+/// error (see [`YaccError`]).
+pub fn parse_detailed(text: &str) -> Result<Grammar, YaccError> {
+    parse_into_builder(text)?
+        .build()
+        .map_err(YaccError::Grammar)
+}
+
+/// Parses yacc/bison text into a [`Grammar`], collapsing frontend errors
+/// into [`GrammarError`] — the same signature as [`Grammar::parse`], so
+/// the two frontends are interchangeable behind a parse function pointer.
+pub fn parse(text: &str) -> Result<Grammar, GrammarError> {
+    parse_detailed(text).map_err(GrammarError::from)
+}
+
+/// Directives that exist in yacc/bison but not in the DSL: seeing one
+/// (outside comments and literals) marks the text as yacc.
+const YACC_ONLY_DIRECTIVES: &[&str] = &[
+    "union",
+    "type",
+    "nterm",
+    "expect",
+    "expect-rr",
+    "define",
+    "code",
+    "parse-param",
+    "lex-param",
+    "param",
+    "initial-action",
+    "destructor",
+    "printer",
+    "pure-parser",
+    "pure_parser",
+    "locations",
+    "token-table",
+    "no-lines",
+    "error-verbose",
+    "glr-parser",
+    "name-prefix",
+    "name_prefix",
+    "file-prefix",
+    "output",
+    "defines",
+    "verbose",
+    "require",
+    "language",
+    "skeleton",
+    "debug",
+    "precedence",
+    "dprec",
+    "merge",
+    "yacc",
+];
+
+/// Content sniffing for the `Auto` grammar format: `true` when `text`
+/// carries a marker that cannot appear in the DSL — a `%{ ... %}` block,
+/// an unquoted `{` (semantic actions; the DSL only allows quoted brace
+/// literals), a second `%%`, a yacc-only `%` directive, or `%token`
+/// directly followed by a `<type>` tag. Markers are only counted outside
+/// comments (all three styles) and quoted literals, so commented-out C
+/// code cannot flip a DSL grammar.
+#[must_use]
+pub fn looks_like_yacc(text: &str) -> bool {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let mut sections = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i < b.len() && !(b[i] == b'*' && b.get(i + 1) == Some(&b'/')) {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            q @ (b'\'' | b'"') => {
+                i += 1;
+                while i < b.len() && b[i] != q {
+                    i += if b[i] == b'\\' { 2 } else { 1 };
+                }
+                i += 1;
+            }
+            b'{' => return true,
+            b'%' => {
+                i += 1;
+                match b.get(i) {
+                    Some(b'{') => return true,
+                    Some(b'%') => {
+                        sections += 1;
+                        if sections >= 2 {
+                            return true;
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        let start = i;
+                        while i < b.len()
+                            && (b[i].is_ascii_alphanumeric() || b[i] == b'-' || b[i] == b'_')
+                        {
+                            i += 1;
+                        }
+                        let word = &text[start..i];
+                        if YACC_ONLY_DIRECTIVES.contains(&word) {
+                            return true;
+                        }
+                        if word == "token" || word == "term" {
+                            let mut j = i;
+                            while j < b.len() && (b[j] == b' ' || b[j] == b'\t') {
+                                j += 1;
+                            }
+                            if b.get(j) == Some(&b'<') {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REAL_YACC: &str = r#"%{
+#include <stdio.h>
+/* a brace in a comment: { */
+static const char *tag = "also a brace: {";
+static void yyerror(const char *msg);
+%}
+
+%union {
+    int num;
+    char *str;
+}
+
+%token <num> NUM 257
+%token IF THEN ELSE
+%left '+' '-'
+%left '*' '/'
+%nonassoc UMINUS
+%type <num> expr
+%start stmt
+%expect 1
+
+%%
+
+stmt : IF expr THEN stmt ELSE stmt { $$ = mk_if3($2, $4, $6); }
+     | IF expr THEN stmt           { $$ = mk_if2($2, $4); }
+     ;
+expr : NUM                { $$ = $1; }
+     | expr '+' expr      { $$ = $1 + $3; }
+     | '-' expr %prec UMINUS { $$ = -$2; }
+     | %empty             { $$ = 0; }
+     ;
+
+%%
+
+static void yyerror(const char *msg) { fprintf(stderr, "%s\n", msg); }
+int main(void) { return yyparse(); }
+"#;
+
+    #[test]
+    fn parses_a_real_yacc_grammar() {
+        let g = parse(REAL_YACC).unwrap();
+        // 2 stmt + 4 expr + augmented start.
+        assert_eq!(g.prod_count(), 7);
+        assert!(g.is_terminal(g.symbol_named("NUM").unwrap()));
+        assert!(g.is_terminal(g.symbol_named("+").unwrap()));
+        let star = g.terminal_prec(g.symbol_named("*").unwrap()).unwrap();
+        let plus = g.terminal_prec(g.symbol_named("+").unwrap()).unwrap();
+        assert!(star.level > plus.level);
+        assert_eq!(plus.assoc, Assoc::Left);
+    }
+
+    #[test]
+    fn spans_point_at_real_source_lines() {
+        let g = parse(REAL_YACC).unwrap();
+        // `%token IF THEN ELSE` is on line 14 of the file above.
+        assert_eq!(g.decl_line(g.symbol_named("IF").unwrap()), Some(14));
+        assert_eq!(g.decl_line(g.symbol_named("+").unwrap()), Some(15));
+        // The `stmt` rule head is on line 24; its second alternative on 25.
+        let stmt = g.symbol_named("stmt").unwrap();
+        let lines: Vec<Option<u32>> = g.prods_of(stmt).iter().map(|&p| g.prod(p).line()).collect();
+        assert_eq!(lines, vec![Some(24), Some(25)]);
+    }
+
+    #[test]
+    fn matches_its_dsl_twin_symbol_for_symbol() {
+        let dsl = "%token IF THEN ELSE\n\
+                   %left '+' '-'\n\
+                   %left '*' '/'\n\
+                   %nonassoc UMINUS\n\
+                   %start stmt\n\
+                   %%\n\
+                   stmt : IF expr THEN stmt ELSE stmt | IF expr THEN stmt ;\n\
+                   expr : NUM | expr '+' expr | '-' expr %prec UMINUS | %empty ;\n";
+        let d = Grammar::parse(dsl).unwrap();
+        let y = parse(REAL_YACC).unwrap();
+        assert_eq!(d.prod_count() + 1, y.prod_count() + 1);
+        for sym in ["stmt", "expr", "IF", "NUM", "+", "*", "UMINUS"] {
+            assert!(y.symbol_named(sym).is_some(), "missing {sym}");
+        }
+    }
+
+    #[test]
+    fn mid_rule_action_is_a_structured_error() {
+        let err = parse_detailed("%%\na : b { act(); } c ;\n").unwrap_err();
+        match err {
+            YaccError::Unsupported { line, feature, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(feature, "mid-rule action");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // Through the GrammarError funnel the line survives.
+        match parse("%%\na : b { act(); } c ;\n").unwrap_err() {
+            GrammarError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("mid-rule action"), "{msg}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_directive_is_a_structured_error() {
+        match parse_detailed("%frobnicate\n%% s : A ;").unwrap_err() {
+            YaccError::Unsupported { line, feature, .. } => {
+                assert_eq!(line, 1);
+                assert!(feature.contains("frobnicate"));
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_action_with_prec_is_accepted() {
+        let g = parse("%left '-'\n%nonassoc U\n%% e : '-' e %prec U { neg(); } | N ;").unwrap();
+        assert_eq!(g.prod_count(), 3);
+    }
+
+    #[test]
+    fn optional_semicolons_between_rules() {
+        let g = parse("%%\na : b X\nb : Y\n").unwrap();
+        assert_eq!(g.prod_count(), 3);
+        assert!(g.symbol_named("a").is_some());
+    }
+
+    #[test]
+    fn empty_must_stand_alone() {
+        assert!(matches!(
+            parse("%% s : %empty A ;"),
+            Err(GrammarError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("%% s : A %empty ;"),
+            Err(GrammarError::Parse { .. })
+        ));
+        let g = parse("%% s : A s | %empty { $$ = nil(); } ;").unwrap();
+        assert_eq!(g.prod_count(), 3);
+    }
+
+    #[test]
+    fn epilogue_is_ignored() {
+        let g = parse("%% s : A ;\n%%\nthis is ! not ? grammar @ at all").unwrap();
+        assert_eq!(g.prod_count(), 2);
+    }
+
+    #[test]
+    fn line_directives_are_swallowed() {
+        let g = parse(
+            "%define api.value.type {int}\n\
+             %name-prefix \"calc_\"\n\
+             %require \"3.2\"\n\
+             %% s : A ;",
+        )
+        .unwrap();
+        assert_eq!(g.prod_count(), 2);
+    }
+
+    #[test]
+    fn bare_operators_are_rejected_with_a_hint() {
+        match parse("%% e : e + e ;").unwrap_err() {
+            GrammarError::Parse { msg, .. } => assert!(msg.contains("quoted"), "{msg}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_escapes_mirror_the_dsl() {
+        let y = parse("%% s : s '\\n' | '\\\\' ;").unwrap();
+        let d = Grammar::parse("%% s : s '\\n' | '\\\\' ;").unwrap();
+        assert!(y.symbol_named("n").is_some());
+        assert!(d.symbol_named("n").is_some());
+        assert!(y.symbol_named("\\").is_some());
+        assert!(d.symbol_named("\\").is_some());
+    }
+
+    #[test]
+    fn sniffer_classifies_the_corpus_dsl_as_dsl() {
+        for dsl in [
+            "%% e : e '+' e | NUM ;",
+            "# comment with a { brace\n%token A\n%% s : A ;",
+            "%start s\n// action-like comment: { $$ = 1; }\n%% s : 'if' s ;",
+            "%left '+' '-'\n%prec-free : %empty ;",
+            "%% e : e '{' e '}' | NUM ;",
+        ] {
+            assert!(!looks_like_yacc(dsl), "misclassified as yacc: {dsl:?}");
+        }
+    }
+
+    #[test]
+    fn sniffer_spots_yacc_markers() {
+        for y in [
+            REAL_YACC,
+            "%{\nint x;\n%}\n%% s : A ;",
+            "%% s : A { act(); } ;",
+            "%union { int n; }\n%% s : A ;",
+            "%token <num> NUM\n%% s : NUM ;",
+            "%expect 1\n%% s : A ;",
+            "%% s : A ;\n%%\nint main() {}",
+        ] {
+            assert!(looks_like_yacc(y), "missed yacc markers in: {y:?}");
+        }
+    }
+
+    #[test]
+    fn never_panics_on_garbage_prefixes() {
+        // Deterministic cheap smoke (the workspace fuzzers go further).
+        for cut in 0..REAL_YACC.len() {
+            if REAL_YACC.is_char_boundary(cut) {
+                let _ = parse(&REAL_YACC[..cut]);
+                let _ = looks_like_yacc(&REAL_YACC[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn structural_caps_are_shared_with_the_dsl() {
+        use lalrcex_grammar::MAX_RHS_SYMBOLS;
+        let long_rhs = "A ".repeat(MAX_RHS_SYMBOLS + 1);
+        let src = format!("%% s : {long_rhs};");
+        match parse(&src) {
+            Err(GrammarError::Limit { what, actual, .. }) => {
+                assert_eq!(what, "right-hand-side length");
+                assert_eq!(actual, MAX_RHS_SYMBOLS + 1);
+            }
+            other => panic!("expected Limit error, got {other:?}"),
+        }
+    }
+}

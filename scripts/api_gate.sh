@@ -2,7 +2,7 @@
 # Public-API gate for the `lalrcex` facade crate.
 #
 # The deliberate public surface (src/lib.rs, src/api/*, src/service.rs,
-# src/prng.rs) is snapshotted, one declaration per line, into
+# src/build.rs, src/prng.rs) is snapshotted, one declaration per line, into
 # snapshots/public_api.txt. Any drift — a new `pub` item, a changed
 # signature line, a removed re-export — fails the gate until the snapshot
 # is regenerated and the diff reviewed in the same change:
@@ -18,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SNAPSHOT=snapshots/public_api.txt
-FILES=(src/lib.rs src/api/mod.rs src/api/json.rs src/api/report_json.rs src/service.rs src/prng.rs)
+FILES=(src/lib.rs src/api/mod.rs src/api/source.rs src/api/json.rs src/api/report_json.rs src/service.rs src/build.rs src/prng.rs)
 
 extract() {
   for f in "${FILES[@]}"; do

@@ -35,6 +35,10 @@ echo "==> serve protocol + report schema"
 cargo test -q --test serve_proto --test report_schema
 cargo test -q -p lalrcex-cli --test cli
 
+echo "==> yacc frontend differential (committed twins) + build-script example"
+cargo test -q --release --test yacc_differential
+cargo run -q --release --example build_script > /dev/null
+
 echo "==> panic gate (engine non-test code)"
 scripts/panic_gate.sh
 

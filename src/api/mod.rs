@@ -8,11 +8,15 @@
 //!   [engine cache](lalrcex_core::cache::EngineCache): repeated analyses
 //!   of the same grammar text skip automaton/table/state-graph
 //!   construction entirely.
+//! * [`GrammarSource`] — the intake type: grammar text paired with the
+//!   [`GrammarFormat`] that should parse it (the native DSL, the
+//!   yacc/Bison subset, or content-sniffed `Auto` — the default, so plain
+//!   text keeps working unchanged).
 //! * [`AnalysisRequest`] — one analysis, built up fluently (budgets,
 //!   worker count, cancellation token).
 //! * [`Error`] — a single `#[non_exhaustive]` error type unifying grammar
-//!   parse errors, contained engine faults, I/O, protocol, and budget
-//!   violations.
+//!   parse errors (per frontend), contained engine faults, I/O, protocol,
+//!   and budget violations.
 //!
 //! Everything else the crate re-exports (the `grammar`, `lr`, `core`, …
 //! internals) is `#[doc(hidden)]` and *not* covered by the public-API
@@ -32,11 +36,25 @@
 //! assert!(again.cache_hit);
 //! # Ok::<(), lalrcex::api::Error>(())
 //! ```
+//!
+//! An existing yacc/Bison grammar needs no conversion — hand the `.y`
+//! text over as-is (auto-detected, or tagged explicitly):
+//!
+//! ```
+//! use lalrcex::api::{AnalysisRequest, GrammarSource, Session};
+//!
+//! let y = "%% e : e '+' e { $$ = $1 + $3; } | NUM ;";
+//! let reply = Session::new().analyze(&AnalysisRequest::new(GrammarSource::yacc(y)))?;
+//! assert_eq!(reply.report.unifying_count(), 1);
+//! # Ok::<(), lalrcex::api::Error>(())
+//! ```
 
 pub mod json;
 mod report_json;
+mod source;
 
 pub use report_json::{explain_document, report_document, SCHEMA_VERSION};
+pub use source::{GrammarFormat, GrammarSource};
 
 use std::fmt;
 use std::fmt::Write as _;
@@ -55,8 +73,18 @@ use lalrcex_lint::{Diagnostic, Linter};
 #[non_exhaustive]
 #[derive(Debug)]
 pub enum Error {
-    /// The grammar text did not parse.
+    /// The grammar text did not parse (native-DSL frontend).
     Grammar(GrammarError),
+    /// The grammar text did not parse (yacc/Bison frontend). Kept apart
+    /// from [`Error::Grammar`] so protocol clients and build scripts can
+    /// tell "your `.y` file is bad" from "your DSL is bad" — the two
+    /// frontends reject different things (e.g. mid-rule actions).
+    YaccParse(GrammarError),
+    /// A request named a grammar format this build does not understand.
+    UnsupportedFormat {
+        /// The offending format name, verbatim.
+        format: String,
+    },
     /// A contained engine fault (panic caught at a phase boundary, or a
     /// structured engine error).
     Engine(EngineError),
@@ -101,6 +129,11 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Grammar(e) => write!(f, "{e}"),
+            Error::YaccParse(e) => write!(f, "yacc: {e}"),
+            Error::UnsupportedFormat { format } => write!(
+                f,
+                "unsupported grammar format {format:?} (expected dsl, yacc, or auto)"
+            ),
             Error::Engine(e) => write!(f, "{e}"),
             Error::Io(e) => write!(f, "{e}"),
             Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
@@ -129,7 +162,7 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Error::Grammar(e) => Some(e),
+            Error::Grammar(e) | Error::YaccParse(e) => Some(e),
             Error::Engine(e) => Some(e),
             Error::Io(e) => Some(e),
             _ => None,
@@ -169,6 +202,8 @@ impl Error {
     pub fn kind(&self) -> &'static str {
         match self {
             Error::Grammar(_) => "grammar",
+            Error::YaccParse(_) => "yacc_parse",
+            Error::UnsupportedFormat { .. } => "unsupported_format",
             Error::Engine(_) => "internal",
             Error::Io(_) => "io",
             Error::Protocol(_) => "protocol",
@@ -183,7 +218,7 @@ impl Error {
 /// per-conflict limit, 120 s cumulative, one worker per CPU.
 #[derive(Clone, Debug)]
 pub struct AnalysisRequest {
-    grammar: String,
+    source: GrammarSource,
     label: String,
     cfg: CexConfig,
     cancel: Option<CancelToken>,
@@ -191,10 +226,14 @@ pub struct AnalysisRequest {
 }
 
 impl AnalysisRequest {
-    /// A request to analyze `grammar_text` with default limits.
-    pub fn new(grammar_text: impl Into<String>) -> AnalysisRequest {
+    /// A request to analyze `grammar` with default limits. Accepts
+    /// anything that converts to a [`GrammarSource`]: plain text flows in
+    /// as the content-sniffed `Auto` format, so pre-`GrammarSource` call
+    /// sites are unchanged; pass `GrammarSource::yacc(..)` /
+    /// `GrammarSource::dsl(..)` to pin the frontend.
+    pub fn new(grammar: impl Into<GrammarSource>) -> AnalysisRequest {
         AnalysisRequest {
-            grammar: grammar_text.into(),
+            source: grammar.into(),
             label: "<memory>".to_owned(),
             cfg: CexConfig::default(),
             cancel: None,
@@ -262,9 +301,15 @@ impl AnalysisRequest {
         self
     }
 
-    /// The grammar text.
+    /// The grammar source (text + format).
+    pub fn source(&self) -> &GrammarSource {
+        &self.source
+    }
+
+    /// The grammar text (compatibility shim predating
+    /// [`AnalysisRequest::source`]).
     pub fn grammar_text(&self) -> &str {
-        &self.grammar
+        self.source.text()
     }
 
     /// The report label.
@@ -326,6 +371,21 @@ impl AnalysisReply {
             self.engine().tables().resolutions(),
             &self.report,
         )
+    }
+
+    /// Renders the canonical per-conflict text blocks — the same rendering
+    /// the CLI prints and [`crate::build`] embeds in build failures.
+    ///
+    /// Deterministic and byte-identical across runs, worker counts, cache
+    /// temperature, and (for structurally identical grammars) frontends:
+    /// nothing rendered depends on source spans or wall clocks.
+    pub fn render_text(&self) -> String {
+        let g = self.grammar();
+        let mut out = String::new();
+        for r in &self.report.reports {
+            let _ = writeln!(out, "{}", lalrcex_core::format_report(g, r));
+        }
+        out
     }
 }
 
@@ -492,11 +552,26 @@ impl Session {
         self.cache.entry_stats()
     }
 
+    /// Builds (or fetches) the engine for a grammar source. The cache is
+    /// keyed by (frontend, text): the same bytes analyzed as DSL and as
+    /// yacc are distinct entries, and a warm hit is only served to the
+    /// frontend that built it.
+    fn engine_for(&self, source: &GrammarSource) -> Result<(Arc<CachedEngine>, bool), Error> {
+        self.cache
+            .get_or_build_with(source.cache_tag(), source.text(), source.parse_fn())
+            .map_err(|e| match e {
+                BuildError::Grammar(g) if source.resolved_format() == GrammarFormat::Yacc => {
+                    Error::YaccParse(g)
+                }
+                other => other.into(),
+            })
+    }
+
     /// Analyzes every conflict of the request's grammar. The engine comes
-    /// from the session cache when the same text was analyzed before
+    /// from the session cache when the same source was analyzed before
     /// (byte-identical reports either way).
     pub fn analyze(&self, req: &AnalysisRequest) -> Result<AnalysisReply, Error> {
-        let (cached, cache_hit) = self.cache.get_or_build(&req.grammar)?;
+        let (cached, cache_hit) = self.engine_for(&req.source)?;
         let fallback = CancelToken::new();
         let cancel = req.cancel.as_ref().unwrap_or(&fallback);
         let mut report =
@@ -522,7 +597,7 @@ impl Session {
     /// The provenance tables are computed once per cached engine and shared
     /// by later `explain` calls on the same grammar text.
     pub fn explain(&self, req: &AnalysisRequest) -> Result<ExplainReply, Error> {
-        let (cached, cache_hit) = self.cache.get_or_build(&req.grammar)?;
+        let (cached, cache_hit) = self.engine_for(&req.source)?;
         let provenance = cached.engine().provenance()?;
         let fallback = CancelToken::new();
         let cancel = req.cancel.as_ref().unwrap_or(&fallback);
@@ -544,14 +619,17 @@ impl Session {
         })
     }
 
-    /// Drops the cached engine for exactly `grammar_text`, if resident.
+    /// Drops the cached engine for exactly this source — same text *and*
+    /// same resolved frontend — if resident.
     ///
     /// The fault-retry supervision hook: after a contained fault that may
     /// have hit an engine's precomputation or lazily built state, evicting
     /// guarantees the retry rebuilds from scratch — a possibly poisoned
     /// engine is never re-served. Returns `true` when an entry was dropped.
-    pub fn evict(&self, grammar_text: &str) -> bool {
-        self.cache.evict_text(grammar_text)
+    pub fn evict(&self, grammar: impl Into<GrammarSource>) -> bool {
+        let source = grammar.into();
+        self.cache
+            .evict_text_with(source.cache_tag(), source.text())
     }
 
     /// Fault-retry supervision over an [`AnalysisReply`]: re-runs, once,
@@ -579,9 +657,11 @@ impl Session {
     }
 
     /// Runs every lint pass over the grammar, reusing a cached engine (and
-    /// its memoized spines) when one exists.
-    pub fn lint(&self, grammar_text: &str) -> Result<LintReply, Error> {
-        let (cached, cache_hit) = self.cache.get_or_build(grammar_text)?;
+    /// its memoized spines) when one exists. Lints on a yacc source report
+    /// spans pointing at the real `.y` lines.
+    pub fn lint(&self, grammar: impl Into<GrammarSource>) -> Result<LintReply, Error> {
+        let source = grammar.into();
+        let (cached, cache_hit) = self.engine_for(&source)?;
         let diagnostics = Linter::new().run(cached.engine());
         Ok(LintReply {
             cached,

@@ -1,0 +1,238 @@
+//! Grammar intake: text plus the frontend that should parse it.
+//!
+//! Every entry point that accepts grammar text ([`crate::api::Session`],
+//! the CLI, the serve protocol, [`crate::build`]) takes a
+//! [`GrammarSource`]: the text paired with a [`GrammarFormat`]. The
+//! default format is [`GrammarFormat::Auto`], which sniffs the content
+//! (see [`lalrcex_yacc::looks_like_yacc`] for the exact markers), so
+//! plain-text callers keep working unchanged — `"...".into()` or
+//! `GrammarSource::auto(text)` — while `.y` files light up the yacc
+//! frontend with no extra ceremony.
+
+use lalrcex_grammar::{Grammar, GrammarError};
+
+/// Which frontend parses a grammar's text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GrammarFormat {
+    /// The native DSL (`crates/grammar`).
+    Dsl,
+    /// The POSIX-yacc/Bison subset (`crates/yacc`).
+    Yacc,
+    /// Decide by content sniffing (the default): yacc when the text
+    /// carries a marker the DSL cannot produce — a `%{ %}` block, an
+    /// unquoted `{` action, a second `%%`, a yacc-only `%` directive, or
+    /// `%token <type>` — and the DSL otherwise.
+    #[default]
+    Auto,
+}
+
+impl GrammarFormat {
+    /// Parses a protocol/CLI format name. Stable names: `dsl`, `yacc`,
+    /// `auto`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<GrammarFormat> {
+        match name {
+            "dsl" => Some(GrammarFormat::Dsl),
+            "yacc" => Some(GrammarFormat::Yacc),
+            "auto" => Some(GrammarFormat::Auto),
+            _ => None,
+        }
+    }
+
+    /// The stable protocol/CLI name (`from_name`'s inverse).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GrammarFormat::Dsl => "dsl",
+            GrammarFormat::Yacc => "yacc",
+            GrammarFormat::Auto => "auto",
+        }
+    }
+
+    /// The format a file extension vouches for: `.y`/`.yacc`/`.yy`/`.ypp`
+    /// → [`GrammarFormat::Yacc`], anything else → [`GrammarFormat::Auto`]
+    /// (content sniffing still applies, so a `.y` grammar renamed to
+    /// `.txt` keeps working).
+    #[must_use]
+    pub fn for_path(path: &std::path::Path) -> GrammarFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("y" | "yacc" | "yy" | "ypp") => GrammarFormat::Yacc,
+            _ => GrammarFormat::Auto,
+        }
+    }
+}
+
+/// Grammar text paired with the frontend that should parse it — the
+/// intake type of the whole API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GrammarSource {
+    text: String,
+    format: GrammarFormat,
+}
+
+impl GrammarSource {
+    /// A source with an explicit format.
+    pub fn new(text: impl Into<String>, format: GrammarFormat) -> GrammarSource {
+        GrammarSource {
+            text: text.into(),
+            format,
+        }
+    }
+
+    /// Text in the native DSL.
+    pub fn dsl(text: impl Into<String>) -> GrammarSource {
+        GrammarSource::new(text, GrammarFormat::Dsl)
+    }
+
+    /// Text in the yacc/Bison subset.
+    pub fn yacc(text: impl Into<String>) -> GrammarSource {
+        GrammarSource::new(text, GrammarFormat::Yacc)
+    }
+
+    /// Text whose format is sniffed from its content.
+    pub fn auto(text: impl Into<String>) -> GrammarSource {
+        GrammarSource::new(text, GrammarFormat::Auto)
+    }
+
+    /// `text` tagged with the format its file extension vouches for
+    /// (`.y` and friends → yacc, anything else → content sniffing).
+    pub fn from_path_text(path: &std::path::Path, text: impl Into<String>) -> GrammarSource {
+        GrammarSource::new(text, GrammarFormat::for_path(path))
+    }
+
+    /// The grammar text.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The declared format (possibly [`GrammarFormat::Auto`]; see
+    /// [`GrammarSource::resolved_format`] for the sniffed answer).
+    #[must_use]
+    pub fn format(&self) -> GrammarFormat {
+        self.format
+    }
+
+    /// The same text under a different format.
+    #[must_use]
+    pub fn with_format(mut self, format: GrammarFormat) -> GrammarSource {
+        self.format = format;
+        self
+    }
+
+    /// The concrete frontend after sniffing: never
+    /// [`GrammarFormat::Auto`].
+    #[must_use]
+    pub fn resolved_format(&self) -> GrammarFormat {
+        match self.format {
+            GrammarFormat::Auto => {
+                if lalrcex_yacc::looks_like_yacc(&self.text) {
+                    GrammarFormat::Yacc
+                } else {
+                    GrammarFormat::Dsl
+                }
+            }
+            f => f,
+        }
+    }
+
+    /// The engine-cache frontend tag for the resolved format. The DSL is
+    /// tag 0 so DSL cache keys (and warm entries) are identical to the
+    /// pre-`GrammarSource` scheme.
+    pub(crate) fn cache_tag(&self) -> u8 {
+        match self.resolved_format() {
+            GrammarFormat::Dsl => 0,
+            GrammarFormat::Yacc => 1,
+            GrammarFormat::Auto => unreachable!("resolved_format never returns Auto"),
+        }
+    }
+
+    /// The resolved frontend's parse function.
+    pub(crate) fn parse_fn(&self) -> fn(&str) -> Result<Grammar, GrammarError> {
+        match self.resolved_format() {
+            GrammarFormat::Dsl => Grammar::parse,
+            GrammarFormat::Yacc => lalrcex_yacc::parse,
+            GrammarFormat::Auto => unreachable!("resolved_format never returns Auto"),
+        }
+    }
+}
+
+// Plain text flows in as `Auto`: existing `AnalysisRequest::new("...")`
+// call sites keep compiling and — because the sniffer only fires on
+// markers the DSL cannot produce — keep meaning the DSL.
+impl From<&str> for GrammarSource {
+    fn from(text: &str) -> GrammarSource {
+        GrammarSource::auto(text)
+    }
+}
+
+impl From<String> for GrammarSource {
+    fn from(text: String) -> GrammarSource {
+        GrammarSource::auto(text)
+    }
+}
+
+impl From<&String> for GrammarSource {
+    fn from(text: &String) -> GrammarSource {
+        GrammarSource::auto(text.clone())
+    }
+}
+
+impl From<&GrammarSource> for GrammarSource {
+    fn from(src: &GrammarSource) -> GrammarSource {
+        src.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for f in [GrammarFormat::Dsl, GrammarFormat::Yacc, GrammarFormat::Auto] {
+            assert_eq!(GrammarFormat::from_name(f.name()), Some(f));
+        }
+        assert_eq!(GrammarFormat::from_name("bison"), None);
+    }
+
+    #[test]
+    fn extensions_vouch_for_yacc() {
+        use std::path::Path;
+        assert_eq!(
+            GrammarFormat::for_path(Path::new("grammar.y")),
+            GrammarFormat::Yacc
+        );
+        assert_eq!(
+            GrammarFormat::for_path(Path::new("dir.y/grammar.cex")),
+            GrammarFormat::Auto
+        );
+        assert_eq!(
+            GrammarFormat::for_path(Path::new("grammar")),
+            GrammarFormat::Auto
+        );
+    }
+
+    #[test]
+    fn auto_resolves_by_content() {
+        assert_eq!(
+            GrammarSource::auto("%% e : e '+' e | NUM ;").resolved_format(),
+            GrammarFormat::Dsl
+        );
+        assert_eq!(
+            GrammarSource::auto("%union { int n; }\n%% e : NUM ;").resolved_format(),
+            GrammarFormat::Yacc
+        );
+        // Explicit formats are never second-guessed.
+        assert_eq!(
+            GrammarSource::dsl("%% anything").resolved_format(),
+            GrammarFormat::Dsl
+        );
+    }
+
+    #[test]
+    fn dsl_cache_tag_is_the_legacy_tag() {
+        assert_eq!(GrammarSource::dsl("%% e : A ;").cache_tag(), 0);
+        assert_eq!(GrammarSource::yacc("%% e : A ;").cache_tag(), 1);
+    }
+}

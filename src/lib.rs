@@ -14,6 +14,13 @@
 //! # Ok::<(), lalrcex::Error>(())
 //! ```
 //!
+//! Grammars don't have to be written in the native DSL: the API's intake
+//! is a [`GrammarSource`] (text + [`GrammarFormat`]), and existing
+//! yacc/Bison files are parsed as-is — auto-detected or pinned with
+//! `GrammarSource::yacc(..)`. For parser-generator build scripts,
+//! [`build`] boils the detect-conflicts-and-fail-the-build workflow down
+//! to one call ([`build::verify`]).
+//!
 //! [`service`] implements the JSON-Lines request/response protocol behind
 //! `lalrcex serve` and `lalrcex batch`; [`prng`] is the workspace's small
 //! deterministic PRNG (used by tests and benches).
@@ -27,10 +34,13 @@
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod build;
 pub mod prng;
 pub mod service;
 
-pub use api::{AnalysisReply, AnalysisRequest, Error, LintReply, Session};
+pub use api::{
+    AnalysisReply, AnalysisRequest, Error, GrammarFormat, GrammarSource, LintReply, Session,
+};
 
 #[doc(hidden)]
 pub use lalrcex_baselines as baselines;
@@ -46,3 +56,5 @@ pub use lalrcex_grammar as grammar;
 pub use lalrcex_lint as lint;
 #[doc(hidden)]
 pub use lalrcex_lr as lr;
+#[doc(hidden)]
+pub use lalrcex_yacc as yacc;

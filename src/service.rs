@@ -9,8 +9,8 @@
 //!
 //! ```text
 //! {"op":"analyze","id":"r1","grammar":"%% ...","file":"g.y",
-//!  "time_limit_ms":5000,"total_limit_ms":120000,"workers":0,
-//!  "extended":false,"max_live_mb":0,"deadline_ms":0}
+//!  "format":"auto","time_limit_ms":5000,"total_limit_ms":120000,
+//!  "workers":0,"extended":false,"max_live_mb":0,"deadline_ms":0}
 //! {"op":"explain","id":"r2","grammar":"%% ...","file":"g.y"}
 //! {"op":"lint","id":"r3","grammar":"%% ...","file":"g.y"}
 //! {"op":"cancel","id":"r4","target":"r1"}
@@ -18,6 +18,15 @@
 //! {"op":"health","id":"r6"}
 //! {"op":"shutdown","id":"r7"}
 //! ```
+//!
+//! `analyze`, `explain`, and `lint` accept an optional `format` member
+//! naming the grammar frontend — `"dsl"`, `"yacc"`, or `"auto"` (the
+//! default when absent: content sniffing, see
+//! [`crate::api::GrammarFormat`]). An unknown or non-string `format`
+//! answers with a structured `unsupported_format` error that echoes the
+//! offending value. The member is additive — version-1 clients that never
+//! send it see byte-identical behavior — so the protocol stays at
+//! version 1.
 //!
 //! Every response line carries `protocol:1`, the request `id` (`null`
 //! when the request was too malformed to have one), and `ok`. `analyze`
@@ -101,7 +110,7 @@ use lalrcex_core::{contain, CancelReason, CancelToken};
 use lalrcex_lint::{Diagnostic, Severity};
 
 use crate::api::json::{self, obj, Json};
-use crate::api::{AnalysisRequest, Error, Session};
+use crate::api::{AnalysisRequest, Error, GrammarFormat, GrammarSource, Session};
 
 /// The protocol version stamped on every response line.
 pub const PROTOCOL_VERSION: u32 = 1;
@@ -361,10 +370,40 @@ fn read_line_bounded<R: BufRead>(
     }
 }
 
+/// Reads a request's optional `format` member: absent means `auto`;
+/// an unknown name or a non-string value is an error carrying the
+/// offending value's rendering (for the structured response).
+fn request_format(req: &Json) -> Result<GrammarFormat, String> {
+    match req.get("format") {
+        None | Some(Json::Null) => Ok(GrammarFormat::Auto),
+        Some(Json::Str(name)) => GrammarFormat::from_name(name).ok_or_else(|| name.clone()),
+        Some(other) => Err(other.to_string()),
+    }
+}
+
+/// The structured rejection for an unknown `format` member: kind
+/// `unsupported_format`, echoing the offending value so clients can log
+/// it without re-parsing their own request.
+fn unsupported_format_response(id: Option<&str>, format: &str) -> Json {
+    let err = Error::UnsupportedFormat {
+        format: format.to_owned(),
+    };
+    envelope(id, false)
+        .push(
+            "error",
+            obj()
+                .push("kind", Json::str(err.kind()))
+                .push("message", Json::str(err.to_string()))
+                .push("format", Json::str(format))
+                .build(),
+        )
+        .build()
+}
+
 /// Extracts the per-request analysis settings from a parsed request.
 fn analysis_request(
     req: &Json,
-    grammar: String,
+    grammar: GrammarSource,
     workers_cap: usize,
     deadline: Option<Instant>,
 ) -> AnalysisRequest {
@@ -426,8 +465,16 @@ fn handle_analyze<W: Write>(
         );
         return;
     };
-    let request = analysis_request(req, grammar.to_owned(), shared.worker_share(), deadline)
-        .cancel_token(cancel.clone());
+    let format = match request_format(req) {
+        Ok(f) => f,
+        Err(bad) => {
+            shared.respond(unsupported_format_response(Some(id), &bad), false);
+            return;
+        }
+    };
+    let source = GrammarSource::new(grammar, format);
+    let request =
+        analysis_request(req, source, shared.worker_share(), deadline).cancel_token(cancel.clone());
     let started = Instant::now();
     // Containment on top of the engine's per-phase boundaries: whatever a
     // faulted request does, the serve loop answers and keeps going.
@@ -441,7 +488,7 @@ fn handle_analyze<W: Write>(
     // before the one supervised re-run — a possibly poisoned engine is
     // never re-served.
     if matches!(outcome, Ok(Err(Error::Engine(_))) | Err(_)) && !cancel.is_hard_cancelled() {
-        shared.session.evict(grammar);
+        shared.session.evict(request.source());
         shared
             .counters
             .request_retries
@@ -511,8 +558,16 @@ fn handle_explain<W: Write>(
         );
         return;
     };
-    let request = analysis_request(req, grammar.to_owned(), shared.worker_share(), deadline)
-        .cancel_token(cancel.clone());
+    let format = match request_format(req) {
+        Ok(f) => f,
+        Err(bad) => {
+            shared.respond(unsupported_format_response(Some(id), &bad), false);
+            return;
+        }
+    };
+    let source = GrammarSource::new(grammar, format);
+    let request =
+        analysis_request(req, source, shared.worker_share(), deadline).cancel_token(cancel.clone());
     let started = Instant::now();
     let mut outcome = contain("serve.request", || {
         lalrcex_core::fail_point!("serve.request");
@@ -522,7 +577,7 @@ fn handle_explain<W: Write>(
     // provenance errors are never memoized, and evicting the entry
     // guarantees the retry rebuilds every table from scratch.
     if matches!(outcome, Ok(Err(Error::Engine(_))) | Err(_)) && !cancel.is_hard_cancelled() {
-        shared.session.evict(grammar);
+        shared.session.evict(request.source());
         shared
             .counters
             .request_retries
@@ -598,19 +653,27 @@ fn handle_lint<W: Write>(shared: &Shared<W>, id: &str, req: &Json, deadline: Opt
         );
         return;
     };
+    let format = match request_format(req) {
+        Ok(f) => f,
+        Err(bad) => {
+            shared.respond(unsupported_format_response(Some(id), &bad), false);
+            return;
+        }
+    };
+    let source = GrammarSource::new(grammar, format);
     let mut outcome = contain("serve.request", || {
         lalrcex_core::fail_point!("serve.request");
-        shared.session.lint(grammar)
+        shared.session.lint(&source)
     });
     if matches!(outcome, Ok(Err(Error::Engine(_))) | Err(_)) {
-        shared.session.evict(grammar);
+        shared.session.evict(&source);
         shared
             .counters
             .request_retries
             .fetch_add(1, Ordering::Relaxed);
         outcome = contain("serve.request", || {
             lalrcex_core::fail_point!("serve.request");
-            shared.session.lint(grammar)
+            shared.session.lint(&source)
         });
     }
     match outcome {

@@ -177,3 +177,177 @@ fn rhs_length_cap_is_enforced() {
     };
     assert!(e.to_string().contains("right-hand-side length limit"));
 }
+
+// ---------------------------------------------------------------------------
+// Yacc frontend fuzzing: same trust boundary, second parser. The `.y`
+// intake reaches `lalrcex_yacc::parse` with arbitrary user files (and,
+// via `format:"auto"`, with arbitrary *sniffed* files), so it carries the
+// same contract as the DSL parser: `Ok` or a structured error, never a
+// panic, never an unmetered blowup past the shared structural caps.
+
+/// `lalrcex::yacc::parse` must return, not unwind. The sniffer runs on
+/// the same input first — `Auto` intake sniffs before parsing, so both
+/// must hold up together.
+fn yacc_must_not_panic(input: &str, what: &str) {
+    let owned = input.to_owned();
+    let result = std::panic::catch_unwind(move || {
+        let _ = lalrcex::yacc::looks_like_yacc(&owned);
+        let _ = lalrcex::yacc::parse(&owned);
+    });
+    assert!(
+        result.is_ok(),
+        "yacc frontend panicked on {what}: {input:?}"
+    );
+}
+
+#[test]
+fn yacc_byte_soup_never_panics() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift::new(seed ^ 0x5EED_CAFE);
+        let len = rng.gen_range(256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(256) as u8).collect();
+        let lossy = String::from_utf8_lossy(&bytes).into_owned();
+        yacc_must_not_panic(&lossy, &format!("yacc byte soup seed {seed}"));
+        let ascii: String = bytes.iter().map(|&b| (32 + b % 95) as char).collect();
+        yacc_must_not_panic(&ascii, &format!("yacc ascii soup seed {seed}"));
+    }
+}
+
+#[test]
+fn yacc_token_soup_never_panics() {
+    // The yacc surface on top of the DSL vocabulary: prologue fences,
+    // actions, union blocks, type tags, token numbers, and the directives
+    // the frontend swallows line-wise.
+    const VOCAB: &[&str] = &[
+        "%%",
+        "%token",
+        "%term",
+        "%left",
+        "%right",
+        "%nonassoc",
+        "%precedence",
+        "%start",
+        "%prec",
+        "%empty",
+        "%union",
+        "%type",
+        "%expect",
+        "%expect-rr",
+        "%code",
+        "%define",
+        "%name-prefix",
+        "%pure-parser",
+        "%locations",
+        "%{",
+        "%}",
+        "{ $$ = $1; }",
+        "{ if (a) { b(); } }",
+        "{ \"s\" '}' /* } */ }",
+        "{",
+        "}",
+        "<ty>",
+        "<",
+        ">",
+        "42",
+        "'+'",
+        "'\\n'",
+        "'",
+        "\"str\"",
+        ":",
+        "|",
+        ";",
+        "a",
+        "B",
+        "e1",
+        "yy.x",
+        "a-b",
+        "//c\n",
+        "/*",
+        "*/",
+        "\n",
+        "%",
+    ];
+    for seed in 0..128u64 {
+        let mut rng = XorShift::new(seed ^ 0xFACE_FEED);
+        let n = 1 + rng.gen_range(60);
+        let mut s = String::new();
+        for _ in 0..n {
+            s.push_str(VOCAB[rng.gen_range(VOCAB.len())]);
+            if rng.chance(3, 4) {
+                s.push(' ');
+            }
+        }
+        yacc_must_not_panic(&s, &format!("yacc token soup seed {seed}"));
+    }
+}
+
+#[test]
+fn mutated_valid_yacc_never_panics() {
+    let base = "%{\n#include <x.h>\n%}\n\
+                %union { int n; char *s; }\n\
+                %token <n> NUM 257\n\
+                %left '+' '-'\n\
+                %nonassoc UMINUS\n\
+                %start e\n\
+                %%\n\
+                e : NUM { $$ = $1; }\n\
+                  | e '+' e { $$ = $1 + $3; }\n\
+                  | '-' e %prec UMINUS { $$ = -$2; }\n\
+                  | %empty\n\
+                  ;\n\
+                %%\n\
+                int main(void) { return yyparse(); }\n";
+    assert!(lalrcex::yacc::parse(base).is_ok(), "the base twin is valid");
+    for seed in 0..128u64 {
+        let mut rng = XorShift::new(seed.wrapping_mul(0xB529_7A4D));
+        let mut bytes = base.as_bytes().to_vec();
+        match rng.gen_range(3) {
+            0 => {
+                for _ in 0..1 + rng.gen_range(8) {
+                    let i = rng.gen_range(bytes.len());
+                    bytes[i] = (32 + rng.gen_range(95)) as u8;
+                }
+            }
+            1 => bytes.truncate(rng.gen_range(bytes.len())),
+            _ => {
+                let from = rng.gen_range(bytes.len());
+                let len = rng.gen_range(bytes.len() - from);
+                let to = rng.gen_range(bytes.len());
+                let slice: Vec<u8> = bytes[from..from + len].to_vec();
+                let end = (to + slice.len()).min(bytes.len());
+                bytes[to..end].copy_from_slice(&slice[..end - to]);
+            }
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        yacc_must_not_panic(&mutated, &format!("yacc mutation seed {seed}"));
+    }
+}
+
+/// The structural caps are shared with the DSL: a `.y` file cannot smuggle
+/// an oversized grammar past `GrammarBuilder`'s limits, and the error is
+/// the same structured `GrammarError::Limit`.
+#[test]
+fn yacc_shares_the_dsl_structural_caps() {
+    let mut src = String::from("%start n0\n%%\n");
+    for i in 0..=MAX_PRODUCTIONS {
+        src.push_str(&format!("n{i} : A {{ act(); }} ;\n"));
+    }
+    match lalrcex::yacc::parse(&src) {
+        Err(GrammarError::Limit { what, actual, .. }) => {
+            assert_eq!(what, "production count");
+            assert_eq!(actual, MAX_PRODUCTIONS + 1);
+        }
+        other => panic!("expected Limit error, got {other:?}"),
+    }
+
+    let long_rhs = "A ".repeat(MAX_RHS_SYMBOLS + 1);
+    match lalrcex::yacc::parse(&format!("%% s : {long_rhs};")) {
+        Err(GrammarError::Limit { what, actual, .. }) => {
+            assert_eq!(what, "right-hand-side length");
+            assert_eq!(actual, MAX_RHS_SYMBOLS + 1);
+        }
+        other => panic!("expected Limit error, got {other:?}"),
+    }
+    let ok_rhs = "A ".repeat(MAX_RHS_SYMBOLS);
+    assert!(lalrcex::yacc::parse(&format!("%% s : {ok_rhs};")).is_ok());
+}

@@ -719,3 +719,124 @@ fn peer_hangup_cancels_in_flight_work_and_drains() {
     assert!(summary.hangup, "the summary reports the hangup");
     assert!(!summary.shutdown);
 }
+
+/// The additive `format` member: a `.y` grammar analyzed as
+/// `"format":"yacc"` round-trips, a warm repeat under `"format":"auto"`
+/// hits the same cache entry, and the embedded report is byte-identical
+/// across cache temperature and format spelling.
+#[test]
+fn yacc_format_round_trips_with_warm_cache_byte_identity() {
+    let twin = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/yacc_twins/figure1.y"
+    ))
+    .expect("committed yacc twin (cargo run --example make_yacc_twins)");
+    let h = Harness::start(ServeOptions::default());
+    h.send(&analyze_line("cold", &twin, r#","format":"yacc""#));
+    h.wait_responses(1);
+    // Auto must sniff the same frontend, land on the same cache entry.
+    h.send(&analyze_line("warm", &twin, r#","format":"auto""#));
+    h.wait_responses(2);
+    // The DSL original renders the same conflicts but is a *different*
+    // cache entry: same grammar, different frontend and text.
+    h.send(&analyze_line("dsl", &corpus_text("figure1"), ""));
+    h.send(r#"{"op":"stats","id":"s"}"#);
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (rs, summary) = h.finish();
+
+    let cold = by_id(&rs, "cold");
+    let warm = by_id(&rs, "warm");
+    assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(cold.get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(
+        warm.get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "auto-sniffed repeat of the same yacc text must hit the cache"
+    );
+    let report = |r: &Json| r.get("report").unwrap().to_string();
+    assert_eq!(
+        report(cold),
+        report(warm),
+        "cold and warm yacc reports must be byte-identical"
+    );
+    let dsl = by_id(&rs, "dsl");
+    assert_eq!(
+        dsl.get("cache").and_then(Json::as_str),
+        Some("miss"),
+        "the DSL original is keyed separately from its yacc twin"
+    );
+    let conflicts = |r: &Json| {
+        r.get("report")
+            .and_then(|d| d.get("conflicts"))
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len)
+    };
+    assert_eq!(
+        conflicts(cold),
+        conflicts(dsl),
+        "both frontends agree on the conflict set"
+    );
+    assert!(summary.shutdown);
+}
+
+/// An unknown `format` value is a structured `unsupported_format` error
+/// that echoes the offending value, and the loop keeps serving.
+#[test]
+fn unknown_format_is_a_structured_error() {
+    let h = Harness::start(ServeOptions::default());
+    h.send(&analyze_line("bad", "%% s : A ;", r#","format":"bison""#));
+    h.send(&analyze_line("num", "%% s : A ;", r#","format":7"#));
+    h.send(&analyze_line("ok", "%% s : A ;", r#","format":"dsl""#));
+    let rs = h.wait_responses(3);
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    let (_, summary) = h.finish();
+
+    for (id, echoed) in [("bad", "bison"), ("num", "7")] {
+        let r = by_id(&rs, id);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        let err = r.get("error").unwrap();
+        assert_eq!(
+            err.get("kind").and_then(Json::as_str),
+            Some("unsupported_format")
+        );
+        assert_eq!(
+            err.get("format").and_then(Json::as_str),
+            Some(echoed),
+            "{id}: the error echoes the offending format value"
+        );
+    }
+    let ok = by_id(&rs, "ok");
+    assert_eq!(
+        ok.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "the loop keeps serving after format rejections"
+    );
+    assert!(summary.shutdown);
+}
+
+/// A yacc-frontend parse failure surfaces as a `yacc_parse` error, not a
+/// generic `grammar` one, so callers can tell which frontend rejected.
+#[test]
+fn yacc_parse_errors_carry_their_own_kind() {
+    let h = Harness::start(ServeOptions::default());
+    // The unquoted `%union` brace makes the sniffer pick yacc; the
+    // mid-rule action is then a structured frontend rejection.
+    h.send(&analyze_line(
+        "mid",
+        "%union { int n; }\n%%\ns : A { act(); } B ;\n",
+        r#","format":"auto""#,
+    ));
+    let rs = h.wait_responses(1);
+    h.send(r#"{"op":"shutdown","id":"z"}"#);
+    h.finish();
+
+    let r = by_id(&rs, "mid");
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+    let err = r.get("error").unwrap();
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("yacc_parse"));
+    let msg = err.get("message").and_then(Json::as_str).unwrap();
+    assert!(
+        msg.contains("mid-rule action"),
+        "message names the unsupported feature: {msg}"
+    );
+}
